@@ -1,0 +1,373 @@
+//! The composite application (Sections 3.7 and 5.2).
+//!
+//! "The composite application models a user searching for Web and map
+//! information using speech commands. The loop consists of local
+//! recognition of two speech utterances, access of a Web page, access of
+//! a map, and five seconds of think time" after each access.
+//!
+//! The three legs are separate Odyssey applications (speech, web, map) —
+//! each individually adaptive with its own priority in Section 5 — that
+//! take turns via a shared baton. Two modes:
+//!
+//! - [`CompositeMode::Iterations`] — run the loop N times (Section 3.7
+//!   uses six);
+//! - [`CompositeMode::Every`] — start an iteration every fixed period
+//!   until a horizon ("we ran the composite application every 25 seconds
+//!   rather than for six iterations", Section 5.2).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use hw560x::DisplayState;
+use machine::{Activity, AdaptDirection, FidelityView, Step, Workload};
+use simcore::{SimDuration, SimRng, SimTime};
+
+use crate::datasets::{
+    MapObject, Utterance, WebImage, COMPOSITE_UTTERANCES, DEFAULT_THINK_S, TRIAL_JITTER,
+};
+use crate::map::MapFidelity;
+use crate::units::{map_unit, speech_unit, web_unit, UnitStep};
+use crate::web::WebFidelity;
+
+/// Which leg of the loop a member executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompositeRole {
+    /// Two utterances of local speech recognition.
+    Speech,
+    /// One web page access plus think time.
+    Web,
+    /// One map access plus think time.
+    Map,
+}
+
+impl CompositeRole {
+    fn index(self) -> usize {
+        match self {
+            CompositeRole::Speech => 0,
+            CompositeRole::Web => 1,
+            CompositeRole::Map => 2,
+        }
+    }
+
+    /// All roles in loop order.
+    pub fn all() -> [CompositeRole; 3] {
+        [
+            CompositeRole::Speech,
+            CompositeRole::Web,
+            CompositeRole::Map,
+        ]
+    }
+}
+
+/// Loop termination policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CompositeMode {
+    /// Run the loop exactly this many times.
+    Iterations(usize),
+    /// Start an iteration every `period`, until `horizon`.
+    Every {
+        /// Iteration start spacing.
+        period: SimDuration,
+        /// No iteration starts at or after this instant.
+        horizon: SimTime,
+    },
+}
+
+/// Shared turn-taking state between the three members.
+#[derive(Debug)]
+pub struct Baton {
+    holder: usize,
+    iteration: usize,
+    next_iteration_at: SimTime,
+}
+
+impl Baton {
+    /// Creates the baton and hands it to the speech member.
+    pub fn new() -> Rc<RefCell<Baton>> {
+        Rc::new(RefCell::new(Baton {
+            holder: 0,
+            iteration: 0,
+            next_iteration_at: SimTime::ZERO,
+        }))
+    }
+}
+
+/// One leg of the composite application.
+pub struct CompositeMember {
+    role: CompositeRole,
+    baton: Rc<RefCell<Baton>>,
+    mode: CompositeMode,
+    pending: VecDeque<UnitStep>,
+    running_unit: bool,
+    level: usize,
+    levels: usize,
+    adaptive: bool,
+    item_idx: usize,
+    jitter: f64,
+    think: SimDuration,
+    // Datasets cycled by the member.
+    utterances: Vec<Utterance>,
+    images: Vec<WebImage>,
+    maps: Vec<MapObject>,
+}
+
+impl CompositeMember {
+    /// Creates one leg. All three legs must share the same `baton` and
+    /// `mode`. Members start at full fidelity; `adaptive` controls whether
+    /// upcalls can move them.
+    pub fn new(
+        role: CompositeRole,
+        baton: Rc<RefCell<Baton>>,
+        mode: CompositeMode,
+        adaptive: bool,
+        rng: &mut SimRng,
+    ) -> Self {
+        let levels = match role {
+            CompositeRole::Speech => 2,
+            CompositeRole::Web => WebFidelity::ladder().len(),
+            CompositeRole::Map => MapFidelity::ladder().len(),
+        };
+        CompositeMember {
+            role,
+            baton,
+            mode,
+            pending: VecDeque::new(),
+            running_unit: false,
+            level: levels - 1,
+            levels,
+            adaptive,
+            item_idx: 0,
+            jitter: 1.0 + rng.uniform(-TRIAL_JITTER, TRIAL_JITTER),
+            think: SimDuration::from_secs_f64(DEFAULT_THINK_S),
+            utterances: COMPOSITE_UTTERANCES.to_vec(),
+            images: crate::datasets::WEB_IMAGES.to_vec(),
+            maps: crate::datasets::MAPS.to_vec(),
+        }
+    }
+
+    /// Pins the member to its lowest fidelity (Figure 15's "Lowest
+    /// Fidelity" bars).
+    pub fn at_lowest_fidelity(mut self) -> Self {
+        self.level = 0;
+        self
+    }
+
+    fn build_unit(&mut self) -> VecDeque<UnitStep> {
+        let steps = match self.role {
+            CompositeRole::Speech => {
+                // Spoken commands are short: the loop uses the dedicated
+                // command utterances, keeping six iterations inside the
+                // paper's 80-160 s envelope.
+                self.item_idx += 2;
+                speech_unit(&self.utterances, self.level == 0, self.jitter)
+            }
+            CompositeRole::Web => {
+                let img = self.images[self.item_idx % self.images.len()];
+                self.item_idx += 1;
+                let fid = WebFidelity::ladder()[self.level];
+                web_unit(&img, fid, self.jitter, self.think)
+            }
+            CompositeRole::Map => {
+                let map = self.maps[self.item_idx % self.maps.len()];
+                self.item_idx += 1;
+                let fid = MapFidelity::ladder()[self.level];
+                map_unit(&map, fid, self.jitter, self.think)
+            }
+        };
+        steps.into()
+    }
+
+    fn finished(&self, baton: &Baton, now: SimTime) -> bool {
+        match self.mode {
+            CompositeMode::Iterations(n) => baton.iteration >= n,
+            CompositeMode::Every { horizon, .. } => now >= horizon,
+        }
+    }
+}
+
+impl Workload for CompositeMember {
+    fn name(&self) -> &'static str {
+        match self.role {
+            CompositeRole::Speech => "speech",
+            CompositeRole::Web => "netscape",
+            CompositeRole::Map => "anvil",
+        }
+    }
+
+    fn display_need(&self) -> DisplayState {
+        match self.role {
+            CompositeRole::Speech => DisplayState::Off,
+            _ => DisplayState::Bright,
+        }
+    }
+
+    fn poll(&mut self, now: SimTime) -> Step {
+        if let Some(step) = self.pending.pop_front() {
+            return match step {
+                UnitStep::Act(a) => Step::Run(a),
+                UnitStep::Pause(d) => Step::Run(Activity::Wait { until: now + d }),
+            };
+        }
+        let mut baton = self.baton.borrow_mut();
+        if self.running_unit {
+            // Unit complete: pass the baton.
+            self.running_unit = false;
+            baton.holder = (baton.holder + 1) % 3;
+            if baton.holder == 0 {
+                baton.iteration += 1;
+                if let CompositeMode::Every { period, .. } = self.mode {
+                    baton.next_iteration_at += period;
+                }
+            }
+        }
+        if self.finished(&baton, now) {
+            return Step::Done;
+        }
+        if baton.holder == self.role.index() {
+            // Gate the first member of each iteration in paced mode.
+            if baton.holder == 0 && now < baton.next_iteration_at {
+                let until = baton.next_iteration_at;
+                return Step::Run(Activity::Wait { until });
+            }
+            drop(baton);
+            self.pending = self.build_unit();
+            self.running_unit = true;
+            self.poll(now)
+        } else {
+            // Not our turn: check back shortly.
+            Step::Run(Activity::Wait {
+                until: now + SimDuration::from_millis(200),
+            })
+        }
+    }
+
+    fn fidelity(&self) -> FidelityView {
+        FidelityView::new(self.level, self.levels)
+    }
+
+    fn on_upcall(&mut self, dir: AdaptDirection, _now: SimTime) -> bool {
+        if !self.adaptive {
+            return false;
+        }
+        match dir {
+            AdaptDirection::Degrade if self.level > 0 => {
+                self.level -= 1;
+                true
+            }
+            AdaptDirection::Upgrade if self.level + 1 < self.levels => {
+                self.level += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Builds the three members sharing one baton, in loop order.
+pub fn composite_members(
+    mode: CompositeMode,
+    adaptive: bool,
+    rng: &mut SimRng,
+) -> Vec<CompositeMember> {
+    let baton = Baton::new();
+    CompositeRole::all()
+        .into_iter()
+        .map(|role| CompositeMember::new(role, baton.clone(), mode, adaptive, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::{Machine, MachineConfig};
+
+    fn run_composite(iterations: usize, pm: bool, lowest: bool) -> machine::RunReport {
+        let mut rng = SimRng::new(7);
+        let cfg = if pm {
+            MachineConfig::default()
+        } else {
+            MachineConfig::baseline()
+        };
+        let mut m = Machine::new(cfg);
+        for member in composite_members(CompositeMode::Iterations(iterations), false, &mut rng) {
+            let member = if lowest {
+                member.at_lowest_fidelity()
+            } else {
+                member
+            };
+            m.add_process(Box::new(member));
+        }
+        m.run()
+    }
+
+    /// Six iterations take 80-160 s, the paper's range.
+    #[test]
+    fn six_iterations_duration_band() {
+        let report = run_composite(6, false, false);
+        assert!(
+            (80.0..=170.0).contains(&report.duration_secs()),
+            "composite took {}",
+            report.duration_secs()
+        );
+    }
+
+    /// All three legs contribute energy.
+    #[test]
+    fn all_legs_appear_in_profile() {
+        let report = run_composite(2, false, false);
+        for bucket in ["janus", "netscape", "anvil"] {
+            assert!(report.bucket_j(bucket) > 0.0, "missing {bucket}");
+        }
+    }
+
+    /// Lowest fidelity is cheaper and faster than full.
+    #[test]
+    fn lowest_fidelity_saves_energy() {
+        let full = run_composite(3, true, false);
+        let low = run_composite(3, true, true);
+        assert!(
+            low.total_j < full.total_j * 0.85,
+            "full {} low {}",
+            full.total_j,
+            low.total_j
+        );
+    }
+
+    /// Paced mode starts iterations on the 25 s grid.
+    #[test]
+    fn paced_mode_spacing() {
+        let mut rng = SimRng::new(9);
+        let mut m = Machine::new(MachineConfig::default());
+        for member in composite_members(
+            CompositeMode::Every {
+                period: SimDuration::from_secs(25),
+                horizon: SimTime::from_secs(100),
+            },
+            false,
+            &mut rng,
+        ) {
+            m.add_process(Box::new(member));
+        }
+        let report = m.run();
+        // Four iterations (t=0,25,50,75) then the loop winds down past 100.
+        assert!(
+            report.duration_secs() >= 100.0 && report.duration_secs() < 130.0,
+            "paced run took {}",
+            report.duration_secs()
+        );
+    }
+
+    /// Members expose their ladders for the goal controller.
+    #[test]
+    fn members_are_adaptive_when_asked() {
+        let mut rng = SimRng::new(3);
+        let mut members = composite_members(CompositeMode::Iterations(1), true, &mut rng);
+        let map = members.pop().unwrap();
+        let mut web = members.pop().unwrap();
+        assert_eq!(map.fidelity().levels, 4);
+        assert_eq!(web.fidelity().levels, 5);
+        assert!(web.on_upcall(AdaptDirection::Degrade, SimTime::ZERO));
+        assert_eq!(web.fidelity().level, 3);
+    }
+}

@@ -1,0 +1,353 @@
+//! Data objects and workload constants.
+//!
+//! The paper explores sensitivity to data content by using four objects
+//! per application: four video clips, four speech utterances, four maps,
+//! and four Web images. This module defines those objects with per-object
+//! parameters chosen so that each figure's *relative* savings land inside
+//! the ranges the paper reports (EXPERIMENTS.md records paper-vs-measured
+//! for every band). Each constant cites the paper behaviour it encodes.
+
+/// One video clip ("four QuickTime/Cinepak videos from 127 to 226 seconds
+/// in length", Figure 6).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VideoClip {
+    /// Display name.
+    pub name: &'static str,
+    /// Playback duration, seconds.
+    pub duration_s: f64,
+    /// Full-fidelity stream rate, bits/s. Chosen near (but below) the
+    /// 2 Mb/s WaveLAN capacity: "much energy is consumed while the
+    /// processor is idle because of the limited bandwidth of the wireless
+    /// network — not enough video data is transmitted to saturate the
+    /// processor", yet "there is little opportunity to place the network
+    /// in standby mode since it is nearly saturated".
+    pub bitrate_bps: f64,
+    /// Premiere-B compressed size relative to full fidelity.
+    pub premiere_b_ratio: f64,
+    /// Premiere-C compressed size relative to full fidelity.
+    pub premiere_c_ratio: f64,
+}
+
+/// The four clips of Figure 6.
+pub const VIDEO_CLIPS: [VideoClip; 4] = [
+    VideoClip {
+        name: "Video 1",
+        duration_s: 127.0,
+        bitrate_bps: 1.52e6,
+        premiere_b_ratio: 0.72,
+        premiere_c_ratio: 0.34,
+    },
+    VideoClip {
+        name: "Video 2",
+        duration_s: 161.0,
+        bitrate_bps: 1.46e6,
+        premiere_b_ratio: 0.75,
+        premiere_c_ratio: 0.37,
+    },
+    VideoClip {
+        name: "Video 3",
+        duration_s: 203.0,
+        bitrate_bps: 1.58e6,
+        premiere_b_ratio: 0.70,
+        premiere_c_ratio: 0.32,
+    },
+    VideoClip {
+        name: "Video 4",
+        duration_s: 226.0,
+        bitrate_bps: 1.50e6,
+        premiere_b_ratio: 0.73,
+        premiere_c_ratio: 0.35,
+    },
+];
+
+/// Video frame rate (Cinepak-era clips).
+pub const VIDEO_FPS: f64 = 12.0;
+
+/// Cinepak decode CPU cost per compressed byte, seconds. Sized so decode
+/// occupies ~10% of the CPU at full fidelity — the decode slice of the
+/// Xanim bars in Figure 6.
+pub const VIDEO_DECODE_S_PER_BYTE: f64 = 0.62e-6;
+
+/// X server render cost per frame at the full window size, seconds.
+/// "X server energy consumption is proportional to window area"; at full
+/// fidelity the X slice is the second-largest after Idle (cf. Figure 2,
+/// where X consumes ~20% of the energy during video playback).
+pub const VIDEO_RENDER_S_FULL: f64 = 0.028;
+
+/// Bytes ratio of the reduced-window track: the server scales the video to
+/// quarter area before encoding ("multiple tracks of each video clip on
+/// the server ... identical to the original except for size"), so the
+/// stream shrinks roughly with area.
+pub const VIDEO_REDUCED_WINDOW_DATA_RATIO: f64 = 0.48;
+
+/// Window-area ratio when both dimensions are halved.
+pub const VIDEO_REDUCED_WINDOW_AREA: f64 = 0.25;
+
+/// One spoken utterance ("four spoken utterances from one to seven seconds
+/// in length", Figure 8).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Utterance {
+    /// Display name.
+    pub name: &'static str,
+    /// Spoken duration, seconds.
+    pub speech_s: f64,
+    /// Full-vocabulary local recognition CPU time per spoken second
+    /// (Janus on the 233 MHz client runs slower than real time).
+    pub local_cpu_factor: f64,
+    /// Reduced-vocabulary CPU relative to full ("a reduced vocabulary and
+    /// a less complex acoustic model"); varies per utterance, producing
+    /// the paper's wide 25-46% band.
+    pub reduced_ratio: f64,
+}
+
+/// The four utterances of Figure 8.
+pub const UTTERANCES: [Utterance; 4] = [
+    Utterance {
+        name: "Utterance 1",
+        speech_s: 1.2,
+        local_cpu_factor: 2.1,
+        reduced_ratio: 0.50,
+    },
+    Utterance {
+        name: "Utterance 2",
+        speech_s: 2.8,
+        local_cpu_factor: 1.8,
+        reduced_ratio: 0.55,
+    },
+    Utterance {
+        name: "Utterance 3",
+        speech_s: 4.6,
+        local_cpu_factor: 1.9,
+        reduced_ratio: 0.68,
+    },
+    Utterance {
+        name: "Utterance 4",
+        speech_s: 6.9,
+        local_cpu_factor: 1.7,
+        reduced_ratio: 0.60,
+    },
+];
+
+/// Short command utterances used by the composite application's loop
+/// ("local recognition of two speech utterances" — spoken commands, not
+/// the longer dictation utterances of Figure 8). Their lower reduced
+/// ratios reflect how well tiny command vocabularies shrink.
+pub const COMPOSITE_UTTERANCES: [Utterance; 2] = [
+    Utterance {
+        name: "Command 1",
+        speech_s: 0.9,
+        local_cpu_factor: 2.1,
+        reduced_ratio: 0.35,
+    },
+    Utterance {
+        name: "Command 2",
+        speech_s: 1.6,
+        local_cpu_factor: 1.8,
+        reduced_ratio: 0.45,
+    },
+];
+
+/// Front-end signal-processing CPU time per spoken second (always local).
+pub const SPEECH_FRONTEND_FACTOR: f64 = 0.22;
+
+/// Microphone waveform rate: 16 kHz × 16-bit mono.
+pub const SPEECH_WAVEFORM_BPS: f64 = 32_000.0 * 8.0;
+
+/// Remote server residence time relative to local recognition CPU time.
+/// Calibrated so full-fidelity remote recognition lands 33-44% below
+/// hardware-only local (Figure 8): the client mostly waits, radio awake.
+pub const SPEECH_SERVER_FACTOR: f64 = 1.50;
+
+/// Hybrid mode: local first phase relative to full local recognition
+/// ("the first phase of recognition is performed locally ... with little
+/// computational overhead").
+pub const SPEECH_HYBRID_LOCAL_RATIO: f64 = 0.20;
+
+/// Hybrid mode: intermediate representation is "a factor of five
+/// reduction in data volume".
+pub const SPEECH_HYBRID_DATA_RATIO: f64 = 0.20;
+
+/// Hybrid mode: server residence relative to local recognition CPU time
+/// (the first phase is already done).
+pub const SPEECH_HYBRID_SERVER_FACTOR: f64 = 0.72;
+
+/// One map ("maps of four different cities", Figure 10). Full USGS-style
+/// vector maps run to megabytes, which is why fetch time — not rendering —
+/// dominates, and why filtering pays off so well over a 2 Mb/s link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MapObject {
+    /// City name.
+    pub name: &'static str,
+    /// Full-fidelity map size, bytes.
+    pub full_bytes: u64,
+    /// Size ratio after the minor-road filter ("one filter omits minor
+    /// roads"); rural maps lose little, dense maps a lot — producing the
+    /// paper's 6-51% band.
+    pub minor_filter_ratio: f64,
+    /// Size ratio after the minor+secondary filter ("the more aggressive
+    /// filter omits both minor and secondary roads"; 23-55% band).
+    pub secondary_filter_ratio: f64,
+    /// Size ratio after cropping to half height and width ("cropping
+    /// preserves detail, but restricts data to a geographic subset").
+    pub crop_ratio: f64,
+}
+
+/// The four maps of Figure 10.
+pub const MAPS: [MapObject; 4] = [
+    MapObject {
+        name: "San Jose",
+        full_bytes: 1_300_000,
+        minor_filter_ratio: 0.50,
+        secondary_filter_ratio: 0.30,
+        crop_ratio: 0.45,
+    },
+    MapObject {
+        name: "Allentown",
+        full_bytes: 620_000,
+        minor_filter_ratio: 0.90,
+        secondary_filter_ratio: 0.44,
+        crop_ratio: 0.58,
+    },
+    MapObject {
+        name: "Boston",
+        full_bytes: 1_750_000,
+        minor_filter_ratio: 0.30,
+        secondary_filter_ratio: 0.20,
+        crop_ratio: 0.33,
+    },
+    MapObject {
+        name: "Pittsburgh",
+        full_bytes: 1_000_000,
+        minor_filter_ratio: 0.60,
+        secondary_filter_ratio: 0.36,
+        crop_ratio: 0.50,
+    },
+];
+
+/// Map-server residence: fixed overhead plus per-byte filter processing.
+pub const MAP_SERVER_FIXED_S: f64 = 0.12;
+/// Per-byte server filter/crop processing time, seconds.
+pub const MAP_SERVER_S_PER_BYTE: f64 = 2.0e-8;
+/// Anvil rasterisation CPU per received byte, seconds.
+pub const MAP_RENDER_S_PER_BYTE: f64 = 0.35e-6;
+/// X server cost to paint a map view, seconds.
+pub const MAP_X_RENDER_S: f64 = 0.20;
+/// Default user think time ("an initial value of 5 seconds").
+pub const DEFAULT_THINK_S: f64 = 5.0;
+
+/// One Web image ("four GIF images from 110 B to 175 KB in size",
+/// Figure 13).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WebImage {
+    /// Display name.
+    pub name: &'static str,
+    /// Original GIF size, bytes.
+    pub bytes: u64,
+}
+
+/// The four images of Figure 13.
+pub const WEB_IMAGES: [WebImage; 4] = [
+    WebImage {
+        name: "Image 1",
+        bytes: 175_000,
+    },
+    WebImage {
+        name: "Image 2",
+        bytes: 81_000,
+    },
+    WebImage {
+        name: "Image 3",
+        bytes: 22_000,
+    },
+    WebImage {
+        name: "Image 4",
+        bytes: 110,
+    },
+];
+
+/// JPEG transcode size ratios for the four distillation levels of
+/// Figure 13. Tiny images cannot shrink below the floor, which is why the
+/// smallest image shows ~0 benefit (the low end of the 4-14% band).
+pub const WEB_JPEG_RATIOS: [(&str, f64); 4] = [
+    ("JPEG-75", 0.45),
+    ("JPEG-50", 0.30),
+    ("JPEG-25", 0.22),
+    ("JPEG-5", 0.12),
+];
+
+/// Smallest useful transcoded size, bytes.
+pub const WEB_MIN_BYTES: u64 = 110;
+
+/// Distillation-server residence: fixed + per-original-byte transcode.
+pub const WEB_SERVER_FIXED_S: f64 = 0.10;
+/// Per-byte transcode time on the distillation server, seconds.
+pub const WEB_SERVER_S_PER_BYTE: f64 = 1.5e-7;
+/// Netscape + proxy CPU per received byte, seconds.
+pub const WEB_RENDER_S_PER_BYTE: f64 = 0.40e-6;
+/// X server cost to paint a page, seconds.
+pub const WEB_X_RENDER_S: f64 = 0.12;
+
+/// Relative jitter applied to workload costs per trial (±2%), giving the
+/// paper's small error bars without changing means.
+pub const TRIAL_JITTER: f64 = 0.02;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_clips_match_paper_bounds() {
+        assert_eq!(VIDEO_CLIPS.len(), 4);
+        for c in &VIDEO_CLIPS {
+            assert!((127.0..=226.0).contains(&c.duration_s));
+            assert!(c.bitrate_bps < 2.0e6, "{} saturates the link", c.name);
+            assert!(c.bitrate_bps > 0.7 * 2.0e6, "{} underuses the link", c.name);
+            assert!(c.premiere_c_ratio < c.premiere_b_ratio);
+            assert!(c.premiere_b_ratio < 1.0);
+        }
+    }
+
+    #[test]
+    fn utterances_match_paper_bounds() {
+        assert_eq!(UTTERANCES.len(), 4);
+        for u in &UTTERANCES {
+            assert!((1.0..=7.0).contains(&u.speech_s));
+            assert!(u.local_cpu_factor > 1.0, "Janus is slower than real time");
+            assert!((0.0..1.0).contains(&u.reduced_ratio));
+        }
+    }
+
+    #[test]
+    fn maps_are_fetch_dominated() {
+        for m in &MAPS {
+            // Fetch at 2 Mb/s must exceed the 5 s default think time for
+            // at least the big maps; all must take > 1 s.
+            let fetch_s = m.full_bytes as f64 * 8.0 / 2.0e6;
+            assert!(fetch_s > 1.0, "{} too small", m.name);
+            assert!(m.secondary_filter_ratio < m.minor_filter_ratio);
+            assert!(m.minor_filter_ratio < 1.0);
+            assert!(m.crop_ratio < 0.65);
+        }
+        let biggest = MAPS.iter().map(|m| m.full_bytes).max().unwrap();
+        assert!(biggest as f64 * 8.0 / 2.0e6 > DEFAULT_THINK_S);
+    }
+
+    #[test]
+    fn web_images_span_paper_range() {
+        let sizes: Vec<u64> = WEB_IMAGES.iter().map(|i| i.bytes).collect();
+        assert_eq!(*sizes.iter().min().unwrap(), 110);
+        assert_eq!(*sizes.iter().max().unwrap(), 175_000);
+    }
+
+    #[test]
+    fn jpeg_ratios_decrease_with_quality() {
+        for w in WEB_JPEG_RATIOS.windows(2) {
+            assert!(w[0].1 > w[1].1);
+        }
+    }
+
+    #[test]
+    fn hybrid_is_a_factor_of_five() {
+        assert!((SPEECH_HYBRID_DATA_RATIO - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload models of the paper's applications.
+//!
+//! Each application is a [`machine::Workload`]: a generator of CPU /
+//! network / render / think phases whose parameters derive from the
+//! paper's description of where each application spends its time:
+//!
+//! - [`video`] — Xanim streaming QuickTime/Cinepak clips through Odyssey;
+//!   fidelity = lossy-compression track × window size;
+//! - [`speech`] — the Janus front-end with local, remote, and hybrid
+//!   recognition; fidelity = vocabulary/acoustic-model size;
+//! - [`map`] — the Anvil map viewer; fidelity = feature filtering ×
+//!   cropping, plus user think time;
+//! - [`web`] — Netscape behind a client proxy and distillation server;
+//!   fidelity = JPEG transcoding quality;
+//! - [`composite`] — the Section 3.7 / Section 5 loop (speech → web →
+//!   map) built from the same units;
+//! - [`bursty`] — the Section 5.4 stochastic on/off workload.
+//!
+//! Every quantitative constant lives in [`datasets`] next to the paper
+//! sentence it encodes, and is shared by isolation experiments, the
+//! composite, and the bursty workload so results stay comparable.
+
+pub mod bursty;
+pub mod composite;
+pub mod datasets;
+pub mod map;
+pub mod speech;
+pub mod units;
+pub mod video;
+pub mod web;
+
+pub use bursty::{BurstyMember, BurstyRole};
+pub use composite::{Baton, CompositeMember, CompositeMode, CompositeRole};
+pub use map::{MapFidelity, MapViewer};
+pub use speech::{SpeechApp, SpeechStrategy};
+pub use video::{VideoPlayer, VideoVariant};
+pub use web::{WebBrowser, WebFidelity};

@@ -1,0 +1,17 @@
+//! Regenerates the controller ablation study as a benchmark.
+
+use bench::bench_trials;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let trials = bench_trials();
+    let mut group = c.benchmark_group("ablate");
+    group.sample_size(10);
+    group.bench_function("run", |b| {
+        b.iter(|| std::hint::black_box(experiments::ablate::run(&trials)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

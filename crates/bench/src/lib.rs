@@ -1,0 +1,26 @@
+//! Benchmark support: shared trial configurations for the per-figure
+//! Criterion benches in `benches/`.
+//!
+//! Each bench target regenerates one table or figure of the paper with a
+//! reduced trial count, so `cargo bench` doubles as an end-to-end check
+//! that every experiment still runs and as a performance baseline for the
+//! simulator itself.
+
+use experiments::harness::Trials;
+
+/// Trials used by benches: one repetition, fixed seed.
+pub fn bench_trials() -> Trials {
+    Trials { n: 1, seed: 42 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_trials_is_single_seeded() {
+        let t = bench_trials();
+        assert_eq!(t.n, 1);
+        assert_eq!(t.seed, 42);
+    }
+}

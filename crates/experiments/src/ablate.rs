@@ -1,0 +1,228 @@
+//! Ablations of the goal-directed controller's design choices.
+//!
+//! Section 5.1.3 motivates three mechanisms without quantifying them:
+//! the hysteresis margin ("a guard against excessive adaptation due to
+//! energy transients"), the 15-second cap on fidelity improvements
+//! ("applications should not be jarred by frequent adaptations"), and the
+//! priority order (degrade the least important application first). This
+//! module removes each in turn and measures what it was buying:
+//!
+//! - **no hysteresis** — upgrades trigger the instant supply exceeds
+//!   demand, so the system oscillates (more adaptations);
+//! - **no upgrade cap** — improvements arrive in bursts;
+//! - **reversed priorities** — the high-priority web application is
+//!   degraded first and spends the run at lower fidelity;
+//! - **no superlinearity** — the platform power model's correction term
+//!   removed, shifting every anchor.
+
+use hw560x::{DeviceStates, PlatformPower, PlatformSpec};
+use odyssey::GoalConfig;
+use simcore::{SimDuration, SimRng};
+
+use crate::fig19::INITIAL_ENERGY_J;
+use crate::goalrig::{run_composite_goal_custom, GoalRun};
+use crate::harness::Trials;
+use crate::table::Table;
+
+/// Goal used by the controller ablations, seconds.
+pub const GOAL_S: u64 = 1440;
+
+/// One controller-ablation row.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Variant name.
+    pub variant: &'static str,
+    /// Whether the goal was met.
+    pub goal_met: bool,
+    /// Residual energy, J.
+    pub residual_j: f64,
+    /// Total fidelity changes across applications.
+    pub total_adaptations: usize,
+    /// Upgrades issued by the controller.
+    pub upgrades: usize,
+    /// Mean normalized fidelity of the web application (ladder depth 5).
+    pub web_mean_level: f64,
+}
+
+/// The ablation study.
+#[derive(Clone, Debug)]
+pub struct Ablation {
+    /// Controller rows: paper, no-hysteresis, no-upgrade-cap, reversed.
+    pub rows: Vec<AblationRow>,
+    /// Full-on platform power with / without the superlinearity term, W.
+    pub superlinearity: (f64, f64),
+}
+
+impl Ablation {
+    /// Looks up a row by variant name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if absent.
+    pub fn row(&self, variant: &str) -> &AblationRow {
+        self.rows
+            .iter()
+            .find(|r| r.variant == variant)
+            .unwrap_or_else(|| panic!("no variant {variant}"))
+    }
+}
+
+fn summarize(variant: &'static str, run: &GoalRun) -> AblationRow {
+    let total: usize = ["speech", "xanim", "anvil", "netscape"]
+        .iter()
+        .map(|a| run.adaptations_of(a))
+        .sum();
+    let web = run
+        .report
+        .fidelity
+        .iter()
+        .find(|s| s.name() == "netscape")
+        .expect("web series");
+    let pts = web.resample(SimDuration::from_secs(10), run.report.end);
+    let web_mean_level = if pts.is_empty() {
+        0.0
+    } else {
+        pts.iter().map(|(_, v)| v / 4.0).sum::<f64>() / pts.len() as f64
+    };
+    AblationRow {
+        variant,
+        goal_met: run.outcome.goal_met,
+        residual_j: run.report.residual_j,
+        total_adaptations: total,
+        upgrades: run.outcome.upgrades,
+        web_mean_level,
+    }
+}
+
+/// Runs the ablation study.
+pub fn run(trials: &Trials) -> Ablation {
+    let root = SimRng::new(trials.seed);
+    let goal = SimDuration::from_secs(GOAL_S);
+    let base_cfg = || GoalConfig::paper(INITIAL_ENERGY_J, goal);
+    let mut rows = Vec::new();
+
+    let mut rng = root.fork("ablate/paper");
+    rows.push(summarize(
+        "Paper controller",
+        &run_composite_goal_custom(base_cfg(), false, &mut rng),
+    ));
+
+    let mut cfg = base_cfg();
+    cfg.hysteresis_supply_frac = 0.0;
+    cfg.hysteresis_initial_frac = 0.0;
+    let mut rng = root.fork("ablate/no-hysteresis");
+    rows.push(summarize(
+        "No hysteresis",
+        &run_composite_goal_custom(cfg, false, &mut rng),
+    ));
+
+    let mut cfg = base_cfg();
+    cfg.upgrade_min_interval = SimDuration::from_millis(500);
+    let mut rng = root.fork("ablate/no-cap");
+    rows.push(summarize(
+        "No upgrade rate cap",
+        &run_composite_goal_custom(cfg, false, &mut rng),
+    ));
+
+    let mut rng = root.fork("ablate/reversed");
+    rows.push(summarize(
+        "Reversed priorities",
+        &run_composite_goal_custom(base_cfg(), true, &mut rng),
+    ));
+
+    // Power-model ablation: the superlinearity term.
+    let with =
+        PlatformPower::new(PlatformSpec::thinkpad_560x()).power_w(&DeviceStates::full_on_idle());
+    let without = PlatformPower::new(PlatformSpec::thinkpad_560x().without_superlinearity())
+        .power_w(&DeviceStates::full_on_idle());
+    Ablation {
+        rows,
+        superlinearity: (with, without),
+    }
+}
+
+/// Renders the ablation table.
+pub fn render(trials: &Trials) -> String {
+    let a = run(trials);
+    let mut t = Table::new(
+        format!("Controller ablations (goal {GOAL_S}s, {INITIAL_ENERGY_J:.0} J)"),
+        &[
+            "Variant",
+            "Goal Met",
+            "Residual (J)",
+            "Adaptations",
+            "Upgrades",
+            "Web mean fidelity",
+        ],
+    );
+    for r in &a.rows {
+        t.push_row(vec![
+            r.variant.to_string(),
+            if r.goal_met { "Yes" } else { "No" }.to_string(),
+            format!("{:.0}", r.residual_j),
+            r.total_adaptations.to_string(),
+            r.upgrades.to_string(),
+            format!("{:.2}", r.web_mean_level),
+        ]);
+    }
+    t.with_caption(format!(
+        "Power-model ablation: full-on power {:.2} W with superlinearity, {:.2} W without.",
+        a.superlinearity.0, a.superlinearity.1
+    ))
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> Ablation {
+        run(&Trials::single())
+    }
+
+    /// Removing hysteresis or the upgrade cap destabilizes the
+    /// controller: strictly more fidelity changes than the paper's
+    /// configuration.
+    #[test]
+    fn hysteresis_and_cap_buy_stability() {
+        let a = study();
+        let paper = a.row("Paper controller").total_adaptations;
+        let no_hys = a.row("No hysteresis").total_adaptations;
+        let no_cap = a.row("No upgrade rate cap").total_adaptations;
+        assert!(
+            no_hys > paper,
+            "no-hysteresis {no_hys} not above paper {paper}"
+        );
+        assert!(no_cap > paper, "no-cap {no_cap} not above paper {paper}");
+    }
+
+    /// Reversing priorities pushes the web application — highest priority
+    /// in the paper's order — to a lower average fidelity.
+    #[test]
+    fn priorities_protect_the_web_application() {
+        let a = study();
+        let paper = a.row("Paper controller").web_mean_level;
+        let reversed = a.row("Reversed priorities").web_mean_level;
+        assert!(
+            reversed < paper,
+            "reversed web fidelity {reversed} not below paper {paper}"
+        );
+    }
+
+    /// Every variant still meets the goal — the mechanisms are about
+    /// user experience, not feasibility.
+    #[test]
+    fn all_variants_meet_the_goal() {
+        for r in &study().rows {
+            assert!(r.goal_met, "{} missed the goal", r.variant);
+        }
+    }
+
+    /// The superlinearity term is worth ~0.21 W at full-on.
+    #[test]
+    fn superlinearity_magnitude() {
+        let a = study();
+        let delta = a.superlinearity.0 - a.superlinearity.1;
+        assert!((delta - 0.21).abs() < 0.01, "delta {delta}");
+    }
+}

@@ -1,0 +1,338 @@
+//! Figure 16: summary of the energy impact of fidelity.
+//!
+//! For every application (and think time, where applicable) the table
+//! shows min-max energy across the four data objects, normalized to each
+//! object's baseline: hardware power management alone, fidelity reduction
+//! alone (lowest fidelity, no power management), and both combined.
+//! The paper's headline statistics come from this table: fidelity
+//! reduction saves 7-72% (mean 36%), combined 31-76% (mean ~50%).
+
+use machine::{Machine, MachineConfig};
+use odyssey_apps::datasets::{MAPS, UTTERANCES, VIDEO_CLIPS, WEB_IMAGES};
+use odyssey_apps::map::{MapFilter, MapViewer};
+use odyssey_apps::{
+    MapFidelity, SpeechApp, SpeechStrategy, VideoPlayer, VideoVariant, WebBrowser, WebFidelity,
+};
+use simcore::{SimDuration, SimRng};
+
+use crate::harness::{energy_stats, run_trials, Trials};
+use crate::table::{band, Table};
+
+/// The four normalized conditions of the summary table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Condition {
+    /// Full fidelity, no power management (the 1.00 column).
+    Baseline,
+    /// Full fidelity with hardware power management.
+    HardwarePm,
+    /// Lowest fidelity without hardware power management.
+    FidelityReduction,
+    /// Lowest fidelity with hardware power management.
+    Combined,
+}
+
+impl Condition {
+    /// All conditions in column order.
+    pub fn all() -> [Condition; 4] {
+        [
+            Condition::Baseline,
+            Condition::HardwarePm,
+            Condition::FidelityReduction,
+            Condition::Combined,
+        ]
+    }
+
+    /// Column header.
+    pub fn name(self) -> &'static str {
+        match self {
+            Condition::Baseline => "Baseline",
+            Condition::HardwarePm => "Hardware Power Mgmt.",
+            Condition::FidelityReduction => "Fidelity Reduction",
+            Condition::Combined => "Combined",
+        }
+    }
+
+    fn lowest(self) -> bool {
+        matches!(self, Condition::FidelityReduction | Condition::Combined)
+    }
+
+    fn pm(self) -> bool {
+        matches!(self, Condition::HardwarePm | Condition::Combined)
+    }
+}
+
+/// One row of the summary: an application at one think time.
+#[derive(Clone, Debug)]
+pub struct SummaryRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Think time, seconds (`None` for video and speech).
+    pub think_s: Option<f64>,
+    /// Per-condition (min, max) normalized energy across data objects.
+    pub bands: Vec<(Condition, f64, f64)>,
+    /// Per-condition mean normalized energy across data objects.
+    pub means: Vec<(Condition, f64)>,
+}
+
+/// The full summary.
+#[derive(Clone, Debug)]
+pub struct Fig16 {
+    /// All rows in figure order.
+    pub rows: Vec<SummaryRow>,
+}
+
+impl Fig16 {
+    /// (min, max) normalized energy for a row and condition.
+    pub fn band_of(&self, app: &str, think_s: Option<f64>, c: Condition) -> (f64, f64) {
+        let row = self
+            .rows
+            .iter()
+            .find(|r| r.app == app && r.think_s == think_s)
+            .unwrap_or_else(|| panic!("no row ({app}, {think_s:?})"));
+        row.bands
+            .iter()
+            .find(|(rc, _, _)| *rc == c)
+            .map(|(_, lo, hi)| (*lo, *hi))
+            .expect("condition present")
+    }
+
+    /// Mean normalized energy over every row for a condition (the paper's
+    /// "mean of 36% savings" style aggregate).
+    pub fn grand_mean(&self, c: Condition) -> f64 {
+        let values: Vec<f64> = self
+            .rows
+            .iter()
+            .flat_map(|r| r.means.iter().filter(|(rc, _)| *rc == c).map(|(_, m)| *m))
+            .collect();
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+fn video_machine(obj: usize, c: Condition, rng: &mut SimRng) -> Machine {
+    let cfg = if c.pm() {
+        MachineConfig::default()
+    } else {
+        MachineConfig::baseline()
+    };
+    let variant = if c.lowest() {
+        VideoVariant::Combined
+    } else {
+        VideoVariant::Full
+    };
+    let mut m = Machine::new(cfg);
+    m.add_process(Box::new(VideoPlayer::fixed(VIDEO_CLIPS[obj], variant, rng)));
+    m
+}
+
+fn speech_machine(obj: usize, c: Condition, rng: &mut SimRng) -> Machine {
+    let cfg = if c.pm() {
+        MachineConfig::default()
+    } else {
+        MachineConfig::baseline()
+    };
+    // Lowest speech fidelity: hybrid strategy with the reduced model —
+    // the cheapest configuration of Figure 8.
+    let (strategy, reduced) = if c.lowest() {
+        (SpeechStrategy::Hybrid, true)
+    } else {
+        (SpeechStrategy::Local, false)
+    };
+    let mut m = Machine::new(cfg);
+    m.add_process(Box::new(SpeechApp::fixed(
+        vec![UTTERANCES[obj]],
+        strategy,
+        reduced,
+        rng,
+    )));
+    m
+}
+
+fn map_machine(obj: usize, c: Condition, think_s: f64, rng: &mut SimRng) -> Machine {
+    let cfg = if c.pm() {
+        MachineConfig::default()
+    } else {
+        MachineConfig::baseline()
+    };
+    let fidelity = if c.lowest() {
+        MapFidelity {
+            filter: MapFilter::Secondary,
+            cropped: true,
+        }
+    } else {
+        MapFidelity::full()
+    };
+    let mut m = Machine::new(cfg);
+    m.add_process(Box::new(
+        MapViewer::fixed(vec![MAPS[obj]], fidelity, rng)
+            .with_think_time(SimDuration::from_secs_f64(think_s)),
+    ));
+    m
+}
+
+fn web_machine(obj: usize, c: Condition, think_s: f64, rng: &mut SimRng) -> Machine {
+    let cfg = if c.pm() {
+        MachineConfig::default()
+    } else {
+        MachineConfig::baseline()
+    };
+    let fidelity = if c.lowest() {
+        WebFidelity::Jpeg5
+    } else {
+        WebFidelity::Full
+    };
+    let mut m = Machine::new(cfg);
+    m.add_process(Box::new(
+        WebBrowser::fixed(vec![WEB_IMAGES[obj]], fidelity, rng)
+            .with_think_time(SimDuration::from_secs_f64(think_s)),
+    ));
+    m
+}
+
+fn summarize(
+    trials: &Trials,
+    app: &'static str,
+    think_s: Option<f64>,
+    mut energy: impl FnMut(usize, Condition, &Trials) -> f64,
+) -> SummaryRow {
+    let mut bands = Vec::new();
+    let mut means = Vec::new();
+    // Baseline energies per object, the normalizers.
+    let baselines: Vec<f64> = (0..4)
+        .map(|o| energy(o, Condition::Baseline, trials))
+        .collect();
+    for c in Condition::all() {
+        let normalized: Vec<f64> = (0..4)
+            .map(|o| energy(o, c, trials) / baselines[o])
+            .collect();
+        let lo = normalized.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = normalized.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = normalized.iter().sum::<f64>() / normalized.len() as f64;
+        bands.push((c, lo, hi));
+        means.push((c, mean));
+    }
+    SummaryRow {
+        app,
+        think_s,
+        bands,
+        means,
+    }
+}
+
+/// Runs the full summary (the paper's think-time rows: 0, 5, 10, 20 s for
+/// map and web).
+pub fn run(trials: &Trials) -> Fig16 {
+    run_with_thinks(trials, &[0.0, 5.0, 10.0, 20.0])
+}
+
+/// Runs the summary with a chosen set of think times (tests use fewer).
+pub fn run_with_thinks(trials: &Trials, thinks: &[f64]) -> Fig16 {
+    let mut rows = Vec::new();
+    rows.push(summarize(trials, "Video", None, |o, c, t| {
+        let label = format!("fig16/video/{o}/{c:?}");
+        energy_stats(&run_trials(t, &label, |rng| video_machine(o, c, rng))).mean
+    }));
+    rows.push(summarize(trials, "Speech", None, |o, c, t| {
+        let label = format!("fig16/speech/{o}/{c:?}");
+        energy_stats(&run_trials(t, &label, |rng| speech_machine(o, c, rng))).mean
+    }));
+    for &think in thinks {
+        rows.push(summarize(trials, "Map", Some(think), |o, c, t| {
+            let label = format!("fig16/map/{o}/{c:?}/{think}");
+            energy_stats(&run_trials(t, &label, |rng| map_machine(o, c, think, rng))).mean
+        }));
+    }
+    for &think in thinks {
+        rows.push(summarize(trials, "Web", Some(think), |o, c, t| {
+            let label = format!("fig16/web/{o}/{c:?}/{think}");
+            energy_stats(&run_trials(t, &label, |rng| web_machine(o, c, think, rng))).mean
+        }));
+    }
+    Fig16 { rows }
+}
+
+/// Renders the normalized summary table.
+pub fn render(trials: &Trials) -> String {
+    let f = run(trials);
+    let mut t = Table::new(
+        "Figure 16: Summary of energy impact of fidelity (normalized to baseline)",
+        &[
+            "Application",
+            "Think (s)",
+            "Baseline",
+            "Hardware Power Mgmt.",
+            "Fidelity Reduction",
+            "Combined",
+        ],
+    );
+    for r in &f.rows {
+        let mut row = vec![
+            r.app.to_string(),
+            r.think_s.map(|s| format!("{s}")).unwrap_or("N/A".into()),
+        ];
+        for (_, lo, hi) in &r.bands {
+            row.push(band(*lo, *hi));
+        }
+        t.push_row(row);
+    }
+    let fr = 1.0 - f.grand_mean(Condition::FidelityReduction);
+    let comb = 1.0 - f.grand_mean(Condition::Combined);
+    t.with_caption(format!(
+        "Mean savings: fidelity reduction {:.0}% (paper: 36%), combined {:.0}% (paper: ~50%).",
+        fr * 100.0,
+        comb * 100.0
+    ))
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig16 {
+        // One trial, one think time: this module aggregates many runs.
+        run_with_thinks(&Trials::single(), &[5.0])
+    }
+
+    #[test]
+    fn baseline_column_is_unity() {
+        for r in fig().rows {
+            let (lo, hi) = r
+                .bands
+                .iter()
+                .find(|(c, _, _)| *c == Condition::Baseline)
+                .map(|(_, lo, hi)| (*lo, *hi))
+                .unwrap();
+            assert!((lo - 1.0).abs() < 1e-9 && (hi - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn combined_beats_either_alone() {
+        let f = fig();
+        for r in &f.rows {
+            let mean = |c: Condition| r.means.iter().find(|(rc, _)| *rc == c).unwrap().1;
+            assert!(
+                mean(Condition::Combined) <= mean(Condition::HardwarePm) + 1e-9,
+                "{}: combined worse than PM alone",
+                r.app
+            );
+            assert!(
+                mean(Condition::Combined) <= mean(Condition::FidelityReduction) + 1e-9,
+                "{}: combined worse than fidelity alone",
+                r.app
+            );
+        }
+    }
+
+    /// Headline aggregate bands: fidelity-reduction mean savings near the
+    /// paper's 36%, combined near 50%.
+    #[test]
+    fn headline_means_in_band() {
+        let f = fig();
+        let fr = 1.0 - f.grand_mean(Condition::FidelityReduction);
+        let comb = 1.0 - f.grand_mean(Condition::Combined);
+        assert!((0.20..=0.55).contains(&fr), "fidelity-reduction mean {fr}");
+        assert!((0.33..=0.65).contains(&comb), "combined mean {comb}");
+        assert!(comb > fr, "combined must beat fidelity alone");
+    }
+}

@@ -1,0 +1,166 @@
+//! Figure 20: summary of goal-directed adaptation.
+//!
+//! Battery-duration goals of 1200, 1320, 1440 and 1560 seconds — a 30%
+//! spread — each run five times. The table reports the fraction of trials
+//! in which the supply lasted the full duration, the residual energy at
+//! the end (large residue = Odyssey was too conservative), and the number
+//! of adaptations each application performed.
+
+use odyssey::GoalConfig;
+use simcore::{SimDuration, SimRng, TrialStats};
+
+use crate::fig19::INITIAL_ENERGY_J;
+use crate::goalrig::run_composite_goal;
+use crate::harness::Trials;
+use crate::table::Table;
+
+/// The paper's goal set: 1200-1560 s in 120 s steps.
+pub const GOALS_S: [u64; 4] = [1200, 1320, 1440, 1560];
+
+/// Application names in priority order (lowest first), as reported.
+pub const APPS: [&str; 4] = ["speech", "xanim", "anvil", "netscape"];
+
+/// One goal's row.
+#[derive(Clone, Debug)]
+pub struct GoalRow {
+    /// Goal duration, seconds.
+    pub goal_s: u64,
+    /// Fraction of trials meeting the goal.
+    pub met_fraction: f64,
+    /// Residual energy statistics, J.
+    pub residual: TrialStats,
+    /// Adaptation-count statistics per application, in [`APPS`] order.
+    pub adaptations: Vec<TrialStats>,
+}
+
+/// The full figure.
+#[derive(Clone, Debug)]
+pub struct Fig20 {
+    /// One row per goal.
+    pub rows: Vec<GoalRow>,
+    /// Energy supply used, J.
+    pub initial_energy_j: f64,
+}
+
+/// Runs the paper's goal set.
+pub fn run(trials: &Trials) -> Fig20 {
+    run_goals(trials, &GOALS_S, INITIAL_ENERGY_J)
+}
+
+/// Runs an arbitrary goal set.
+pub fn run_goals(trials: &Trials, goals: &[u64], initial_energy_j: f64) -> Fig20 {
+    let root = SimRng::new(trials.seed);
+    let rows = goals
+        .iter()
+        .map(|&goal_s| {
+            let mut met = 0usize;
+            let mut residuals = Vec::new();
+            let mut adapt: Vec<Vec<f64>> = vec![Vec::new(); APPS.len()];
+            for i in 0..trials.n {
+                let mut rng = root.fork_indexed(&format!("fig20/{goal_s}"), i as u64);
+                let cfg = GoalConfig::paper(initial_energy_j, SimDuration::from_secs(goal_s));
+                let run = run_composite_goal(cfg, &mut rng);
+                if run.outcome.goal_met {
+                    met += 1;
+                }
+                residuals.push(run.report.residual_j);
+                for (k, app) in APPS.iter().enumerate() {
+                    adapt[k].push(run.adaptations_of(app) as f64);
+                }
+            }
+            GoalRow {
+                goal_s,
+                met_fraction: met as f64 / trials.n as f64,
+                residual: TrialStats::from_values(&residuals),
+                adaptations: adapt.iter().map(|v| TrialStats::from_values(v)).collect(),
+            }
+        })
+        .collect();
+    Fig20 {
+        rows,
+        initial_energy_j,
+    }
+}
+
+/// Renders the summary table.
+pub fn render(trials: &Trials) -> String {
+    let f = run(trials);
+    let mut t = Table::new(
+        format!(
+            "Figure 20: Summary of goal-directed adaptation ({:.0} J supply)",
+            f.initial_energy_j
+        ),
+        &[
+            "Duration (s)",
+            "Goal Met",
+            "Residue (J)",
+            "Adapt speech",
+            "Adapt video",
+            "Adapt map",
+            "Adapt web",
+        ],
+    );
+    for r in &f.rows {
+        let mut row = vec![
+            r.goal_s.to_string(),
+            format!("{:.0}%", r.met_fraction * 100.0),
+            format!("{:.1} ({:.1})", r.residual.mean, r.residual.sd),
+        ];
+        for a in &r.adaptations {
+            row.push(format!("{:.1} ({:.1})", a.mean, a.sd));
+        }
+        t.push_row(row);
+    }
+    t.with_caption(
+        "Paper: every goal from 1200 to 1560 s met in 100% of trials, residues < 1.2% of supply.",
+    )
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's central claim: goals spanning 30% are all met.
+    /// (Two trials of the two extreme goals keeps test time bounded; the
+    /// full sweep runs in the CLI and benches.)
+    #[test]
+    fn extreme_goals_are_met() {
+        let f = run_goals(&Trials::quick(), &[1200, 1560], INITIAL_ENERGY_J);
+        for r in &f.rows {
+            assert!(
+                r.met_fraction >= 1.0,
+                "goal {}s met only {:.0}%",
+                r.goal_s,
+                r.met_fraction * 100.0
+            );
+        }
+    }
+
+    /// Residue stays a small fraction of the supply (Odyssey is not too
+    /// conservative), and the longer goal forces more adaptation overall.
+    #[test]
+    fn residue_small_and_adaptation_grows() {
+        let f = run_goals(&Trials::quick(), &[1200, 1560], INITIAL_ENERGY_J);
+        for r in &f.rows {
+            assert!(
+                r.residual.mean < INITIAL_ENERGY_J * 0.08,
+                "goal {}s residue {:.0} J too conservative",
+                r.goal_s,
+                r.residual.mean
+            );
+        }
+        // Both goals require the controller to act at least once; the
+        // paper's counts peak mid-range, so no ordering is asserted.
+        let total_adapt = |r: &GoalRow| -> f64 { r.adaptations.iter().map(|a| a.mean).sum() };
+        assert!(total_adapt(&f.rows[0]) >= 1.0);
+        assert!(total_adapt(&f.rows[1]) >= 1.0);
+    }
+
+    /// An obviously infeasible goal is not falsely reported as met.
+    #[test]
+    fn infeasible_goal_is_missed() {
+        let f = run_goals(&Trials::single(), &[3600], INITIAL_ENERGY_J);
+        assert_eq!(f.rows[0].met_fraction, 0.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Shared rig for the goal-directed experiments of Section 5.
+//!
+//! The workload is the one Section 5.2 describes: the composite
+//! application (speech → web → map) started every 25 seconds, running
+//! concurrently with the adaptive background video player. Applications
+//! are prioritized "with Speech having the lowest priority, and Video,
+//! Map, and Web having successively higher priority". The machine runs
+//! from a finite battery; the [`odyssey::GoalController`] observes power
+//! through the on-line meter and issues upcalls until the goal is reached
+//! or the supply is exhausted.
+
+use hw560x::EnergySource;
+use machine::{Machine, MachineConfig, RunReport, Workload as _};
+use odyssey::goal::MONITOR_OVERHEAD_W;
+use odyssey::{GoalConfig, GoalController, GoalOutcome, PriorityTable};
+use odyssey_apps::bursty::{BurstyMember, BurstyRole};
+use odyssey_apps::composite::{composite_members, CompositeMode};
+use odyssey_apps::datasets::VIDEO_CLIPS;
+use odyssey_apps::VideoPlayer;
+use simcore::{SimDuration, SimRng, SimTime, TimeSeries};
+
+/// Everything an experiment needs from one goal-directed run.
+#[derive(Clone, Debug)]
+pub struct GoalRun {
+    /// Controller outcome (goal met, adaptation counts).
+    pub outcome: GoalOutcome,
+    /// Machine report (energy, fidelity series, residual).
+    pub report: RunReport,
+    /// Residual-energy trace.
+    pub supply: TimeSeries,
+    /// Predicted-demand trace.
+    pub demand: TimeSeries,
+}
+
+impl GoalRun {
+    /// Number of fidelity changes a workload performed.
+    pub fn adaptations_of(&self, name: &str) -> usize {
+        self.report.adaptations_of(name)
+    }
+}
+
+/// Runs the composite + video workload under a goal controller.
+pub fn run_composite_goal(cfg: GoalConfig, rng: &mut SimRng) -> GoalRun {
+    run_composite_goal_custom(cfg, false, rng)
+}
+
+/// Like [`run_composite_goal`], optionally reversing the priority order
+/// (web lowest, speech highest) — the priority ablation.
+pub fn run_composite_goal_custom(
+    cfg: GoalConfig,
+    reverse_priorities: bool,
+    rng: &mut SimRng,
+) -> GoalRun {
+    let goal = cfg.goal;
+    let horizon = SimTime::ZERO + goal * 3 + SimDuration::from_secs(600);
+    let mut m = Machine::new(MachineConfig {
+        source: EnergySource::battery(cfg.initial_energy_j),
+        monitor_overhead_w: MONITOR_OVERHEAD_W,
+        ..Default::default()
+    });
+    // Members arrive as [speech, web, map].
+    let members = composite_members(
+        CompositeMode::Every {
+            period: SimDuration::from_secs(25),
+            horizon,
+        },
+        true,
+        rng,
+    );
+    let mut pids = Vec::new();
+    for member in members {
+        pids.push(m.add_process(Box::new(member)));
+    }
+    let video = VideoPlayer::adaptive(VIDEO_CLIPS[0], rng).looping_until(horizon);
+    let video_pid = m.add_background_process(Box::new(video));
+    // Lowest to highest: speech, video, map, web.
+    let mut order = vec![pids[0], video_pid, pids[2], pids[1]];
+    if reverse_priorities {
+        order.reverse();
+    }
+    finish(m, cfg, PriorityTable::new(order), horizon)
+}
+
+/// Runs the Section 5.4 bursty workload under a goal controller.
+pub fn run_bursty_goal(cfg: GoalConfig, rng: &mut SimRng) -> GoalRun {
+    let goal = cfg.goal;
+    let horizon = SimTime::ZERO + goal * 2 + SimDuration::from_secs(600);
+    let mut m = Machine::new(MachineConfig {
+        source: EnergySource::battery(cfg.initial_energy_j),
+        monitor_overhead_w: MONITOR_OVERHEAD_W,
+        ..Default::default()
+    });
+    let mut pids = Vec::new();
+    let mut video_pid = None;
+    for role in BurstyRole::all() {
+        let pid = m.add_process(Box::new(BurstyMember::new(role, horizon, rng)));
+        if role == BurstyRole::Video {
+            video_pid = Some(pid);
+        }
+        pids.push((role, pid));
+    }
+    let pid_of = |r: BurstyRole| pids.iter().find(|(x, _)| *x == r).unwrap().1;
+    let priorities = PriorityTable::new(vec![
+        pid_of(BurstyRole::Speech),
+        video_pid.expect("video present"),
+        pid_of(BurstyRole::Map),
+        pid_of(BurstyRole::Web),
+    ]);
+    finish(m, cfg, priorities, horizon)
+}
+
+fn finish(mut m: Machine, cfg: GoalConfig, priorities: PriorityTable, horizon: SimTime) -> GoalRun {
+    let sample_period = cfg.sample_period;
+    let (handle, hook) = GoalController::new(cfg, priorities);
+    m.add_hook(sample_period, hook);
+    // The controller stops the run at the goal; the horizon is a safety
+    // net against runaway workloads.
+    let report = m.run_until(horizon);
+    GoalRun {
+        outcome: handle.outcome(),
+        report,
+        supply: handle.supply_series(),
+        demand: handle.demand_series(),
+    }
+}
+
+/// Mean power of the workload at pinned fidelity, measured over `secs`
+/// seconds without a controller — used to find feasible goal ranges.
+pub fn uncontrolled_power_w(lowest: bool, secs: u64, rng: &mut SimRng) -> f64 {
+    let horizon = SimTime::from_secs(secs);
+    let mut m = Machine::new(MachineConfig::default());
+    for member in composite_members(
+        CompositeMode::Every {
+            period: SimDuration::from_secs(25),
+            horizon,
+        },
+        false,
+        rng,
+    ) {
+        let member = if lowest {
+            member.at_lowest_fidelity()
+        } else {
+            member
+        };
+        m.add_process(Box::new(member));
+    }
+    let mut video = VideoPlayer::adaptive(VIDEO_CLIPS[0], rng).looping_until(horizon);
+    if lowest {
+        while video.on_upcall(machine::AdaptDirection::Degrade, SimTime::ZERO) {}
+    }
+    m.add_background_process(Box::new(video));
+    let report = m.run_until(horizon);
+    report.total_j / report.duration_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_power_brackets_are_sane() {
+        let mut rng = SimRng::new(1);
+        let full = uncontrolled_power_w(false, 120, &mut rng);
+        let low = uncontrolled_power_w(true, 120, &mut rng);
+        assert!(
+            low < full,
+            "lowest fidelity power {low} not below full {full}"
+        );
+        assert!((6.0..16.0).contains(&full), "full power {full}");
+        assert!((5.0..12.0).contains(&low), "lowest power {low}");
+    }
+
+    #[test]
+    fn composite_goal_runs_and_reports() {
+        let mut rng = SimRng::new(2);
+        let cfg = GoalConfig::paper(3000.0, SimDuration::from_secs(240));
+        let run = run_composite_goal(cfg, &mut rng);
+        assert!(run.supply.len() > 50);
+        assert_eq!(run.supply.len(), run.demand.len());
+        // Either the goal was met or the battery drained; both terminate.
+        assert!(run.outcome.goal_met || run.report.exhausted);
+    }
+
+    #[test]
+    fn video_degrades_fully() {
+        let mut rng = SimRng::new(3);
+        let mut v = VideoPlayer::adaptive(VIDEO_CLIPS[0], &mut rng);
+        let mut n = 0;
+        while v.on_upcall(machine::AdaptDirection::Degrade, SimTime::ZERO) {
+            n += 1;
+        }
+        assert_eq!(n, 3, "video ladder has 4 levels");
+        assert_eq!(v.fidelity().level, 0);
+    }
+}
+
+#[cfg(test)]
+mod envelope_probe {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn print_bursty_long() {
+        use odyssey_apps::bursty::{BurstyMember, BurstyRole};
+        let root = SimRng::new(42);
+        for i in 0..3u64 {
+            for lowest in [false, true] {
+                let mut rng = root.fork_indexed("sec54", i);
+                let horizon = SimTime::from_secs(9900);
+                let mut m = Machine::new(MachineConfig::default());
+                for role in BurstyRole::all() {
+                    let mut member = BurstyMember::new(role, horizon, &mut rng);
+                    if lowest {
+                        while member.on_upcall(machine::AdaptDirection::Degrade, SimTime::ZERO) {}
+                    }
+                    m.add_process(Box::new(member));
+                }
+                let report = m.run_until(horizon);
+                eprintln!(
+                    "LONG seed={i} lowest={lowest} power={:.2} W",
+                    report.total_j / report.duration_secs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[ignore]
+    fn print_bursty_seed_spread() {
+        use odyssey_apps::bursty::{BurstyMember, BurstyRole};
+        let root = SimRng::new(42);
+        for i in 0..5u64 {
+            for lowest in [false, true] {
+                let mut rng = root.fork_indexed("fig22", i);
+                let horizon = SimTime::from_secs(1560);
+                let mut m = Machine::new(MachineConfig::default());
+                for role in BurstyRole::all() {
+                    let mut member = BurstyMember::new(role, horizon, &mut rng);
+                    if lowest {
+                        while member.on_upcall(machine::AdaptDirection::Degrade, SimTime::ZERO) {}
+                    }
+                    m.add_process(Box::new(member));
+                }
+                let report = m.run_until(horizon);
+                eprintln!(
+                    "SEED {i} lowest={lowest} power={:.2} W ({:.0} J over 1560 s)",
+                    report.total_j / report.duration_secs(),
+                    report.total_j
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[ignore]
+    fn print_bursty_envelope() {
+        use odyssey_apps::bursty::{BurstyMember, BurstyRole};
+        for lowest in [false, true] {
+            let mut rng = SimRng::new(11);
+            let horizon = SimTime::from_secs(1200);
+            let mut m = Machine::new(MachineConfig::default());
+            for role in BurstyRole::all() {
+                let mut member = BurstyMember::new(role, horizon, &mut rng);
+                if lowest {
+                    while member.on_upcall(machine::AdaptDirection::Degrade, SimTime::ZERO) {}
+                }
+                m.add_process(Box::new(member));
+            }
+            let report = m.run_until(horizon);
+            eprintln!(
+                "BURSTY lowest={lowest} power={:.2} W",
+                report.total_j / report.duration_secs()
+            );
+        }
+    }
+
+    #[test]
+    #[ignore]
+    fn print_power_envelope() {
+        let mut rng = SimRng::new(7);
+        let full = uncontrolled_power_w(false, 300, &mut rng);
+        let low = uncontrolled_power_w(true, 300, &mut rng);
+        eprintln!(
+            "ENVELOPE full={full:.2} W low={low:.2} W ratio={:.3}",
+            full / low
+        );
+        eprintln!(
+            "12 kJ durations: full {:.0} s, low {:.0} s",
+            12000.0 / full,
+            12000.0 / low
+        );
+    }
+}

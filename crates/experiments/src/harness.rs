@@ -1,0 +1,129 @@
+//! Shared experiment plumbing.
+//!
+//! The paper reports each bar as "the mean of five trials" (ten for the
+//! map and web applications) with 90% confidence intervals. A [`Trials`]
+//! carries the trial count and master seed; [`run_trials`] executes a
+//! machine-builder closure once per trial with a trial-specific random
+//! stream and reduces the reports.
+
+use machine::{Machine, RunReport};
+use simcore::{SimRng, TrialStats};
+
+/// Trial configuration for an experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Trials {
+    /// Number of repetitions per data point.
+    pub n: usize,
+    /// Master seed; trial `i` runs with stream `fork_indexed(label, i)`.
+    pub seed: u64,
+}
+
+impl Default for Trials {
+    fn default() -> Self {
+        Trials { n: 5, seed: 42 }
+    }
+}
+
+impl Trials {
+    /// A quick configuration for tests and benches: two trials.
+    pub fn quick() -> Self {
+        Trials { n: 2, seed: 42 }
+    }
+
+    /// A single deterministic trial (traces, profiles).
+    pub fn single() -> Self {
+        Trials { n: 1, seed: 42 }
+    }
+}
+
+/// Runs `build` once per trial and returns all reports.
+///
+/// `label` isolates this experiment's random streams from others sharing
+/// the master seed.
+pub fn run_trials(
+    trials: &Trials,
+    label: &str,
+    mut build: impl FnMut(&mut SimRng) -> Machine,
+) -> Vec<RunReport> {
+    let root = SimRng::new(trials.seed);
+    (0..trials.n)
+        .map(|i| {
+            let mut rng = root.fork_indexed(label, i as u64);
+            let mut machine = build(&mut rng);
+            machine.run()
+        })
+        .collect()
+}
+
+/// Total-energy statistics over a set of reports.
+pub fn energy_stats(reports: &[RunReport]) -> TrialStats {
+    let values: Vec<f64> = reports.iter().map(|r| r.total_j).collect();
+    TrialStats::from_values(&values)
+}
+
+/// Mean energy attributed to `bucket` across reports, J.
+pub fn mean_bucket_j(reports: &[RunReport], bucket: &str) -> f64 {
+    reports.iter().map(|r| r.bucket_j(bucket)).sum::<f64>() / reports.len() as f64
+}
+
+/// Mean display energy across reports, J (for zoned-backlight projection).
+pub fn mean_display_j(reports: &[RunReport]) -> f64 {
+    reports.iter().map(|r| r.components.display_j).sum::<f64>() / reports.len() as f64
+}
+
+/// Percentage saving of `new` relative to `old`.
+pub fn saving_pct(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (1.0 - new / old) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::workload::ScriptedWorkload;
+    use machine::MachineConfig;
+    use simcore::SimDuration;
+
+    fn build_idle(_rng: &mut SimRng) -> Machine {
+        let mut m = Machine::new(MachineConfig::baseline());
+        m.add_process(Box::new(ScriptedWorkload::idle_for(
+            "w",
+            SimDuration::from_secs(2),
+        )));
+        m
+    }
+
+    #[test]
+    fn run_trials_produces_n_reports() {
+        let reports = run_trials(&Trials::quick(), "t", build_idle);
+        assert_eq!(reports.len(), 2);
+        let stats = energy_stats(&reports);
+        assert!((stats.mean - 2.0 * 10.28).abs() < 0.1);
+        assert!(stats.sd < 0.01, "idle runs are deterministic");
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let a = energy_stats(&run_trials(&Trials::default(), "x", build_idle));
+        let b = energy_stats(&run_trials(&Trials::default(), "x", build_idle));
+        assert_eq!(a.mean, b.mean);
+    }
+
+    #[test]
+    fn saving_pct_basics() {
+        assert!((saving_pct(100.0, 90.0) - 10.0).abs() < 1e-12);
+        assert_eq!(saving_pct(0.0, 5.0), 0.0);
+        assert!(saving_pct(100.0, 120.0) < 0.0);
+    }
+
+    #[test]
+    fn bucket_mean() {
+        let reports = run_trials(&Trials::quick(), "b", build_idle);
+        let idle = mean_bucket_j(&reports, "Idle");
+        assert!((idle - 2.0 * 10.28).abs() < 0.1);
+        assert_eq!(mean_bucket_j(&reports, "none"), 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! `odyssey-experiments`: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! odyssey-experiments [--trials N] [--seed S] [--quick] [--out DIR] [IDS...]
+//! ```
+//!
+//! With `--out DIR`, each figure's rendering is also written to
+//! `DIR/<id>.txt` (the source material for EXPERIMENTS.md).
+//!
+//! `IDS` are figure identifiers (`fig2 fig4 fig6 fig8 fig10 fig11 fig13
+//! fig14 fig15 fig16 fig18 fig19 fig20 fig21 fig22 sec54 headline`) or
+//! `all` (the default). `--quick` runs two trials per data point instead
+//! of five.
+
+use experiments::{harness::Trials, *};
+
+const ALL: [&str; 18] = [
+    "fig2", "fig4", "fig6", "fig8", "fig10", "fig11", "fig13", "fig14", "fig15", "fig16", "fig18",
+    "fig19", "fig20", "fig21", "fig22", "sec54", "headline", "ablate",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: odyssey-experiments [--trials N] [--seed S] [--quick] [--out DIR] [IDS...]\n  IDS: {} | all",
+        ALL.join(" ")
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut trials = Trials::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trials" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                trials.n = n.parse().unwrap_or_else(|_| usage());
+                if trials.n == 0 {
+                    eprintln!("--trials must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--seed" => {
+                let s = args.next().unwrap_or_else(|| usage());
+                trials.seed = s.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => {
+                let d = args.next().unwrap_or_else(|| usage());
+                out_dir = Some(std::path::PathBuf::from(d));
+            }
+            "--quick" => trials = Trials { n: 2, ..trials },
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --out directory {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let output = match id.as_str() {
+            "fig2" => fig2::render(&trials),
+            "fig4" => fig4::render(),
+            "fig6" => fig6::render(&trials),
+            "fig8" => fig8::render(&trials),
+            "fig10" => fig10::render(&trials),
+            "fig11" => fig11::render(&trials),
+            "fig13" => fig13::render(&trials),
+            "fig14" => fig14::render(&trials),
+            "fig15" => fig15::render(&trials),
+            "fig16" => fig16::render(&trials),
+            "fig18" => fig18::render(&trials),
+            "fig19" => fig19::render(&trials),
+            "fig20" => fig20::render(&trials),
+            "fig21" => fig21::render(&trials),
+            "fig22" => fig22::render(&trials),
+            "sec54" => sec54::render(&trials),
+            "headline" => headline::render(&trials),
+            "ablate" => ablate::render(&trials),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                usage()
+            }
+        };
+        println!("{output}");
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{id}.txt"));
+            if let Err(e) = std::fs::write(&path, &output) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+        eprintln!(
+            "[{id} completed in {:.1}s]",
+            started.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Energy supply model.
+//!
+//! For the measurement experiments (Section 3) the paper removed the
+//! battery and ran from an external supply "to avoid confounding effects
+//! due to non-ideal battery behavior" — energy is unbounded and merely
+//! metered. For the goal-directed experiments (Section 5) Odyssey is given
+//! an initial energy value (12,000 J, 13,000 J, or 90,000 J) and the
+//! experiment ends when the workload completes or the supply reaches zero.
+
+/// An energy supply being drained by the platform.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EnergySource {
+    /// External supply: unlimited energy, consumption metered only.
+    External,
+    /// Finite store with the given remaining energy, J.
+    Battery {
+        /// Energy remaining, J.
+        remaining_j: f64,
+    },
+}
+
+impl EnergySource {
+    /// Creates a finite supply with `initial_j` Joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_j` is negative or not finite.
+    pub fn battery(initial_j: f64) -> Self {
+        assert!(
+            initial_j.is_finite() && initial_j >= 0.0,
+            "invalid initial energy: {initial_j}"
+        );
+        EnergySource::Battery {
+            remaining_j: initial_j,
+        }
+    }
+
+    /// Draws `joules` from the supply; returns the amount actually drawn
+    /// (less than requested only when a battery runs out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or not finite.
+    pub fn drain(&mut self, joules: f64) -> f64 {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "invalid drain: {joules}"
+        );
+        match self {
+            EnergySource::External => joules,
+            EnergySource::Battery { remaining_j } => {
+                let drawn = joules.min(*remaining_j);
+                *remaining_j -= drawn;
+                drawn
+            }
+        }
+    }
+
+    /// Energy remaining, J (`f64::INFINITY` for an external supply).
+    pub fn remaining_j(&self) -> f64 {
+        match self {
+            EnergySource::External => f64::INFINITY,
+            EnergySource::Battery { remaining_j } => *remaining_j,
+        }
+    }
+
+    /// True once a battery is fully drained.
+    pub fn is_exhausted(&self) -> bool {
+        match self {
+            EnergySource::External => false,
+            EnergySource::Battery { remaining_j } => *remaining_j <= 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_is_never_exhausted() {
+        let mut s = EnergySource::External;
+        assert_eq!(s.drain(1e9), 1e9);
+        assert!(!s.is_exhausted());
+        assert_eq!(s.remaining_j(), f64::INFINITY);
+    }
+
+    #[test]
+    fn battery_drains_to_zero() {
+        let mut s = EnergySource::battery(100.0);
+        assert_eq!(s.drain(60.0), 60.0);
+        assert!((s.remaining_j() - 40.0).abs() < 1e-12);
+        assert!(!s.is_exhausted());
+        // Over-draw is clamped to what remains.
+        assert_eq!(s.drain(60.0), 40.0);
+        assert!(s.is_exhausted());
+        assert_eq!(s.drain(1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_battery_is_exhausted() {
+        let s = EnergySource::battery(0.0);
+        assert!(s.is_exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid initial energy")]
+    fn negative_capacity_panics() {
+        let _ = EnergySource::battery(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid drain")]
+    fn negative_drain_panics() {
+        EnergySource::External.drain(-1.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! The energy ledger and run reports.
+//!
+//! The ledger integrates platform power exactly between events and keeps
+//! three views the experiments need:
+//!
+//! - **buckets**: energy per software component (Idle, each application,
+//!   X Server, Odyssey, WaveLAN, Kernel) — the shadings of the paper's
+//!   bar charts;
+//! - **components**: energy per hardware component — Figure 4's view;
+//! - **procedure detail**: energy and CPU time per `(process, procedure)`
+//!   pair — the rows of a PowerScope profile (Figure 2).
+
+use std::collections::HashMap;
+
+use hw560x::platform::PowerBreakdown;
+use simcore::{SimTime, TimeSeries};
+
+use crate::observer::ShareEntry;
+
+/// Energy per hardware component over a run, J.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ComponentTotals {
+    /// Display backlight.
+    pub display_j: f64,
+    /// Disk.
+    pub disk_j: f64,
+    /// WaveLAN radio.
+    pub radio_j: f64,
+    /// CPU + memory excess over halt.
+    pub cpu_j: f64,
+    /// Base (chipset, DRAM refresh, CPU halt).
+    pub base_j: f64,
+    /// Superlinear correction.
+    pub superlinear_j: f64,
+}
+
+impl ComponentTotals {
+    /// Sum over all components, J.
+    pub fn total_j(&self) -> f64 {
+        self.display_j + self.disk_j + self.radio_j + self.cpu_j + self.base_j + self.superlinear_j
+    }
+}
+
+/// One `(process, procedure)` row of the profile detail.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcDetail {
+    /// Process (bucket) name.
+    pub process: &'static str,
+    /// Procedure name.
+    pub procedure: &'static str,
+    /// Attributed CPU-occupancy time, seconds.
+    pub cpu_secs: f64,
+    /// Attributed energy, J.
+    pub energy_j: f64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Ledger {
+    total_j: f64,
+    buckets: HashMap<&'static str, f64>,
+    detail: HashMap<(&'static str, &'static str), (f64, f64)>,
+    components: ComponentTotals,
+}
+
+impl Ledger {
+    pub(crate) fn total_j(&self) -> f64 {
+        self.total_j
+    }
+
+    pub(crate) fn add(
+        &mut self,
+        dt_secs: f64,
+        power_w: f64,
+        b: &PowerBreakdown,
+        shares: &[ShareEntry],
+    ) {
+        debug_assert!(dt_secs >= 0.0);
+        let energy = power_w * dt_secs;
+        self.total_j += energy;
+        self.components.display_j += b.display_w * dt_secs;
+        self.components.disk_j += b.disk_w * dt_secs;
+        self.components.radio_j += b.radio_w * dt_secs;
+        self.components.cpu_j += b.cpu_w * dt_secs;
+        self.components.base_j += b.base_w * dt_secs;
+        self.components.superlinear_j += b.superlinear_w * dt_secs;
+        for s in shares {
+            *self.buckets.entry(s.bucket).or_insert(0.0) += energy * s.fraction;
+            let d = self
+                .detail
+                .entry((s.bucket, s.procedure))
+                .or_insert((0.0, 0.0));
+            d.0 += dt_secs * s.fraction;
+            d.1 += energy * s.fraction;
+        }
+    }
+
+    pub(crate) fn snapshot_buckets(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .buckets
+            .iter()
+            .map(|(k, e)| (k.to_string(), *e))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    pub(crate) fn snapshot_detail(&self) -> Vec<ProcDetail> {
+        let mut v: Vec<ProcDetail> = self
+            .detail
+            .iter()
+            .map(|((p, f), (secs, j))| ProcDetail {
+                process: p,
+                procedure: f,
+                cpu_secs: *secs,
+                energy_j: *j,
+            })
+            .collect();
+        v.sort_by(|a, b| {
+            b.energy_j
+                .total_cmp(&a.energy_j)
+                .then_with(|| (a.process, a.procedure).cmp(&(b.process, b.procedure)))
+        });
+        v
+    }
+
+    pub(crate) fn components(&self) -> ComponentTotals {
+        self.components
+    }
+}
+
+/// The result of one machine run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Instant the run ended.
+    pub end: SimTime,
+    /// Total energy consumed, J.
+    pub total_j: f64,
+    /// Energy per software bucket, sorted descending.
+    pub buckets: Vec<(String, f64)>,
+    /// Energy per hardware component.
+    pub components: ComponentTotals,
+    /// Energy and CPU time per `(process, procedure)` pair.
+    pub detail: Vec<ProcDetail>,
+    /// Fidelity level over time, one series per adaptive workload
+    /// (named after the workload).
+    pub fidelity: Vec<TimeSeries>,
+    /// True if a finite energy supply ran out before the workload ended.
+    pub exhausted: bool,
+    /// Energy remaining in the supply at the end (∞ for external).
+    pub residual_j: f64,
+    /// Bytes carried over the wireless link.
+    pub bytes_carried: u64,
+}
+
+impl RunReport {
+    /// Energy attributed to `bucket`, J (0 when absent).
+    pub fn bucket_j(&self, bucket: &str) -> f64 {
+        self.buckets
+            .iter()
+            .find(|(b, _)| b == bucket)
+            .map(|(_, e)| *e)
+            .unwrap_or(0.0)
+    }
+
+    /// Total adaptations (fidelity changes) performed by `workload`.
+    pub fn adaptations_of(&self, workload: &str) -> usize {
+        self.fidelity
+            .iter()
+            .find(|s| s.name() == workload)
+            .map(|s| s.change_count())
+            .unwrap_or(0)
+    }
+
+    /// Wall-clock duration of the run, seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.end.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BUCKET_IDLE, BUCKET_WAVELAN};
+
+    fn share(bucket: &'static str, f: f64) -> ShareEntry {
+        ShareEntry {
+            bucket,
+            procedure: "p",
+            fraction: f,
+        }
+    }
+
+    #[test]
+    fn ledger_conserves_energy_across_buckets() {
+        let mut l = Ledger::default();
+        let b = PowerBreakdown {
+            base_w: 10.0,
+            ..Default::default()
+        };
+        l.add(
+            2.0,
+            10.0,
+            &b,
+            &[share(BUCKET_IDLE, 0.75), share(BUCKET_WAVELAN, 0.25)],
+        );
+        assert!((l.total_j() - 20.0).abs() < 1e-12);
+        let buckets = l.snapshot_buckets();
+        let sum: f64 = buckets.iter().map(|(_, e)| e).sum();
+        assert!((sum - 20.0).abs() < 1e-12);
+        assert_eq!(buckets[0].0, BUCKET_IDLE);
+        assert!((buckets[0].1 - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_totals_track_breakdown() {
+        let mut l = Ledger::default();
+        let b = PowerBreakdown {
+            display_w: 4.0,
+            disk_w: 1.0,
+            radio_w: 2.0,
+            cpu_w: 3.0,
+            base_w: 5.0,
+            superlinear_w: 0.5,
+        };
+        l.add(4.0, b.total_w(), &b, &[share(BUCKET_IDLE, 1.0)]);
+        let c = l.components();
+        assert!((c.display_j - 16.0).abs() < 1e-12);
+        assert!((c.total_j() - l.total_j()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detail_accumulates_cpu_time() {
+        let mut l = Ledger::default();
+        let b = PowerBreakdown::default();
+        for _ in 0..3 {
+            l.add(1.0, 5.0, &b, &[share("janus", 1.0)]);
+        }
+        let d = l.snapshot_detail();
+        assert_eq!(d.len(), 1);
+        assert!((d[0].cpu_secs - 3.0).abs() < 1e-12);
+        assert!((d[0].energy_j - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_lookup_helpers() {
+        let report = RunReport {
+            end: SimTime::from_secs(10),
+            total_j: 50.0,
+            buckets: vec![("Idle".into(), 30.0), ("xanim".into(), 20.0)],
+            components: ComponentTotals::default(),
+            detail: vec![],
+            fidelity: vec![],
+            exhausted: false,
+            residual_j: f64::INFINITY,
+            bytes_carried: 0,
+        };
+        assert_eq!(report.bucket_j("xanim"), 20.0);
+        assert_eq!(report.bucket_j("nope"), 0.0);
+        assert_eq!(report.adaptations_of("xanim"), 0);
+        assert_eq!(report.duration_secs(), 10.0);
+    }
+}

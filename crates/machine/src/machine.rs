@@ -1,0 +1,1477 @@
+//! The machine executor.
+//!
+//! A [`Machine`] owns the device models, the shared link, a process table
+//! of [`Workload`]s, and an event queue. Running it advances simulated
+//! time event by event; between events all power-relevant state is
+//! constant, so energy is integrated exactly and published to observers.
+//!
+//! The executor enforces the paper's power-management regime from
+//! Section 3.2 when [`hw560x::PmPolicy::enabled`] is configured: the disk
+//! spins down after 10 s of inactivity, the WaveLAN radio sleeps outside
+//! RPC/bulk-transfer windows, the display level follows application demand
+//! and dims after prolonged user inactivity. With the policy disabled
+//! (the paper's "Baseline"), every device idles at full readiness and the
+//! display stays bright.
+
+use std::collections::{HashMap, VecDeque};
+
+use hw560x::cpu::intensity;
+use hw560x::{
+    DeviceStates, DiskModel, DiskState, DisplayState, EnergySource, PlatformPower, PlatformSpec,
+    PmPolicy, RadioModel,
+};
+use netsim::{FlowId, SharedLink, RPC_LATENCY, WAVELAN_CAPACITY_BPS};
+use simcore::event::EventId;
+use simcore::{EventQueue, SimDuration, SimTime, TimeSeries};
+
+use crate::activity::{Activity, AdaptDirection, FidelityView, Step};
+use crate::energy::{Ledger, RunReport};
+use crate::observer::{IntervalObserver, IntervalRecord, ShareEntry};
+use crate::workload::Workload;
+use crate::{BUCKET_IDLE, BUCKET_KERNEL, BUCKET_ODYSSEY, BUCKET_WAVELAN, BUCKET_X};
+
+/// Round-robin scheduling quantum.
+const QUANTUM: SimDuration = SimDuration::from_millis(10);
+
+/// CPU-occupancy fraction stolen by interrupt handling per active transfer
+/// (protocol processing of the 2 Mb/s stream), capped below.
+const INT_FRAC_PER_TRANSFER: f64 = 0.12;
+const INT_FRAC_CAP: f64 = 0.30;
+
+/// CPU-occupancy fraction of the Odyssey viceroy/warden data path while
+/// data is moving through it.
+const ODYSSEY_FRAC: f64 = 0.05;
+
+/// CPU-occupancy fraction of kernel disk handling while the disk services
+/// requests.
+const DISK_KERNEL_FRAC: f64 = 0.05;
+
+/// Identifies a process (workload instance) on the machine.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Pid(usize);
+
+impl Pid {
+    /// Index into the process table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Platform power model parameters.
+    pub spec: PlatformSpec,
+    /// Hardware power-management policy.
+    pub pm: PmPolicy,
+    /// Wireless link capacity, bits per second.
+    pub link_bps: f64,
+    /// Energy supply.
+    pub source: EnergySource,
+    /// Constant power drawn by energy monitoring itself, W (Section
+    /// 5.1.4: ~10 mW for SmartBattery-class measurement plus ~4 mW for
+    /// demand prediction). Zero when no monitor is deployed.
+    pub monitor_overhead_w: f64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            spec: PlatformSpec::thinkpad_560x(),
+            pm: PmPolicy::enabled(),
+            link_bps: WAVELAN_CAPACITY_BPS,
+            source: EnergySource::External,
+            monitor_overhead_w: 0.0,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The paper's baseline configuration: no hardware power management.
+    pub fn baseline() -> Self {
+        MachineConfig {
+            pm: PmPolicy::disabled(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Summary of one process for controllers.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcessInfo {
+    /// Process id.
+    pub pid: Pid,
+    /// Workload name.
+    pub name: &'static str,
+    /// Current fidelity.
+    pub fidelity: FidelityView,
+    /// True once the workload has finished.
+    pub done: bool,
+}
+
+/// A controller invoked on a fixed period (the Odyssey viceroy).
+pub trait ControlHook {
+    /// Called every period with a view of the machine.
+    fn on_tick(&mut self, now: SimTime, view: &mut MachineView<'_>);
+}
+
+/// Controller-facing view of a running machine.
+pub struct MachineView<'a> {
+    m: &'a mut Machine,
+}
+
+impl MachineView<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.m.clock
+    }
+
+    /// Total energy consumed since the run began, J.
+    pub fn energy_consumed_j(&self) -> f64 {
+        self.m.ledger.total_j()
+    }
+
+    /// Energy remaining in the supply, J (∞ for an external supply).
+    pub fn residual_j(&self) -> f64 {
+        self.m.source.remaining_j()
+    }
+
+    /// Snapshot of all processes.
+    pub fn processes(&self) -> Vec<ProcessInfo> {
+        self.m
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ProcessInfo {
+                pid: Pid(i),
+                name: p.workload.name(),
+                fidelity: p.workload.fidelity(),
+                done: matches!(p.state, ProcState::Done),
+            })
+            .collect()
+    }
+
+    /// Issues a fidelity upcall to a process. Returns `true` if the
+    /// workload changed level.
+    pub fn upcall(&mut self, pid: Pid, dir: AdaptDirection) -> bool {
+        let now = self.m.clock;
+        let p = &mut self.m.procs[pid.0];
+        let changed = p.workload.on_upcall(dir, now);
+        if changed {
+            let level = p.workload.fidelity().level as f64;
+            self.m.fidelity_series[pid.0].record(now, level);
+        }
+        changed
+    }
+
+    /// Bytes a process has received over the link so far.
+    pub fn bytes_received_of(&self, pid: Pid) -> u64 {
+        self.m.procs[pid.0].bytes_received
+    }
+
+    /// Goodput of the process's most recent completed receive, bits/s —
+    /// the passive bandwidth-supply estimate Odyssey derives from its own
+    /// transfers (`None` before the first receive completes).
+    pub fn transfer_rate_of(&self, pid: Pid) -> Option<f64> {
+        self.m.procs[pid.0].last_transfer_bps
+    }
+
+    /// Requests that the run stop after the current event.
+    pub fn request_stop(&mut self) {
+        self.m.stopped = true;
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CpuJob {
+    remaining: SimDuration,
+    intensity: f64,
+    procedure: &'static str,
+    /// Attribution override (e.g. the web proxy); defaults to the
+    /// workload's own name.
+    bucket: Option<&'static str>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RpcPlan {
+    request_bytes: u64,
+    reply_bytes: u64,
+    server_time: SimDuration,
+}
+
+#[derive(Debug)]
+enum ProcState {
+    Start,
+    ReadyCpu(CpuJob),
+    NetAwaitTx(RpcPlan),
+    NetTx(RpcPlan),
+    NetServerWait(RpcPlan),
+    NetRx,
+    DiskSpinup { bytes: u64 },
+    DiskBusy,
+    Waiting,
+    Done,
+}
+
+struct ProcEntry {
+    workload: Box<dyn Workload>,
+    state: ProcState,
+    background: bool,
+    /// Bytes this process has received over the link (reply/bulk legs).
+    bytes_received: u64,
+    /// Goodput of the last completed receive leg, bits/s — the passive
+    /// bandwidth-supply estimate the original Odyssey derived from its
+    /// RPC transfers.
+    last_transfer_bps: Option<f64>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Source {
+    Proc(Pid),
+    XServer,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Poll(Pid),
+    CpuDone,
+    LinkWake,
+    NetTimer(Pid),
+    Timer(Pid),
+    DiskSpinupDone(Pid),
+    DiskDone(Pid),
+    SpinDownCheck,
+    DimCheck,
+    HookTick(usize),
+}
+
+struct HookSlot {
+    hook: Option<Box<dyn ControlHook>>,
+    period: SimDuration,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FlowCtx {
+    pid: Pid,
+    /// Bytes credited to the receiver on completion (0 for request legs).
+    rx_bytes: u64,
+    started: SimTime,
+}
+
+/// The simulated mobile client.
+pub struct Machine {
+    cfg: MachineConfig,
+    power: PlatformPower,
+    clock: SimTime,
+    queue: EventQueue<Event>,
+    procs: Vec<ProcEntry>,
+    fidelity_series: Vec<TimeSeries>,
+    alive: usize,
+    // CPU scheduler.
+    run_queue: VecDeque<Source>,
+    x_queue: VecDeque<CpuJob>,
+    x_enqueued: bool,
+    current: Option<(Source, SimDuration)>,
+    // Devices.
+    disk: DiskModel,
+    radio: RadioModel,
+    link: SharedLink,
+    flows: HashMap<FlowId, FlowCtx>,
+    link_event: Option<EventId>,
+    // Display dimming.
+    quiet_since: Option<SimTime>,
+    dim_active: bool,
+    dim_event: Option<EventId>,
+    // Accounting.
+    ledger: Ledger,
+    source: EnergySource,
+    observers: Vec<Box<dyn IntervalObserver>>,
+    hooks: Vec<HookSlot>,
+    share_buf: Vec<ShareEntry>,
+    stopped: bool,
+    exhausted: bool,
+    started: bool,
+}
+
+impl Machine {
+    /// Creates a machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let power = PlatformPower::new(cfg.spec.clone());
+        let disk = DiskModel::new(cfg.pm.disk_policy(), cfg.spec.disk_spinup_time);
+        let radio = RadioModel::new(cfg.pm.radio_policy());
+        let link = SharedLink::new(cfg.link_bps);
+        let source = cfg.source;
+        Machine {
+            cfg,
+            power,
+            clock: SimTime::ZERO,
+            queue: EventQueue::new(),
+            procs: Vec::new(),
+            fidelity_series: Vec::new(),
+            alive: 0,
+            run_queue: VecDeque::new(),
+            x_queue: VecDeque::new(),
+            x_enqueued: false,
+            current: None,
+            disk,
+            radio,
+            link,
+            flows: HashMap::new(),
+            link_event: None,
+            quiet_since: None,
+            dim_active: false,
+            dim_event: None,
+            ledger: Ledger::default(),
+            source,
+            observers: Vec::new(),
+            hooks: Vec::new(),
+            share_buf: Vec::new(),
+            stopped: false,
+            exhausted: false,
+            started: false,
+        }
+    }
+
+    /// Adds a workload; must be called before the run starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has already started.
+    pub fn add_process(&mut self, workload: Box<dyn Workload>) -> Pid {
+        self.add_process_inner(workload, false)
+    }
+
+    /// Adds a *background* workload: it runs like any other process but
+    /// does not keep the machine alive — [`Machine::run`] ends when every
+    /// foreground workload finishes (the paper's "background newsfeed"
+    /// video in Sections 3.7 and 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has already started.
+    pub fn add_background_process(&mut self, workload: Box<dyn Workload>) -> Pid {
+        self.add_process_inner(workload, true)
+    }
+
+    fn add_process_inner(&mut self, workload: Box<dyn Workload>, background: bool) -> Pid {
+        assert!(!self.started, "processes must be added before run()");
+        let pid = Pid(self.procs.len());
+        let mut series = TimeSeries::new(workload.name());
+        series.record(SimTime::ZERO, workload.fidelity().level as f64);
+        self.fidelity_series.push(series);
+        self.procs.push(ProcEntry {
+            workload,
+            state: ProcState::Start,
+            background,
+            bytes_received: 0,
+            last_transfer_bps: None,
+        });
+        if !background {
+            self.alive += 1;
+        }
+        self.queue.push(SimTime::ZERO, Event::Poll(pid));
+        pid
+    }
+
+    /// Registers an interval observer.
+    pub fn add_observer(&mut self, obs: Box<dyn IntervalObserver>) {
+        self.observers.push(obs);
+    }
+
+    /// Registers a periodic control hook; the first tick fires one period
+    /// into the run.
+    pub fn add_hook(&mut self, period: SimDuration, hook: Box<dyn ControlHook>) {
+        assert!(!period.is_zero(), "hook period must be positive");
+        let idx = self.hooks.len();
+        self.hooks.push(HookSlot {
+            hook: Some(hook),
+            period,
+        });
+        self.queue
+            .push(SimTime::ZERO + period, Event::HookTick(idx));
+    }
+
+    /// Runs until every workload finishes, a controller stops the run, or
+    /// the energy supply is exhausted.
+    pub fn run(&mut self) -> RunReport {
+        self.run_inner(None)
+    }
+
+    /// Runs until `horizon` (or an earlier stop/exhaustion). Unlike
+    /// [`Machine::run`], completion of all workloads does not end the run —
+    /// useful for measuring background power.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunReport {
+        self.run_inner(Some(horizon))
+    }
+
+    fn run_inner(&mut self, horizon: Option<SimTime>) -> RunReport {
+        if !self.started {
+            self.started = true;
+            // The disk is idle from boot; arm the initial spin-down timer.
+            if let Some(dl) = self.disk.spin_down_deadline() {
+                self.queue.push(dl, Event::SpinDownCheck);
+            }
+        }
+        loop {
+            if self.stopped {
+                break;
+            }
+            if horizon.is_none() && self.alive == 0 {
+                break;
+            }
+            let Some(t_next) = self.queue.peek_time() else {
+                if let Some(h) = horizon {
+                    if h > self.clock {
+                        self.advance_to(h);
+                    }
+                }
+                break;
+            };
+            if let Some(h) = horizon {
+                if t_next > h {
+                    self.advance_to(h);
+                    break;
+                }
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            self.advance_to(t);
+            if self.stopped {
+                break;
+            }
+            self.handle(ev);
+            self.update_quiet_tracking();
+        }
+        self.report()
+    }
+
+    fn report(&self) -> RunReport {
+        RunReport {
+            end: self.clock,
+            total_j: self.ledger.total_j(),
+            buckets: self.ledger.snapshot_buckets(),
+            components: self.ledger.components(),
+            detail: self.ledger.snapshot_detail(),
+            fidelity: self.fidelity_series.clone(),
+            exhausted: self.exhausted,
+            residual_j: self.source.remaining_j(),
+            bytes_carried: self.link.total_bytes_carried(),
+        }
+    }
+
+    // ---- Energy integration -------------------------------------------
+
+    fn device_states(&self) -> (DeviceStates, f64) {
+        let cpu_load = self.fill_share_buf_load();
+        (
+            DeviceStates {
+                display: self.display_state(),
+                disk: self.disk.state(),
+                radio: self.radio.state(),
+                cpu_load,
+            },
+            cpu_load,
+        )
+    }
+
+    /// Populates `share_buf` and returns the effective CPU load.
+    fn fill_share_buf_load(&self) -> f64 {
+        // `share_buf` is logically mutable scratch; interior mutation is
+        // routed through `advance_to`, which owns `&mut self`. Here we only
+        // compute the load; the share vector is built in `advance_to`.
+        let transfers = self.link.active_count();
+        let int_frac = if transfers > 0 {
+            (INT_FRAC_PER_TRANSFER * transfers as f64).min(INT_FRAC_CAP)
+        } else {
+            0.0
+        };
+        let ody_frac = if transfers > 0 { ODYSSEY_FRAC } else { 0.0 };
+        let disk_busy = matches!(self.disk.state(), DiskState::Active | DiskState::SpinningUp);
+        let kern_frac = if disk_busy { DISK_KERNEL_FRAC } else { 0.0 };
+        let main_frac = 1.0 - int_frac - ody_frac - kern_frac;
+        let mut load = int_frac * intensity::KERNEL_INTERRUPT
+            + ody_frac * intensity::ODYSSEY
+            + kern_frac * intensity::KERNEL_INTERRUPT;
+        if let Some((src, _)) = self.current {
+            let job_intensity = match src {
+                Source::Proc(pid) => match &self.procs[pid.0].state {
+                    ProcState::ReadyCpu(job) => job.intensity,
+                    _ => 0.0,
+                },
+                Source::XServer => self.x_queue.front().map(|j| j.intensity).unwrap_or(0.0),
+            };
+            load += main_frac * job_intensity;
+        }
+        load
+    }
+
+    fn build_shares(&mut self) {
+        self.share_buf.clear();
+        let transfers = self.link.active_count();
+        let int_frac = if transfers > 0 {
+            (INT_FRAC_PER_TRANSFER * transfers as f64).min(INT_FRAC_CAP)
+        } else {
+            0.0
+        };
+        let ody_frac = if transfers > 0 { ODYSSEY_FRAC } else { 0.0 };
+        let disk_busy = matches!(self.disk.state(), DiskState::Active | DiskState::SpinningUp);
+        let kern_frac = if disk_busy { DISK_KERNEL_FRAC } else { 0.0 };
+        let main_frac = 1.0 - int_frac - ody_frac - kern_frac;
+        match self.current {
+            Some((Source::Proc(pid), _)) => {
+                let p = &self.procs[pid.0];
+                let (procedure, bucket) = match &p.state {
+                    ProcState::ReadyCpu(job) => {
+                        (job.procedure, job.bucket.unwrap_or(p.workload.name()))
+                    }
+                    _ => ("unknown", p.workload.name()),
+                };
+                self.share_buf.push(ShareEntry {
+                    bucket,
+                    procedure,
+                    fraction: main_frac,
+                });
+            }
+            Some((Source::XServer, _)) => self.share_buf.push(ShareEntry {
+                bucket: BUCKET_X,
+                procedure: "render",
+                fraction: main_frac,
+            }),
+            None => self.share_buf.push(ShareEntry {
+                bucket: BUCKET_IDLE,
+                procedure: "idle_hlt",
+                fraction: main_frac,
+            }),
+        }
+        if int_frac > 0.0 {
+            self.share_buf.push(ShareEntry {
+                bucket: BUCKET_WAVELAN,
+                procedure: "wavelan_intr",
+                fraction: int_frac,
+            });
+        }
+        if ody_frac > 0.0 {
+            self.share_buf.push(ShareEntry {
+                bucket: BUCKET_ODYSSEY,
+                procedure: "viceroy_datapath",
+                fraction: ody_frac,
+            });
+        }
+        if kern_frac > 0.0 {
+            self.share_buf.push(ShareEntry {
+                bucket: BUCKET_KERNEL,
+                procedure: "disk_intr",
+                fraction: kern_frac,
+            });
+        }
+    }
+
+    fn display_state(&self) -> DisplayState {
+        if !self.cfg.pm.enabled {
+            return DisplayState::Bright;
+        }
+        let mut need = DisplayState::Off;
+        for p in &self.procs {
+            if !matches!(p.state, ProcState::Done) {
+                need = need.max(p.workload.display_need());
+            }
+        }
+        if self.dim_active && need == DisplayState::Bright {
+            DisplayState::Dim
+        } else {
+            need
+        }
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        if t <= self.clock {
+            return;
+        }
+        let (states, _) = self.device_states();
+        self.build_shares();
+        let mut breakdown = self.power.breakdown(&states);
+        // Monitoring hardware draws a constant trickle, booked as base.
+        breakdown.base_w += self.cfg.monitor_overhead_w;
+        let power_w = breakdown.total_w();
+        let mut t1 = t;
+        let dt = t.since(self.clock).as_secs_f64();
+        let needed = power_w * dt;
+        if self.source.remaining_j() < needed {
+            // The supply runs out mid-interval; integrate only to the
+            // exhaustion instant and stop the run.
+            let live = (self.source.remaining_j() / power_w).max(0.0);
+            t1 = self.clock + SimDuration::from_secs_f64(live);
+            self.exhausted = true;
+            self.stopped = true;
+        }
+        let dt1 = t1.since(self.clock).as_secs_f64();
+        if dt1 > 0.0 {
+            self.source.drain(power_w * dt1);
+            self.ledger.add(dt1, power_w, &breakdown, &self.share_buf);
+            let rec = IntervalRecord {
+                t0: self.clock,
+                t1,
+                power_w,
+                breakdown,
+                states,
+                shares: &self.share_buf,
+            };
+            for obs in &mut self.observers {
+                obs.on_interval(&rec);
+            }
+        }
+        self.clock = t1;
+    }
+
+    // ---- Event handling ------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Poll(pid) => self.do_poll(pid),
+            Event::CpuDone => self.on_cpu_done(),
+            Event::LinkWake => self.on_link_wake(),
+            Event::NetTimer(pid) => self.on_net_timer(pid),
+            Event::Timer(pid) => {
+                debug_assert!(matches!(self.procs[pid.0].state, ProcState::Waiting));
+                self.schedule_poll(pid);
+            }
+            Event::DiskSpinupDone(pid) => self.on_disk_spinup(pid),
+            Event::DiskDone(pid) => self.on_disk_done(pid),
+            Event::SpinDownCheck => {
+                if !self.disk.try_spin_down(self.clock) {
+                    if let Some(dl) = self.disk.spin_down_deadline() {
+                        if dl > self.clock {
+                            self.queue.push(dl, Event::SpinDownCheck);
+                        }
+                    }
+                }
+            }
+            Event::DimCheck => {
+                self.dim_event = None;
+                if let Some(s) = self.quiet_since {
+                    if self.clock.saturating_since(s) >= self.cfg.pm.display_dim_after {
+                        self.dim_active = true;
+                    }
+                }
+            }
+            Event::HookTick(i) => self.on_hook_tick(i),
+        }
+    }
+
+    fn schedule_poll(&mut self, pid: Pid) {
+        self.procs[pid.0].state = ProcState::Start;
+        self.queue.push(self.clock, Event::Poll(pid));
+    }
+
+    fn do_poll(&mut self, pid: Pid) {
+        let mut budget = 10_000u32;
+        loop {
+            budget -= 1;
+            assert!(budget > 0, "workload {pid:?} livelocked at zero time");
+            let now = self.clock;
+            let step = self.procs[pid.0].workload.poll(now);
+            match step {
+                Step::Done => {
+                    self.procs[pid.0].state = ProcState::Done;
+                    if !self.procs[pid.0].background {
+                        self.alive -= 1;
+                    }
+                    break;
+                }
+                Step::Run(Activity::Cpu {
+                    duration,
+                    intensity,
+                    procedure,
+                })
+                | Step::Run(Activity::CpuAs {
+                    duration,
+                    intensity,
+                    procedure,
+                    ..
+                }) => {
+                    let bucket = match step {
+                        Step::Run(Activity::CpuAs { bucket, .. }) => Some(bucket),
+                        _ => None,
+                    };
+                    assert!(
+                        (0.0..=1.0).contains(&intensity),
+                        "invalid intensity {intensity}"
+                    );
+                    if duration.is_zero() {
+                        continue;
+                    }
+                    self.procs[pid.0].state = ProcState::ReadyCpu(CpuJob {
+                        remaining: duration,
+                        intensity,
+                        procedure,
+                        bucket,
+                    });
+                    self.run_queue.push_back(Source::Proc(pid));
+                    self.dispatch();
+                    break;
+                }
+                Step::Run(Activity::XRender { cost }) => {
+                    if !cost.is_zero() {
+                        self.x_queue.push_back(CpuJob {
+                            remaining: cost,
+                            intensity: intensity::X_RENDER,
+                            procedure: "render",
+                            bucket: None,
+                        });
+                        if !self.x_enqueued {
+                            self.x_enqueued = true;
+                            self.run_queue.push_back(Source::XServer);
+                        }
+                        self.dispatch();
+                    }
+                    continue;
+                }
+                Step::Run(Activity::Rpc { spec, procedure: _ }) => {
+                    self.radio.open_window();
+                    self.procs[pid.0].state = ProcState::NetAwaitTx(RpcPlan {
+                        request_bytes: spec.request_bytes,
+                        reply_bytes: spec.reply_bytes,
+                        server_time: spec.server_time,
+                    });
+                    self.queue.push(now + RPC_LATENCY, Event::NetTimer(pid));
+                    break;
+                }
+                Step::Run(Activity::BulkFetch {
+                    bytes,
+                    procedure: _,
+                }) => {
+                    self.radio.open_window();
+                    self.procs[pid.0].state = ProcState::NetServerWait(RpcPlan {
+                        request_bytes: 0,
+                        reply_bytes: bytes,
+                        server_time: SimDuration::ZERO,
+                    });
+                    self.queue.push(now + RPC_LATENCY, Event::NetTimer(pid));
+                    break;
+                }
+                Step::Run(Activity::DiskRead {
+                    bytes,
+                    procedure: _,
+                }) => {
+                    let delay = self.disk.begin_access(now);
+                    if delay.is_zero() {
+                        let t = self.disk_transfer_time(bytes);
+                        self.procs[pid.0].state = ProcState::DiskBusy;
+                        self.queue.push(now + t, Event::DiskDone(pid));
+                    } else {
+                        self.procs[pid.0].state = ProcState::DiskSpinup { bytes };
+                        self.queue.push(now + delay, Event::DiskSpinupDone(pid));
+                    }
+                    break;
+                }
+                Step::Run(Activity::Wait { until }) => {
+                    if until <= now {
+                        continue;
+                    }
+                    self.procs[pid.0].state = ProcState::Waiting;
+                    self.queue.push(until, Event::Timer(pid));
+                    break;
+                }
+            }
+        }
+    }
+
+    fn disk_transfer_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.cfg.spec.disk_rate_bps)
+            .max(SimDuration::from_micros(100))
+    }
+
+    // ---- CPU scheduler --------------------------------------------------
+
+    fn dispatch(&mut self) {
+        if self.current.is_some() {
+            return;
+        }
+        while let Some(src) = self.run_queue.pop_front() {
+            let remaining = match src {
+                Source::Proc(pid) => match &self.procs[pid.0].state {
+                    ProcState::ReadyCpu(job) => job.remaining,
+                    // The process left the CPU path (should not happen);
+                    // skip defensively.
+                    _ => continue,
+                },
+                Source::XServer => match self.x_queue.front() {
+                    Some(job) => job.remaining,
+                    None => {
+                        self.x_enqueued = false;
+                        continue;
+                    }
+                },
+            };
+            let slice = remaining.min(QUANTUM);
+            self.current = Some((src, slice));
+            self.queue.push(self.clock + slice, Event::CpuDone);
+            return;
+        }
+    }
+
+    fn on_cpu_done(&mut self) {
+        let (src, slice) = self.current.take().expect("CpuDone without current");
+        match src {
+            Source::Proc(pid) => {
+                let finished = {
+                    let ProcState::ReadyCpu(job) = &mut self.procs[pid.0].state else {
+                        panic!("running process not in ReadyCpu state");
+                    };
+                    job.remaining = job.remaining.saturating_sub(slice);
+                    job.remaining.is_zero()
+                };
+                if finished {
+                    self.schedule_poll(pid);
+                } else {
+                    self.run_queue.push_back(src);
+                }
+            }
+            Source::XServer => {
+                let front = self
+                    .x_queue
+                    .front_mut()
+                    .expect("X running with empty queue");
+                front.remaining = front.remaining.saturating_sub(slice);
+                if front.remaining.is_zero() {
+                    self.x_queue.pop_front();
+                }
+                if self.x_queue.is_empty() {
+                    self.x_enqueued = false;
+                } else {
+                    self.run_queue.push_back(Source::XServer);
+                }
+            }
+        }
+        self.dispatch();
+    }
+
+    // ---- Network ---------------------------------------------------------
+
+    fn relink(&mut self) {
+        if let Some(id) = self.link_event.take() {
+            self.queue.cancel(id);
+        }
+        if let Some((t, _)) = self.link.next_completion(self.clock) {
+            self.link_event = Some(self.queue.push(t, Event::LinkWake));
+        }
+    }
+
+    fn on_net_timer(&mut self, pid: Pid) {
+        let state = std::mem::replace(&mut self.procs[pid.0].state, ProcState::Start);
+        match state {
+            ProcState::NetAwaitTx(plan) => {
+                let flow = self.link.start_flow(self.clock, plan.request_bytes.max(1));
+                self.flows.insert(
+                    flow,
+                    FlowCtx {
+                        pid,
+                        rx_bytes: 0,
+                        started: self.clock,
+                    },
+                );
+                self.radio.begin_transfer();
+                self.procs[pid.0].state = ProcState::NetTx(plan);
+                self.relink();
+            }
+            ProcState::NetServerWait(plan) => {
+                let flow = self.link.start_flow(self.clock, plan.reply_bytes.max(1));
+                self.flows.insert(
+                    flow,
+                    FlowCtx {
+                        pid,
+                        rx_bytes: plan.reply_bytes,
+                        started: self.clock,
+                    },
+                );
+                self.radio.begin_transfer();
+                self.procs[pid.0].state = ProcState::NetRx;
+                self.relink();
+            }
+            other => panic!("NetTimer in unexpected state {other:?}"),
+        }
+    }
+
+    fn on_link_wake(&mut self) {
+        self.link_event = None;
+        self.link.advance(self.clock);
+        while let Some(flow) = self.link.take_completed() {
+            let ctx = self.flows.remove(&flow).expect("completed unknown flow");
+            let pid = ctx.pid;
+            if ctx.rx_bytes > 0 {
+                self.procs[pid.0].bytes_received += ctx.rx_bytes;
+                let secs = self.clock.since(ctx.started).as_secs_f64();
+                if secs > 0.0 {
+                    self.procs[pid.0].last_transfer_bps = Some(ctx.rx_bytes as f64 * 8.0 / secs);
+                }
+            }
+            self.radio.end_transfer();
+            let state = std::mem::replace(&mut self.procs[pid.0].state, ProcState::Start);
+            match state {
+                ProcState::NetTx(plan) => {
+                    self.procs[pid.0].state = ProcState::NetServerWait(plan);
+                    self.queue.push(
+                        self.clock + plan.server_time + RPC_LATENCY,
+                        Event::NetTimer(pid),
+                    );
+                }
+                ProcState::NetRx => {
+                    self.radio.close_window();
+                    self.schedule_poll(pid);
+                }
+                other => panic!("flow completion in unexpected state {other:?}"),
+            }
+        }
+        self.relink();
+    }
+
+    // ---- Disk -------------------------------------------------------------
+
+    fn on_disk_spinup(&mut self, pid: Pid) {
+        self.disk.spinup_complete(self.clock);
+        let ProcState::DiskSpinup { bytes } = self.procs[pid.0].state else {
+            panic!("DiskSpinupDone in unexpected state");
+        };
+        let t = self.disk_transfer_time(bytes);
+        self.procs[pid.0].state = ProcState::DiskBusy;
+        self.queue.push(self.clock + t, Event::DiskDone(pid));
+    }
+
+    fn on_disk_done(&mut self, pid: Pid) {
+        self.disk.end_access(self.clock);
+        if let Some(dl) = self.disk.spin_down_deadline() {
+            self.queue.push(dl, Event::SpinDownCheck);
+        }
+        self.schedule_poll(pid);
+    }
+
+    // ---- Hooks -------------------------------------------------------------
+
+    fn on_hook_tick(&mut self, i: usize) {
+        let mut hook = self.hooks[i].hook.take().expect("hook re-entered");
+        let now = self.clock;
+        hook.on_tick(now, &mut MachineView { m: self });
+        self.hooks[i].hook = Some(hook);
+        if !self.stopped {
+            let period = self.hooks[i].period;
+            self.queue.push(now + period, Event::HookTick(i));
+        }
+    }
+
+    // ---- Display dim tracking ------------------------------------------------
+
+    fn is_quiet(&self) -> bool {
+        if self.current.is_some() || !self.x_queue.is_empty() || self.link.active_count() > 0 {
+            return false;
+        }
+        self.procs
+            .iter()
+            .all(|p| matches!(p.state, ProcState::Waiting | ProcState::Done))
+    }
+
+    fn update_quiet_tracking(&mut self) {
+        if !self.cfg.pm.enabled {
+            return;
+        }
+        let quiet = self.is_quiet();
+        match (quiet, self.quiet_since) {
+            (true, None) => {
+                self.quiet_since = Some(self.clock);
+                let at = self.clock + self.cfg.pm.display_dim_after;
+                self.dim_event = Some(self.queue.push(at, Event::DimCheck));
+            }
+            (false, Some(_)) => {
+                self.quiet_since = None;
+                self.dim_active = false;
+                if let Some(id) = self.dim_event.take() {
+                    self.queue.cancel(id);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ScriptedWorkload;
+    use netsim::RpcSpec;
+
+    fn idle_machine(pm: PmPolicy) -> Machine {
+        Machine::new(MachineConfig {
+            pm,
+            ..Default::default()
+        })
+    }
+
+    /// A 10-second empty run with PM disabled must cost exactly the
+    /// full-on idle power (display bright, disk and radio idle): 102.8 J.
+    #[test]
+    fn idle_baseline_power_is_full_on() {
+        let mut m = idle_machine(PmPolicy::disabled());
+        let report = m.run_until(SimTime::from_secs(10));
+        assert!(
+            (report.total_j - 102.8).abs() < 0.1,
+            "got {} J",
+            report.total_j
+        );
+        assert_eq!(report.bucket_j(BUCKET_IDLE), report.total_j);
+    }
+
+    /// With PM enabled and no workloads, devices sleep and the display is
+    /// off (no demand): ≈ 3.47 W.
+    #[test]
+    fn idle_pm_power_is_all_off() {
+        let mut m = idle_machine(PmPolicy::enabled());
+        let report = m.run_until(SimTime::from_secs(100));
+        let avg = report.total_j / 100.0;
+        // Display off (no demand), disk and radio in standby: ≈ 3.47 W.
+        assert!((3.4..=3.6).contains(&avg), "avg power {avg}");
+    }
+
+    /// A single CPU burst: duration is respected and energy is attributed
+    /// to the process.
+    #[test]
+    fn cpu_burst_accounting() {
+        let mut m = idle_machine(PmPolicy::disabled());
+        m.add_process(Box::new(ScriptedWorkload::new(
+            "burner",
+            vec![Activity::Cpu {
+                duration: SimDuration::from_secs(5),
+                intensity: 1.0,
+                procedure: "spin",
+            }],
+        )));
+        let report = m.run();
+        assert!(
+            (report.duration_secs() - 5.0).abs() < 0.01,
+            "end {}",
+            report.end
+        );
+        // Full-on idle 10.28 W + 9.5 W CPU + superlinearity on the CPU.
+        let expected_power = 10.28 + 9.5 * (1.0 + 0.0299);
+        assert!(
+            (report.total_j - expected_power * 5.0).abs() < 0.5,
+            "total {} vs expected {}",
+            report.total_j,
+            expected_power * 5.0
+        );
+        let burner = report.bucket_j("burner");
+        assert!(
+            (burner - report.total_j).abs() < 1e-6,
+            "all energy attributed to the running process"
+        );
+        assert_eq!(report.detail[0].process, "burner");
+        assert_eq!(report.detail[0].procedure, "spin");
+        assert!((report.detail[0].cpu_secs - 5.0).abs() < 0.01);
+    }
+
+    /// Two equal CPU-bound processes share the CPU round-robin: both
+    /// finish at ~2x their solo time, and split the energy evenly.
+    #[test]
+    fn round_robin_sharing() {
+        let mut m = idle_machine(PmPolicy::disabled());
+        for name in ["a", "b"] {
+            m.add_process(Box::new(ScriptedWorkload::new(
+                name,
+                vec![Activity::Cpu {
+                    duration: SimDuration::from_secs(2),
+                    intensity: 1.0,
+                    procedure: "spin",
+                }],
+            )));
+        }
+        let report = m.run();
+        assert!((report.duration_secs() - 4.0).abs() < 0.05);
+        let a = report.bucket_j("a");
+        let b = report.bucket_j("b");
+        assert!((a - b).abs() < 0.5, "a={a} b={b}");
+    }
+
+    /// An RPC blocks the caller for at least the physical minimum and the
+    /// radio sleeps before/after under PM.
+    #[test]
+    fn rpc_timing_and_radio_windows() {
+        let spec = RpcSpec {
+            request_bytes: 25_000,
+            reply_bytes: 250_000,
+            server_time: SimDuration::from_millis(500),
+        };
+        let mut m = idle_machine(PmPolicy::enabled());
+        m.add_process(Box::new(
+            ScriptedWorkload::new(
+                "client",
+                vec![Activity::Rpc {
+                    spec,
+                    procedure: "fetch",
+                }],
+            )
+            .with_display(DisplayState::Off),
+        ));
+        let report = m.run();
+        let min = spec
+            .min_duration(WAVELAN_CAPACITY_BPS, RPC_LATENCY)
+            .as_secs_f64();
+        assert!(
+            report.duration_secs() >= min - 1e-6,
+            "RPC faster than physics: {} < {min}",
+            report.duration_secs()
+        );
+        assert!(report.duration_secs() < min + 0.1);
+        // Energy was attributed to WaveLAN interrupts and Odyssey during
+        // the transfer phases.
+        assert!(report.bucket_j(BUCKET_WAVELAN) > 0.0);
+        assert!(report.bucket_j(BUCKET_ODYSSEY) > 0.0);
+    }
+
+    /// A bulk fetch takes bytes/bandwidth and drives radio-active power.
+    #[test]
+    fn bulk_fetch_duration() {
+        let mut m = idle_machine(PmPolicy::enabled());
+        m.add_process(Box::new(ScriptedWorkload::new(
+            "dl",
+            vec![Activity::BulkFetch {
+                bytes: 500_000, // 2 s at 2 Mb/s.
+                procedure: "fetch",
+            }],
+        )));
+        let report = m.run();
+        assert!(
+            (report.duration_secs() - 2.0).abs() < 0.05,
+            "{}",
+            report.duration_secs()
+        );
+        assert_eq!(report.bytes_carried, 500_000);
+    }
+
+    /// Wait (think time) is attributed to Idle.
+    #[test]
+    fn think_time_is_idle() {
+        let mut m = idle_machine(PmPolicy::disabled());
+        m.add_process(Box::new(ScriptedWorkload::new(
+            "thinker",
+            vec![Activity::Wait {
+                until: SimTime::from_secs(5),
+            }],
+        )));
+        let report = m.run();
+        assert!((report.bucket_j(BUCKET_IDLE) - report.total_j).abs() < 1e-9);
+    }
+
+    /// Under PM, a long think period dims the display after the timeout.
+    #[test]
+    fn display_dims_after_inactivity() {
+        let mut m = idle_machine(PmPolicy::enabled());
+        m.add_process(Box::new(ScriptedWorkload::new(
+            "reader",
+            vec![Activity::Wait {
+                until: SimTime::from_secs(30),
+            }],
+        )));
+        let report = m.run();
+        // 10 s bright (4.54 W) then 20 s dim (2.066 W) on the display.
+        let expected_display = 10.0 * 4.54 + 20.0 * 2.066;
+        assert!(
+            (report.components.display_j - expected_display).abs() < 0.5,
+            "display {} vs {}",
+            report.components.display_j,
+            expected_display
+        );
+    }
+
+    /// Without PM the display never dims.
+    #[test]
+    fn display_never_dims_at_baseline() {
+        let mut m = idle_machine(PmPolicy::disabled());
+        m.add_process(Box::new(ScriptedWorkload::new(
+            "reader",
+            vec![Activity::Wait {
+                until: SimTime::from_secs(30),
+            }],
+        )));
+        let report = m.run();
+        assert!((report.components.display_j - 30.0 * 4.54).abs() < 0.01);
+    }
+
+    /// Disk reads spin the disk up from standby and back down after the
+    /// spin-down timeout.
+    #[test]
+    fn disk_spin_cycle() {
+        let mut m = idle_machine(PmPolicy::enabled());
+        m.add_process(Box::new(
+            ScriptedWorkload::new(
+                "dbuser",
+                vec![
+                    Activity::Wait {
+                        until: SimTime::from_secs(20),
+                    },
+                    Activity::DiskRead {
+                        bytes: 3_000_000, // 1 s at 3 MB/s.
+                        procedure: "read_model",
+                    },
+                    Activity::Wait {
+                        until: SimTime::from_secs(60),
+                    },
+                ],
+            )
+            .with_display(DisplayState::Off),
+        ));
+        let report = m.run();
+        // Timeline: standby 0-20 (the PM disk starts spun down), spin-up
+        // 20-21.5, active 21.5-22.5, idle 22.5-32.5, standby 32.5-60.
+        let d = report.components.disk_j;
+        let expected = 20.0 * 0.24 + 1.5 * 3.0 + 1.0 * 2.25 + 10.0 * 0.95 + 27.5 * 0.24;
+        assert!(
+            (d - expected).abs() < 1.0,
+            "disk energy {d} vs expected {expected}"
+        );
+        assert!((report.duration_secs() - 60.0).abs() < 0.01);
+    }
+
+    /// XRender work is attributed to the X Server bucket and does not
+    /// block the submitting process.
+    #[test]
+    fn x_server_accounting() {
+        let mut m = idle_machine(PmPolicy::disabled());
+        m.add_process(Box::new(ScriptedWorkload::new(
+            "app",
+            vec![
+                Activity::XRender {
+                    cost: SimDuration::from_secs(1),
+                },
+                Activity::Wait {
+                    until: SimTime::from_secs(4),
+                },
+            ],
+        )));
+        let report = m.run();
+        assert!((report.duration_secs() - 4.0).abs() < 0.01);
+        assert!(report.bucket_j(BUCKET_X) > 0.0);
+        let x_detail = report
+            .detail
+            .iter()
+            .find(|d| d.process == BUCKET_X)
+            .unwrap();
+        assert!((x_detail.cpu_secs - 1.0).abs() < 0.02);
+    }
+
+    /// A finite battery stops the run at the exhaustion instant.
+    #[test]
+    fn battery_exhaustion_stops_run() {
+        let mut m = Machine::new(MachineConfig {
+            pm: PmPolicy::disabled(),
+            source: EnergySource::battery(102.8), // exactly 10 s of idle.
+            ..Default::default()
+        });
+        m.add_process(Box::new(ScriptedWorkload::new(
+            "idler",
+            vec![Activity::Wait {
+                until: SimTime::from_secs(100),
+            }],
+        )));
+        let report = m.run();
+        assert!(report.exhausted);
+        assert!(
+            (report.duration_secs() - 10.0).abs() < 0.05,
+            "died at {}",
+            report.duration_secs()
+        );
+        // Exhaustion time is rounded to the microsecond grid, so a few
+        // µJ may remain.
+        assert!(report.residual_j.abs() < 1e-3);
+    }
+
+    /// Hooks fire on their period and can stop the run.
+    #[test]
+    fn hook_ticks_and_stop() {
+        struct Stopper {
+            ticks: usize,
+        }
+        impl ControlHook for Stopper {
+            fn on_tick(&mut self, _now: SimTime, view: &mut MachineView<'_>) {
+                self.ticks += 1;
+                if self.ticks == 5 {
+                    view.request_stop();
+                }
+            }
+        }
+        let mut m = idle_machine(PmPolicy::disabled());
+        m.add_hook(SimDuration::from_secs(1), Box::new(Stopper { ticks: 0 }));
+        let report = m.run_until(SimTime::from_secs(100));
+        assert!((report.duration_secs() - 5.0).abs() < 1e-6);
+    }
+
+    /// Upcalls reach the workload and fidelity changes are recorded.
+    #[test]
+    fn upcall_changes_are_recorded() {
+        struct Adaptive {
+            level: usize,
+            until: SimTime,
+        }
+        impl Workload for Adaptive {
+            fn name(&self) -> &'static str {
+                "adaptive"
+            }
+            fn poll(&mut self, now: SimTime) -> Step {
+                if now >= self.until {
+                    Step::Done
+                } else {
+                    Step::Run(Activity::Wait { until: self.until })
+                }
+            }
+            fn fidelity(&self) -> FidelityView {
+                FidelityView::new(self.level, 3)
+            }
+            fn on_upcall(&mut self, dir: AdaptDirection, _now: SimTime) -> bool {
+                match dir {
+                    AdaptDirection::Degrade if self.level > 0 => {
+                        self.level -= 1;
+                        true
+                    }
+                    AdaptDirection::Upgrade if self.level < 2 => {
+                        self.level += 1;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+        }
+        struct Degrader;
+        impl ControlHook for Degrader {
+            fn on_tick(&mut self, _now: SimTime, view: &mut MachineView<'_>) {
+                let procs = view.processes();
+                if let Some(p) = procs.iter().find(|p| p.fidelity.can_degrade()) {
+                    view.upcall(p.pid, AdaptDirection::Degrade);
+                }
+            }
+        }
+        let mut m = idle_machine(PmPolicy::disabled());
+        m.add_process(Box::new(Adaptive {
+            level: 2,
+            until: SimTime::from_secs(10),
+        }));
+        m.add_hook(SimDuration::from_secs(2), Box::new(Degrader));
+        let report = m.run();
+        assert_eq!(report.adaptations_of("adaptive"), 2);
+        let series = &report.fidelity[0];
+        assert_eq!(series.value_at(SimTime::from_secs(1)), Some(2.0));
+        assert_eq!(series.value_at(SimTime::from_secs(9)), Some(0.0));
+    }
+
+    /// Observer totals agree with the ledger exactly.
+    #[test]
+    fn observer_conservation() {
+        use crate::observer::EnergyProbe;
+        // EnergyProbe asserts interval sanity internally; share totals and
+        // energy must match the report.
+        struct Probe(std::rc::Rc<std::cell::RefCell<EnergyProbe>>);
+        impl IntervalObserver for Probe {
+            fn on_interval(&mut self, rec: &IntervalRecord<'_>) {
+                self.0.borrow_mut().on_interval(rec);
+            }
+        }
+        let shared = std::rc::Rc::new(std::cell::RefCell::new(EnergyProbe::new()));
+        let mut m = idle_machine(PmPolicy::enabled());
+        m.add_observer(Box::new(Probe(shared.clone())));
+        m.add_process(Box::new(ScriptedWorkload::new(
+            "mixed",
+            vec![
+                Activity::Cpu {
+                    duration: SimDuration::from_millis(500),
+                    intensity: 0.7,
+                    procedure: "work",
+                },
+                Activity::BulkFetch {
+                    bytes: 100_000,
+                    procedure: "fetch",
+                },
+                Activity::Wait {
+                    until: SimTime::from_secs(3),
+                },
+            ],
+        )));
+        let report = m.run();
+        let observed = shared.borrow().total_j();
+        assert!(
+            (observed - report.total_j).abs() < 1e-9,
+            "observer {observed} vs ledger {}",
+            report.total_j
+        );
+    }
+
+    /// Bucket energies always sum to the total.
+    #[test]
+    fn buckets_sum_to_total() {
+        let mut m = idle_machine(PmPolicy::enabled());
+        m.add_process(Box::new(ScriptedWorkload::new(
+            "w",
+            vec![
+                Activity::Cpu {
+                    duration: SimDuration::from_millis(300),
+                    intensity: 1.0,
+                    procedure: "a",
+                },
+                Activity::BulkFetch {
+                    bytes: 50_000,
+                    procedure: "b",
+                },
+                Activity::XRender {
+                    cost: SimDuration::from_millis(100),
+                },
+                Activity::Wait {
+                    until: SimTime::from_secs(2),
+                },
+            ],
+        )));
+        let report = m.run();
+        let sum: f64 = report.buckets.iter().map(|(_, e)| e).sum();
+        assert!((sum - report.total_j).abs() < 1e-6);
+        let comp = report.components.total_j();
+        assert!((comp - report.total_j).abs() < 1e-6);
+    }
+
+    /// run_until integrates the tail even with no events pending.
+    #[test]
+    fn run_until_covers_tail() {
+        let mut m = idle_machine(PmPolicy::disabled());
+        m.add_process(Box::new(ScriptedWorkload::new(
+            "quick",
+            vec![Activity::Cpu {
+                duration: SimDuration::from_millis(100),
+                intensity: 1.0,
+                procedure: "x",
+            }],
+        )));
+        let report = m.run_until(SimTime::from_secs(10));
+        assert!((report.duration_secs() - 10.0).abs() < 1e-6);
+    }
+
+    /// Monitoring overhead is booked as base power.
+    #[test]
+    fn monitor_overhead_is_accounted() {
+        let mut m = Machine::new(MachineConfig {
+            pm: PmPolicy::disabled(),
+            monitor_overhead_w: 0.014,
+            ..Default::default()
+        });
+        m.add_process(Box::new(ScriptedWorkload::idle_for(
+            "w",
+            SimDuration::from_secs(100),
+        )));
+        let report = m.run();
+        // 100 s of full-on idle plus 1.4 J of monitoring.
+        assert!(
+            (report.total_j - (1028.0 + 1.4)).abs() < 0.5,
+            "total {}",
+            report.total_j
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before run")]
+    fn add_process_after_start_panics() {
+        let mut m = idle_machine(PmPolicy::disabled());
+        let _ = m.run_until(SimTime::from_secs(1));
+        m.add_process(Box::new(ScriptedWorkload::new("late", vec![])));
+    }
+}

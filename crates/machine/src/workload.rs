@@ -1,0 +1,151 @@
+//! The workload (application) interface.
+//!
+//! A [`Workload`] is the machine-facing face of an application: a named
+//! generator of [`Activity`] phases with a display requirement and an
+//! adaptation interface. The four paper applications in the `odyssey-apps`
+//! crate implement this trait; so do the tiny synthetic workloads used in
+//! tests.
+
+use hw560x::DisplayState;
+use simcore::{SimDuration, SimTime};
+
+use crate::activity::{Activity, AdaptDirection, FidelityView, Step};
+
+/// An application, as seen by the machine.
+pub trait Workload {
+    /// Process name for profiling and reports (e.g. `"xanim"`).
+    fn name(&self) -> &'static str;
+
+    /// Backlight level this application needs while alive. The effective
+    /// display state is the maximum over alive workloads (under hardware
+    /// power management; the baseline keeps the display bright).
+    fn display_need(&self) -> DisplayState {
+        DisplayState::Bright
+    }
+
+    /// Produces the next phase. Called when the previous phase completes.
+    fn poll(&mut self, now: SimTime) -> Step;
+
+    /// Current position on the fidelity scale.
+    fn fidelity(&self) -> FidelityView {
+        FidelityView::fixed()
+    }
+
+    /// Odyssey upcall: move one step in `dir`. Returns `true` if the
+    /// fidelity changed (takes effect from the next phase the workload
+    /// generates).
+    fn on_upcall(&mut self, _dir: AdaptDirection, _now: SimTime) -> bool {
+        false
+    }
+}
+
+/// A workload that runs a fixed list of activities then finishes.
+///
+/// Used throughout the test suites; exercises every activity type without
+/// application logic.
+///
+/// # Examples
+///
+/// ```
+/// use machine::workload::ScriptedWorkload;
+/// use machine::{Activity, Step, Workload};
+/// use simcore::{SimDuration, SimTime};
+///
+/// let mut w = ScriptedWorkload::new(
+///     "test",
+///     vec![Activity::Cpu {
+///         duration: SimDuration::from_secs(1),
+///         intensity: 1.0,
+///         procedure: "work",
+///     }],
+/// );
+/// assert!(matches!(w.poll(SimTime::ZERO), Step::Run(_)));
+/// assert!(matches!(w.poll(SimTime::ZERO), Step::Done));
+/// ```
+pub struct ScriptedWorkload {
+    name: &'static str,
+    display: DisplayState,
+    script: std::vec::IntoIter<Activity>,
+}
+
+impl ScriptedWorkload {
+    /// Creates a workload that emits `script` in order, requiring a bright
+    /// display.
+    pub fn new(name: &'static str, script: Vec<Activity>) -> Self {
+        ScriptedWorkload {
+            name,
+            display: DisplayState::Bright,
+            script: script.into_iter(),
+        }
+    }
+
+    /// Sets the display requirement.
+    pub fn with_display(mut self, display: DisplayState) -> Self {
+        self.display = display;
+        self
+    }
+
+    /// A workload that idles (waits) for `d` and finishes. Handy for
+    /// measuring background power.
+    pub fn idle_for(name: &'static str, d: SimDuration) -> Self {
+        ScriptedWorkload::new(
+            name,
+            vec![Activity::Wait {
+                until: SimTime::ZERO + d,
+            }],
+        )
+    }
+}
+
+impl Workload for ScriptedWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn display_need(&self) -> DisplayState {
+        self.display
+    }
+
+    fn poll(&mut self, _now: SimTime) -> Step {
+        match self.script.next() {
+            Some(a) => Step::Run(a),
+            None => Step::Done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_workload_replays_in_order() {
+        let a = Activity::Cpu {
+            duration: SimDuration::from_secs(1),
+            intensity: 0.5,
+            procedure: "a",
+        };
+        let b = Activity::Wait {
+            until: SimTime::from_secs(9),
+        };
+        let mut w = ScriptedWorkload::new("s", vec![a, b]);
+        assert_eq!(w.poll(SimTime::ZERO), Step::Run(a));
+        assert_eq!(w.poll(SimTime::ZERO), Step::Run(b));
+        assert_eq!(w.poll(SimTime::ZERO), Step::Done);
+        assert_eq!(w.poll(SimTime::ZERO), Step::Done);
+    }
+
+    #[test]
+    fn default_adaptation_interface_is_inert() {
+        let mut w = ScriptedWorkload::new("s", vec![]);
+        assert_eq!(w.fidelity(), FidelityView::fixed());
+        assert!(!w.on_upcall(AdaptDirection::Degrade, SimTime::ZERO));
+        assert_eq!(w.display_need(), DisplayState::Bright);
+    }
+
+    #[test]
+    fn display_override() {
+        let w = ScriptedWorkload::new("s", vec![]).with_display(DisplayState::Off);
+        assert_eq!(w.display_need(), DisplayState::Off);
+    }
+}

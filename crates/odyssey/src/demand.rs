@@ -1,0 +1,171 @@
+//! Energy-demand prediction (Section 5.1.2).
+//!
+//! "To predict future energy demand, Odyssey relies on smoothed
+//! observations of present and past power usage. We use an exponential
+//! smoothing function of the form `new = (1-α)·this_sample + α·old`,
+//! where α is ... set so that the half-life of the decay function is 10%
+//! of the time remaining until the goal." Predicted demand is the smoothed
+//! power multiplied by the time remaining.
+//!
+//! The half-life tie to time-remaining is the agility/stability dial: far
+//! from the goal α is large (stable; transients ignored), close to the
+//! goal α shrinks (agile; the margin for error is small).
+
+use simcore::SimDuration;
+
+/// Exponential smoother with a time-remaining-scaled half-life.
+#[derive(Clone, Copy, Debug)]
+pub struct Smoother {
+    /// Half-life as a fraction of time remaining (paper: 0.10).
+    half_life_frac: f64,
+    /// Sample period, seconds.
+    period_s: f64,
+    value: Option<f64>,
+}
+
+impl Smoother {
+    /// Creates a smoother.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(half_life_frac: f64, period: SimDuration) -> Self {
+        assert!(
+            half_life_frac.is_finite() && half_life_frac > 0.0,
+            "invalid half-life fraction: {half_life_frac}"
+        );
+        let period_s = period.as_secs_f64();
+        assert!(period_s > 0.0, "smoothing period must be positive");
+        Smoother {
+            half_life_frac,
+            period_s,
+            value: None,
+        }
+    }
+
+    /// The α used at a given time-remaining: `0.5^(period / half_life)`.
+    ///
+    /// The half-life is floored at one sample period so that α never
+    /// collapses to 0 at the goal boundary.
+    pub fn alpha(&self, remaining_s: f64) -> f64 {
+        let half_life = (self.half_life_frac * remaining_s.max(0.0)).max(self.period_s);
+        0.5f64.powf(self.period_s / half_life)
+    }
+
+    /// Folds in a power sample taken with `remaining_s` seconds to the
+    /// goal; returns the new smoothed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or negative samples.
+    pub fn update(&mut self, sample_w: f64, remaining_s: f64) -> f64 {
+        assert!(
+            sample_w.is_finite() && sample_w >= 0.0,
+            "invalid power sample: {sample_w}"
+        );
+        let new = match self.value {
+            None => sample_w,
+            Some(old) => {
+                let a = self.alpha(remaining_s);
+                (1.0 - a) * sample_w + a * old
+            }
+        };
+        self.value = Some(new);
+        new
+    }
+
+    /// Current smoothed power, W.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Clears the state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// Predicted future energy demand: smoothed power times time remaining.
+pub fn predicted_demand_j(smoothed_w: f64, remaining_s: f64) -> f64 {
+    smoothed_w * remaining_s.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoother(frac: f64) -> Smoother {
+        Smoother::new(frac, SimDuration::from_millis(100))
+    }
+
+    #[test]
+    fn first_sample_is_taken_verbatim() {
+        let mut s = smoother(0.10);
+        assert_eq!(s.update(7.5, 1000.0), 7.5);
+        assert_eq!(s.value(), Some(7.5));
+    }
+
+    #[test]
+    fn half_life_semantics() {
+        // With remaining = 1000 s and frac = 0.10, the half-life is 100 s.
+        // Feed a step from 10 W to 0 W: after 100 s (1000 samples) the
+        // smoothed value should be half the step.
+        let mut s = smoother(0.10);
+        s.update(10.0, 1000.0);
+        let mut v = 10.0;
+        for _ in 0..1000 {
+            v = s.update(0.0, 1000.0);
+        }
+        assert!((v - 5.0).abs() < 0.05, "after one half-life: {v}");
+    }
+
+    #[test]
+    fn agility_increases_as_goal_nears() {
+        // α must shrink with remaining time: closer goal → more agile.
+        let s = smoother(0.10);
+        let far = s.alpha(10_000.0);
+        let near = s.alpha(30.0);
+        assert!(far > near, "far {far} near {near}");
+        assert!(far > 0.99);
+        assert!(near < 0.98);
+    }
+
+    #[test]
+    fn alpha_is_floored_at_goal() {
+        let s = smoother(0.10);
+        let a = s.alpha(0.0);
+        assert!((a - 0.5).abs() < 1e-12, "α at zero remaining: {a}");
+    }
+
+    #[test]
+    fn smaller_half_life_fraction_is_more_agile() {
+        // Figure 21 explores 1%, 5%, 10%, 15% half-lives.
+        let unstable = smoother(0.01).alpha(1000.0);
+        let stable = smoother(0.15).alpha(1000.0);
+        assert!(unstable < stable);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut s = smoother(0.10);
+        for _ in 0..5000 {
+            s.update(8.2, 500.0);
+        }
+        assert!((s.value().unwrap() - 8.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_is_power_times_remaining() {
+        assert_eq!(predicted_demand_j(10.0, 600.0), 6000.0);
+        assert_eq!(predicted_demand_j(10.0, -5.0), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = smoother(0.10);
+        s.update(5.0, 100.0);
+        s.reset();
+        assert_eq!(s.value(), None);
+        assert_eq!(s.update(1.0, 100.0), 1.0);
+    }
+}

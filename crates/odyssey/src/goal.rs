@@ -1,0 +1,519 @@
+//! Goal-directed energy adaptation (Section 5).
+//!
+//! The user supplies an initial energy value and a desired duration.
+//! Twice a second, Odyssey compares residual energy against predicted
+//! demand (smoothed power × time remaining) and issues fidelity upcalls:
+//!
+//! - demand exceeds supply → degrade the lowest-priority application that
+//!   still can; if none can, the duration is *infeasible* and the user is
+//!   alerted;
+//! - supply exceeds demand by more than the hysteresis margin (5% of
+//!   residual energy, the *variable* component, plus 1% of initial energy,
+//!   the *constant* component) → upgrade the highest-priority degraded
+//!   application, capped at one improvement per 15 seconds.
+//!
+//! Power is observed with the on-line PowerScope meter every 100 ms and
+//! smoothed with a half-life of 10% of the time remaining (Section 5.1.2),
+//! trading stability far from the goal for agility near it.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use machine::{AdaptDirection, ControlHook, MachineView};
+use powerscope::OnlinePowerMeter;
+use simcore::{SimDuration, SimTime, TimeSeries};
+
+use crate::demand::{predicted_demand_j, Smoother};
+use crate::priority::PriorityTable;
+
+/// Power overhead of deployed energy monitoring, W (Section 5.1.4: "we
+/// expect that the total power overhead imposed by our solution will be
+/// less than 14 mW — only 0.25% of the background power consumption of
+/// our laptop"). Set [`machine::MachineConfig::monitor_overhead_w`] to
+/// this when attaching a [`GoalController`].
+pub const MONITOR_OVERHEAD_W: f64 = 0.014;
+
+/// Configuration of a goal-directed adaptation run.
+#[derive(Clone, Debug)]
+pub struct GoalConfig {
+    /// Initial energy value given to Odyssey, J.
+    pub initial_energy_j: f64,
+    /// Desired battery duration (deadline measured from run start).
+    pub goal: SimDuration,
+    /// Smoothing half-life as a fraction of time remaining (paper: 0.10).
+    pub half_life_frac: f64,
+    /// Variable hysteresis: fraction of residual energy (paper: 0.05).
+    pub hysteresis_supply_frac: f64,
+    /// Constant hysteresis: fraction of initial energy (paper: 0.01).
+    pub hysteresis_initial_frac: f64,
+    /// Minimum spacing between fidelity improvements (paper: 15 s).
+    pub upgrade_min_interval: SimDuration,
+    /// Power sampling period (paper: 100 ms).
+    pub sample_period: SimDuration,
+    /// Decision period (paper: twice a second).
+    pub decision_period: SimDuration,
+    /// No adaptation decisions before this much of the run has elapsed:
+    /// the on-line meter needs a few samples before its smoothed power
+    /// means anything ("applications are more stable at the beginning").
+    pub warmup: SimDuration,
+    /// Goal revisions: at each instant, the goal is replaced by a new
+    /// total duration (Section 5.4's mid-run extension).
+    pub extensions: Vec<(SimTime, SimDuration)>,
+}
+
+impl GoalConfig {
+    /// The paper's parameters for a given supply and duration.
+    pub fn paper(initial_energy_j: f64, goal: SimDuration) -> Self {
+        GoalConfig {
+            initial_energy_j,
+            goal,
+            half_life_frac: 0.10,
+            hysteresis_supply_frac: 0.05,
+            hysteresis_initial_frac: 0.01,
+            upgrade_min_interval: SimDuration::from_secs(15),
+            sample_period: SimDuration::from_millis(100),
+            decision_period: SimDuration::from_millis(500),
+            warmup: SimDuration::from_secs(10),
+            extensions: Vec::new(),
+        }
+    }
+
+    /// Adds a mid-run goal revision.
+    pub fn with_extension(mut self, at: SimTime, new_goal: SimDuration) -> Self {
+        self.extensions.push((at, new_goal));
+        self.extensions.sort_by_key(|(t, _)| *t);
+        self
+    }
+}
+
+/// Outcome of a goal-directed run, read from the [`GoalHandle`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct GoalOutcome {
+    /// True if the supply lasted to the (possibly revised) goal.
+    pub goal_met: bool,
+    /// Decisions where demand exceeded supply but nothing could degrade —
+    /// the "alert the user: this duration is infeasible" signal.
+    pub infeasible_signals: usize,
+    /// Degrade upcalls that changed a fidelity.
+    pub degrades: usize,
+    /// Upgrade upcalls that changed a fidelity.
+    pub upgrades: usize,
+}
+
+#[derive(Debug)]
+struct Shared {
+    supply: TimeSeries,
+    demand: TimeSeries,
+    goal_met: bool,
+    infeasible_signals: usize,
+    degrades: usize,
+    upgrades: usize,
+}
+
+/// Caller-side handle to inspect a controller after the run.
+pub struct GoalHandle {
+    shared: Rc<RefCell<Shared>>,
+}
+
+impl GoalHandle {
+    /// Final outcome.
+    pub fn outcome(&self) -> GoalOutcome {
+        let s = self.shared.borrow();
+        GoalOutcome {
+            goal_met: s.goal_met,
+            infeasible_signals: s.infeasible_signals,
+            degrades: s.degrades,
+            upgrades: s.upgrades,
+        }
+    }
+
+    /// Residual-energy series sampled at each decision (Figure 19 top).
+    pub fn supply_series(&self) -> TimeSeries {
+        self.shared.borrow().supply.clone()
+    }
+
+    /// Predicted-demand series sampled at each decision (Figure 19 top).
+    pub fn demand_series(&self) -> TimeSeries {
+        self.shared.borrow().demand.clone()
+    }
+}
+
+/// The goal-directed controller; attach with
+/// [`machine::Machine::add_hook`] at [`GoalConfig::sample_period`].
+///
+/// # Examples
+///
+/// Make a 150 J battery last 20 seconds of a heavier workload:
+///
+/// ```
+/// use hw560x::EnergySource;
+/// use machine::workload::ScriptedWorkload;
+/// use machine::{Machine, MachineConfig};
+/// use odyssey::{GoalConfig, GoalController, PriorityTable};
+/// use simcore::{SimDuration, SimTime};
+///
+/// let mut m = Machine::new(MachineConfig {
+///     source: EnergySource::battery(150.0),
+///     ..Default::default()
+/// });
+/// let pid = m.add_process(Box::new(ScriptedWorkload::idle_for(
+///     "app",
+///     SimDuration::from_secs(60),
+/// )));
+/// let mut cfg = GoalConfig::paper(150.0, SimDuration::from_secs(20));
+/// cfg.warmup = SimDuration::from_secs(1);
+/// let period = cfg.sample_period;
+/// let (handle, controller) = GoalController::new(cfg, PriorityTable::new(vec![pid]));
+/// m.add_hook(period, controller);
+/// let report = m.run_until(SimTime::from_secs(60));
+/// assert!(handle.outcome().goal_met);
+/// assert!((report.duration_secs() - 20.0).abs() < 1.0);
+/// ```
+pub struct GoalController {
+    cfg: GoalConfig,
+    priorities: PriorityTable,
+    deadline: SimTime,
+    next_extension: usize,
+    meter: OnlinePowerMeter,
+    smoother: Smoother,
+    last_decision: Option<SimTime>,
+    last_upgrade: Option<SimTime>,
+    shared: Rc<RefCell<Shared>>,
+}
+
+impl GoalController {
+    /// Creates a controller and its inspection handle.
+    pub fn new(cfg: GoalConfig, priorities: PriorityTable) -> (GoalHandle, Box<GoalController>) {
+        let shared = Rc::new(RefCell::new(Shared {
+            supply: TimeSeries::new("supply"),
+            demand: TimeSeries::new("demand"),
+            goal_met: false,
+            infeasible_signals: 0,
+            degrades: 0,
+            upgrades: 0,
+        }));
+        let deadline = SimTime::ZERO + cfg.goal;
+        let controller = GoalController {
+            smoother: Smoother::new(cfg.half_life_frac, cfg.sample_period),
+            meter: OnlinePowerMeter::new(),
+            deadline,
+            next_extension: 0,
+            priorities,
+            last_decision: None,
+            last_upgrade: None,
+            shared: shared.clone(),
+            cfg,
+        };
+        (GoalHandle { shared }, Box::new(controller))
+    }
+
+    fn apply_extensions(&mut self, now: SimTime) {
+        while let Some((at, new_goal)) = self.cfg.extensions.get(self.next_extension).copied() {
+            if at > now {
+                break;
+            }
+            self.deadline = SimTime::ZERO + new_goal;
+            self.next_extension += 1;
+        }
+    }
+
+    fn decide(&mut self, now: SimTime, view: &mut MachineView<'_>) {
+        let Some(power) = self.smoother.value() else {
+            return;
+        };
+        let supply = view.residual_j();
+        let remaining_s = self.deadline.saturating_since(now).as_secs_f64();
+        let demand = predicted_demand_j(power, remaining_s);
+        {
+            let mut s = self.shared.borrow_mut();
+            s.supply.record(now, supply);
+            s.demand.record(now, demand);
+        }
+        let procs = view.processes();
+        if demand > supply {
+            for pid in self.priorities.degrade_order() {
+                let info = procs[pid.index()];
+                if info.done || !info.fidelity.can_degrade() {
+                    continue;
+                }
+                if view.upcall(pid, AdaptDirection::Degrade) {
+                    self.shared.borrow_mut().degrades += 1;
+                    return;
+                }
+            }
+            // Every application is already at lowest fidelity: the goal is
+            // infeasible; alert the user.
+            self.shared.borrow_mut().infeasible_signals += 1;
+        } else {
+            let hyst = self.cfg.hysteresis_supply_frac * supply
+                + self.cfg.hysteresis_initial_frac * self.cfg.initial_energy_j;
+            if supply <= demand + hyst {
+                return;
+            }
+            if let Some(last) = self.last_upgrade {
+                if now.saturating_since(last) < self.cfg.upgrade_min_interval {
+                    return;
+                }
+            }
+            for pid in self.priorities.upgrade_order() {
+                let info = procs[pid.index()];
+                if info.done || !info.fidelity.can_upgrade() {
+                    continue;
+                }
+                if view.upcall(pid, AdaptDirection::Upgrade) {
+                    self.shared.borrow_mut().upgrades += 1;
+                    self.last_upgrade = Some(now);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl ControlHook for GoalController {
+    fn on_tick(&mut self, now: SimTime, view: &mut MachineView<'_>) {
+        self.apply_extensions(now);
+        if let Some(p) = self.meter.update(now, view.energy_consumed_j()) {
+            let remaining = self.deadline.saturating_since(now).as_secs_f64();
+            self.smoother.update(p, remaining);
+        }
+        if now >= self.deadline {
+            self.shared.borrow_mut().goal_met = true;
+            view.request_stop();
+            return;
+        }
+        if now.saturating_since(SimTime::ZERO) < self.cfg.warmup {
+            return;
+        }
+        let due = match self.last_decision {
+            None => true,
+            Some(t) => now.saturating_since(t) >= self.cfg.decision_period,
+        };
+        if due {
+            self.last_decision = Some(now);
+            self.decide(now, view);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw560x::{DisplayState, EnergySource};
+    use machine::workload::ScriptedWorkload;
+    use machine::{Activity, FidelityView, Machine, MachineConfig, Step, Workload};
+    use simcore::SimTime;
+
+    /// A periodic workload whose duty cycle scales with fidelity level:
+    /// level 2 → 90% CPU, level 1 → 45%, level 0 → 10%.
+    struct DutyCycle {
+        level: usize,
+        until: SimTime,
+    }
+
+    impl DutyCycle {
+        const PERIOD: SimDuration = SimDuration::from_millis(1000);
+
+        fn duty(&self) -> f64 {
+            match self.level {
+                0 => 0.10,
+                1 => 0.45,
+                _ => 0.90,
+            }
+        }
+    }
+
+    impl Workload for DutyCycle {
+        fn name(&self) -> &'static str {
+            "duty"
+        }
+        fn display_need(&self) -> DisplayState {
+            DisplayState::Off
+        }
+        fn poll(&mut self, now: SimTime) -> Step {
+            if now >= self.until {
+                return Step::Done;
+            }
+            // Alternate burst and sleep; the burst length encodes fidelity.
+            let phase = now.as_micros() % Self::PERIOD.as_micros();
+            if phase == 0 {
+                Step::Run(Activity::Cpu {
+                    duration: Self::PERIOD.mul_f64(self.duty()),
+                    intensity: 1.0,
+                    procedure: "burn",
+                })
+            } else {
+                let next = now + (Self::PERIOD - SimDuration::from_micros(phase));
+                Step::Run(Activity::Wait { until: next })
+            }
+        }
+        fn fidelity(&self) -> FidelityView {
+            FidelityView::new(self.level, 3)
+        }
+        fn on_upcall(&mut self, dir: AdaptDirection, _now: SimTime) -> bool {
+            match dir {
+                AdaptDirection::Degrade if self.level > 0 => {
+                    self.level -= 1;
+                    true
+                }
+                AdaptDirection::Upgrade if self.level < 2 => {
+                    self.level += 1;
+                    true
+                }
+                _ => false,
+            }
+        }
+    }
+
+    fn run_goal(
+        initial_j: f64,
+        goal_s: u64,
+        workload_s: u64,
+    ) -> (GoalOutcome, machine::RunReport, GoalHandle) {
+        // Unit scenarios use tiny batteries that can drain within the
+        // default warmup; decide from the first samples instead.
+        let mut cfg = GoalConfig::paper(initial_j, SimDuration::from_secs(goal_s));
+        cfg.warmup = SimDuration::from_secs(1);
+        let mut m = Machine::new(MachineConfig {
+            source: EnergySource::battery(initial_j),
+            ..Default::default()
+        });
+        let pid = m.add_process(Box::new(DutyCycle {
+            level: 2,
+            until: SimTime::from_secs(workload_s),
+        }));
+        let (handle, hook) = GoalController::new(cfg.clone(), PriorityTable::new(vec![pid]));
+        m.add_hook(cfg.sample_period, hook);
+        let report = m.run();
+        (handle.outcome(), report, handle)
+    }
+
+    /// Rough power at each duty level: base all-off ≈ 3.47 W + duty × 9.5.
+    /// Level 2 ≈ 12.2 W, level 0 ≈ 4.5 W.
+    #[test]
+    fn controller_degrades_to_meet_tight_goal() {
+        // 300 s goal with 2000 J: full fidelity needs ~3700 J, lowest
+        // ~1350 J — feasible only after degradation.
+        let (outcome, report, _h) = run_goal(2000.0, 300, 600);
+        assert!(outcome.goal_met, "goal missed: {outcome:?}");
+        assert!(!report.exhausted);
+        assert!(outcome.degrades >= 1);
+        assert!(
+            (report.duration_secs() - 300.0).abs() < 1.0,
+            "stopped at {}",
+            report.duration_secs()
+        );
+    }
+
+    /// With abundant energy the controller never needs to degrade.
+    #[test]
+    fn abundant_energy_keeps_full_fidelity() {
+        let (outcome, report, _h) = run_goal(10_000.0, 300, 600);
+        assert!(outcome.goal_met);
+        assert_eq!(outcome.degrades, 0);
+        assert_eq!(report.adaptations_of("duty"), 0);
+    }
+
+    /// An infeasible goal is detected and flagged.
+    #[test]
+    fn infeasible_goal_is_flagged() {
+        // 100 J cannot cover 300 s even at lowest fidelity (~4.5 W).
+        let (outcome, report, _h) = run_goal(100.0, 300, 600);
+        assert!(!outcome.goal_met);
+        assert!(report.exhausted);
+        assert!(outcome.infeasible_signals > 0, "{outcome:?}");
+    }
+
+    /// After degradation, surplus energy triggers paced upgrades.
+    #[test]
+    fn upgrades_are_rate_capped() {
+        // Start scarce so it degrades, then the workload's low draw leaves
+        // surplus; upgrades must be ≥ 15 s apart.
+        let (outcome, report, _h) = run_goal(2600.0, 400, 800);
+        assert!(outcome.goal_met);
+        if outcome.upgrades >= 2 {
+            let series = &report.fidelity[0];
+            let mut ups: Vec<SimTime> = Vec::new();
+            let pts = series.points();
+            for w in pts.windows(2) {
+                if w[1].1 > w[0].1 {
+                    ups.push(pts[pts.iter().position(|p| p == &w[1]).unwrap()].0);
+                }
+            }
+            for pair in ups.windows(2) {
+                assert!(
+                    pair[1].saturating_since(pair[0]) >= SimDuration::from_secs(15),
+                    "upgrades too close: {:?}",
+                    pair
+                );
+            }
+        }
+    }
+
+    /// Supply and demand series are recorded and demand tracks supply.
+    #[test]
+    fn series_are_recorded() {
+        let (outcome, _report, handle) = run_goal(2000.0, 300, 600);
+        assert!(outcome.goal_met);
+        let supply = handle.supply_series();
+        let demand = handle.demand_series();
+        assert!(supply.len() > 100);
+        assert_eq!(supply.len(), demand.len());
+        // Near the goal, demand must track supply to within a few
+        // percent of the initial energy.
+        let t = SimTime::from_secs(290);
+        let s = supply.value_at(t).unwrap();
+        let d = demand.value_at(t).unwrap();
+        assert!(
+            (d - s).abs() / 2000.0 < 0.05,
+            "supply {s} demand {d} diverged"
+        );
+    }
+
+    /// A mid-run extension moves the deadline.
+    #[test]
+    fn goal_extension_is_applied() {
+        let cfg = GoalConfig::paper(4000.0, SimDuration::from_secs(300))
+            .with_extension(SimTime::from_secs(100), SimDuration::from_secs(400));
+        let mut m = Machine::new(MachineConfig {
+            source: EnergySource::battery(4000.0),
+            ..Default::default()
+        });
+        let pid = m.add_process(Box::new(DutyCycle {
+            level: 2,
+            until: SimTime::from_secs(800),
+        }));
+        let (handle, hook) = GoalController::new(cfg.clone(), PriorityTable::new(vec![pid]));
+        m.add_hook(cfg.sample_period, hook);
+        let report = m.run();
+        assert!(handle.outcome().goal_met);
+        assert!(
+            (report.duration_secs() - 400.0).abs() < 1.0,
+            "ended at {}",
+            report.duration_secs()
+        );
+    }
+
+    /// The controller leaves non-adaptive workloads alone.
+    #[test]
+    fn fixed_workloads_are_skipped() {
+        let mut cfg = GoalConfig::paper(50.0, SimDuration::from_secs(60));
+        cfg.warmup = SimDuration::from_secs(1);
+        let mut m = Machine::new(MachineConfig {
+            source: EnergySource::battery(50.0),
+            ..Default::default()
+        });
+        let pid = m.add_process(Box::new(ScriptedWorkload::idle_for(
+            "fixed",
+            SimDuration::from_secs(120),
+        )));
+        let (handle, hook) = GoalController::new(cfg.clone(), PriorityTable::new(vec![pid]));
+        m.add_hook(cfg.sample_period, hook);
+        let report = m.run();
+        // Nothing can adapt: infeasible signals, exhaustion before goal.
+        assert!(report.exhausted);
+        let outcome = handle.outcome();
+        assert_eq!(outcome.degrades, 0);
+        assert!(outcome.infeasible_signals > 0);
+    }
+}

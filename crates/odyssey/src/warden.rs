@@ -1,0 +1,145 @@
+//! Wardens: type-specific fidelity managers.
+//!
+//! "Code components called wardens encapsulate type-specific
+//! functionality. There is one warden for each data type in the system."
+//! A warden knows the fidelity space of its data type and how to translate
+//! a level into concrete request annotations (the map warden annotates
+//! fetches with filter/crop settings; the web warden with a JPEG quality).
+//! The viceroy holds a registry of wardens keyed by data type.
+
+use std::collections::BTreeMap;
+
+use crate::fidelity::FidelitySpace;
+
+/// A type-specific fidelity manager.
+pub trait Warden {
+    /// The data type this warden manages (unique per registry).
+    fn data_type(&self) -> &'static str;
+
+    /// The fidelity space for this type.
+    fn space(&self) -> &FidelitySpace;
+
+    /// Renders the request annotation for a level — the string a server
+    /// sees attached to a fetch (e.g. `"filter=minor-roads;crop=1"`).
+    fn annotate(&self, level: usize) -> String;
+}
+
+/// A registry of wardens, one per data type.
+#[derive(Default)]
+pub struct WardenRegistry {
+    wardens: BTreeMap<&'static str, Box<dyn Warden>>,
+}
+
+impl WardenRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a warden.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a warden for the same data type is already registered —
+    /// the paper's design has exactly one warden per type.
+    pub fn register(&mut self, warden: Box<dyn Warden>) {
+        let ty = warden.data_type();
+        assert!(
+            self.wardens.insert(ty, warden).is_none(),
+            "duplicate warden for data type {ty:?}"
+        );
+    }
+
+    /// Looks up the warden for a data type.
+    pub fn get(&self, data_type: &str) -> Option<&dyn Warden> {
+        self.wardens.get(data_type).map(|b| b.as_ref())
+    }
+
+    /// Registered data types, sorted.
+    pub fn data_types(&self) -> Vec<&'static str> {
+        self.wardens.keys().copied().collect()
+    }
+
+    /// Number of registered wardens.
+    pub fn len(&self) -> usize {
+        self.wardens.len()
+    }
+
+    /// True if no wardens are registered.
+    pub fn is_empty(&self) -> bool {
+        self.wardens.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::FidelityLevel;
+
+    struct TestWarden {
+        ty: &'static str,
+        space: FidelitySpace,
+    }
+
+    impl TestWarden {
+        fn new(ty: &'static str) -> Self {
+            TestWarden {
+                ty,
+                space: FidelitySpace::new(
+                    ty,
+                    vec![
+                        FidelityLevel {
+                            name: "low",
+                            data_ratio: 0.5,
+                            quality: 0.5,
+                        },
+                        FidelityLevel {
+                            name: "full",
+                            data_ratio: 1.0,
+                            quality: 1.0,
+                        },
+                    ],
+                ),
+            }
+        }
+    }
+
+    impl Warden for TestWarden {
+        fn data_type(&self) -> &'static str {
+            self.ty
+        }
+        fn space(&self) -> &FidelitySpace {
+            &self.space
+        }
+        fn annotate(&self, level: usize) -> String {
+            format!("{}={}", self.ty, self.space.level(level).name)
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = WardenRegistry::new();
+        reg.register(Box::new(TestWarden::new("video")));
+        reg.register(Box::new(TestWarden::new("map")));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.data_types(), vec!["map", "video"]);
+        let w = reg.get("video").unwrap();
+        assert_eq!(w.annotate(0), "video=low");
+        assert!(reg.get("speech").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate warden")]
+    fn duplicate_type_rejected() {
+        let mut reg = WardenRegistry::new();
+        reg.register(Box::new(TestWarden::new("video")));
+        reg.register(Box::new(TestWarden::new("video")));
+    }
+
+    #[test]
+    fn empty_registry() {
+        let reg = WardenRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.len(), 0);
+    }
+}

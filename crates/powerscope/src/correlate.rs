@@ -1,0 +1,168 @@
+//! The offline correlation stage.
+//!
+//! "In a later off-line stage, PowerScope combines these sequences with
+//! symbol table information from binaries and shared libraries on the
+//! profiling computer ... The result is an energy profile." Each sample's
+//! energy quantum is its current reading times the supply voltage times
+//! the gap to the next sample; the quantum is attributed to the process
+//! the PID monitor observed and the procedure its symbol table resolves
+//! the raw PC into.
+
+use std::collections::HashMap;
+
+use crate::profile::{EnergyProfile, ProcedureRow, ProcessRow};
+use crate::sample::CollectedRun;
+use crate::symbols::UNKNOWN_PROCEDURE;
+use crate::SUPPLY_VOLTS;
+
+/// Correlates a collected run into an energy profile.
+///
+/// Samples must be in time order (as the multimeter produced them). The
+/// final sample's quantum extends to the trace end. PCs with no covering
+/// symbol resolve to [`UNKNOWN_PROCEDURE`].
+pub fn correlate(run: &CollectedRun) -> EnergyProfile {
+    let trace = &run.trace;
+    let mut by_proc: HashMap<&'static str, HashMap<&'static str, (f64, f64)>> = HashMap::new();
+    let mut duration = 0.0;
+    for (i, s) in trace.samples.iter().enumerate() {
+        let next_at = trace
+            .samples
+            .get(i + 1)
+            .map(|n| n.at)
+            .unwrap_or(trace.end.max(s.at));
+        let dt = next_at.since(s.at).as_secs_f64();
+        let energy = s.current_a * SUPPLY_VOLTS * dt;
+        duration += dt;
+        let procedure = run
+            .symbols
+            .get(s.process)
+            .map(|t| t.resolve(s.pc))
+            .unwrap_or(UNKNOWN_PROCEDURE);
+        let entry = by_proc
+            .entry(s.process)
+            .or_default()
+            .entry(procedure)
+            .or_insert((0.0, 0.0));
+        entry.0 += dt;
+        entry.1 += energy;
+    }
+    let mut processes: Vec<ProcessRow> = by_proc
+        .into_iter()
+        .map(|(process, procs)| {
+            let mut procedures: Vec<ProcedureRow> = procs
+                .into_iter()
+                .map(|(procedure, (cpu_secs, energy_j))| ProcedureRow {
+                    procedure: procedure.to_string(),
+                    cpu_secs,
+                    energy_j,
+                })
+                .collect();
+            procedures.sort_by(|a, b| {
+                b.energy_j
+                    .total_cmp(&a.energy_j)
+                    .then_with(|| a.procedure.cmp(&b.procedure))
+            });
+            ProcessRow {
+                process: process.to_string(),
+                cpu_secs: procedures.iter().map(|p| p.cpu_secs).sum(),
+                energy_j: procedures.iter().map(|p| p.energy_j).sum(),
+                procedures,
+            }
+        })
+        .collect();
+    processes.sort_by(|a, b| {
+        b.energy_j
+            .total_cmp(&a.energy_j)
+            .then_with(|| a.process.cmp(&b.process))
+    });
+    EnergyProfile {
+        processes,
+        duration_secs: duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::Sample;
+    use crate::symbols::SymbolTable;
+    use simcore::SimTime;
+
+    fn run_with(samples: Vec<(u64, f64, &'static str, &'static str)>, end_ms: u64) -> CollectedRun {
+        let mut run = CollectedRun::default();
+        for (at_ms, current, process, procedure) in samples {
+            let table = run.symbols.entry(process).or_insert_with(SymbolTable::new);
+            table.intern(procedure);
+            let pc = table.pc_within(procedure, 7);
+            run.trace.samples.push(Sample {
+                at: SimTime::from_micros(at_ms * 1000),
+                current_a: current,
+                process,
+                pc,
+            });
+        }
+        run.trace.end = SimTime::from_micros(end_ms * 1000);
+        run
+    }
+
+    #[test]
+    fn quanta_extend_to_next_sample() {
+        let run = run_with(
+            vec![
+                (0, 1.0, "a", "f"),   // 12 W for 0.5 s → 6 J.
+                (500, 2.0, "b", "g"), // 24 W for 0.5 s → 12 J.
+            ],
+            1000,
+        );
+        let p = correlate(&run);
+        assert!((p.energy_of("a") - 6.0).abs() < 1e-9);
+        assert!((p.energy_of("b") - 12.0).abs() < 1e-9);
+        assert!((p.duration_secs - 1.0).abs() < 1e-9);
+        assert_eq!(p.processes[0].process, "b", "sorted by energy");
+    }
+
+    #[test]
+    fn procedures_accumulate_within_process() {
+        let run = run_with(
+            vec![
+                (0, 1.0, "a", "f"),
+                (100, 1.0, "a", "g"),
+                (200, 1.0, "a", "f"),
+            ],
+            300,
+        );
+        let p = correlate(&run);
+        assert_eq!(p.processes.len(), 1);
+        let row = &p.processes[0];
+        assert_eq!(row.procedures.len(), 2);
+        let f = row.procedures.iter().find(|r| r.procedure == "f").unwrap();
+        assert!((f.cpu_secs - 0.2).abs() < 1e-9);
+        assert!((row.energy_j - 12.0 * 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unresolvable_pcs_land_in_unknown() {
+        let mut run = run_with(vec![(0, 1.0, "a", "f")], 200);
+        // A sample from a process with no symbol table at all.
+        run.trace.samples.push(Sample {
+            at: SimTime::from_micros(100 * 1000),
+            current_a: 1.0,
+            process: "stripped",
+            pc: 0xdead_beef,
+        });
+        let p = correlate(&run);
+        let stripped = p
+            .processes
+            .iter()
+            .find(|r| r.process == "stripped")
+            .expect("stripped process present");
+        assert_eq!(stripped.procedures[0].procedure, UNKNOWN_PROCEDURE);
+    }
+
+    #[test]
+    fn empty_trace_gives_empty_profile() {
+        let p = correlate(&CollectedRun::default());
+        assert!(p.processes.is_empty());
+        assert_eq!(p.total_energy_j(), 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! The on-line PowerScope variant (Section 5.1.1).
+//!
+//! To direct adaptation, "Odyssey measures power with an on-line version
+//! of PowerScope ... using samples collected every 100 milliseconds. At
+//! each sample, Odyssey calculates residual energy, assuming a known
+//! initial value and constant power consumption between samples."
+//!
+//! [`OnlinePowerMeter`] is that instrument: fed cumulative energy readings
+//! on a fixed cadence, it yields the average power over each window.
+
+use simcore::{SimDuration, SimTime};
+
+/// Converts periodic cumulative-energy readings into power samples.
+#[derive(Clone, Copy, Debug)]
+pub struct OnlinePowerMeter {
+    last: Option<(SimTime, f64)>,
+}
+
+impl Default for OnlinePowerMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlinePowerMeter {
+    /// The paper's on-line sampling period.
+    pub const PERIOD: SimDuration = SimDuration::from_millis(100);
+
+    /// Creates an idle meter.
+    pub fn new() -> Self {
+        OnlinePowerMeter { last: None }
+    }
+
+    /// Feeds a cumulative energy reading; returns the average power since
+    /// the previous reading (`None` on the first call or for zero-length
+    /// windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if energy or time moves backwards.
+    pub fn update(&mut self, now: SimTime, total_energy_j: f64) -> Option<f64> {
+        let out = match self.last {
+            None => None,
+            Some((t0, e0)) => {
+                assert!(now >= t0, "time moved backwards");
+                assert!(
+                    total_energy_j >= e0 - 1e-9,
+                    "energy decreased: {e0} -> {total_energy_j}"
+                );
+                let dt = now.since(t0).as_secs_f64();
+                if dt > 0.0 {
+                    Some((total_energy_j - e0) / dt)
+                } else {
+                    None
+                }
+            }
+        };
+        self.last = Some((now, total_energy_j));
+        out
+    }
+
+    /// Clears the history (e.g. after a discontinuity).
+    pub fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_reading_yields_nothing() {
+        let mut m = OnlinePowerMeter::new();
+        assert_eq!(m.update(SimTime::ZERO, 0.0), None);
+    }
+
+    #[test]
+    fn power_is_energy_delta_over_dt() {
+        let mut m = OnlinePowerMeter::new();
+        m.update(SimTime::ZERO, 100.0);
+        let p = m.update(ms(100), 101.0).unwrap();
+        assert!((p - 10.0).abs() < 1e-9);
+        let p = m.update(ms(300), 105.0).unwrap();
+        assert!((p - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_dt_yields_nothing() {
+        let mut m = OnlinePowerMeter::new();
+        m.update(SimTime::from_secs(1), 5.0);
+        assert_eq!(m.update(SimTime::from_secs(1), 5.0), None);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut m = OnlinePowerMeter::new();
+        m.update(SimTime::ZERO, 0.0);
+        m.reset();
+        assert_eq!(m.update(SimTime::from_secs(1), 50.0), None);
+    }
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_micros(v * 1000)
+    }
+}

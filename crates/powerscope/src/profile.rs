@@ -1,0 +1,327 @@
+//! Energy profiles — the output of PowerScope's offline stage.
+//!
+//! A profile is two tables, as in the paper's Figure 2: a summary with one
+//! row per process (CPU time, total energy, average power), and a detail
+//! table per process with one row per procedure. [`EnergyProfile::format`]
+//! renders them in the figure's layout.
+
+use std::fmt::Write as _;
+
+/// One procedure's row in the detail table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcedureRow {
+    /// Procedure name.
+    pub procedure: String,
+    /// Attributed CPU time, seconds.
+    pub cpu_secs: f64,
+    /// Attributed energy, J.
+    pub energy_j: f64,
+}
+
+impl ProcedureRow {
+    /// Average power while this procedure was running, W.
+    pub fn avg_power_w(&self) -> f64 {
+        if self.cpu_secs > 0.0 {
+            self.energy_j / self.cpu_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One process's row in the summary table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcessRow {
+    /// Process name.
+    pub process: String,
+    /// Attributed CPU time, seconds.
+    pub cpu_secs: f64,
+    /// Attributed energy, J.
+    pub energy_j: f64,
+    /// Per-procedure detail, sorted by descending energy.
+    pub procedures: Vec<ProcedureRow>,
+}
+
+impl ProcessRow {
+    /// Average power while this process was running, W.
+    pub fn avg_power_w(&self) -> f64 {
+        if self.cpu_secs > 0.0 {
+            self.energy_j / self.cpu_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A complete energy profile.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EnergyProfile {
+    /// Per-process rows, sorted by descending energy.
+    pub processes: Vec<ProcessRow>,
+    /// Total profiled duration, seconds.
+    pub duration_secs: f64,
+}
+
+impl EnergyProfile {
+    /// Total energy across all processes, J.
+    pub fn total_energy_j(&self) -> f64 {
+        self.processes.iter().map(|p| p.energy_j).sum()
+    }
+
+    /// Total attributed CPU time, seconds.
+    pub fn total_cpu_secs(&self) -> f64 {
+        self.processes.iter().map(|p| p.cpu_secs).sum()
+    }
+
+    /// Energy attributed to `process`, J (0 when absent).
+    pub fn energy_of(&self, process: &str) -> f64 {
+        self.processes
+            .iter()
+            .find(|p| p.process == process)
+            .map(|p| p.energy_j)
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the summary table and the detail table of the top process,
+    /// in the layout of the paper's Figure 2.
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>12} {:>10}",
+            "Process", "CPU(s)", "Energy(J)", "Power(W)"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(64));
+        for p in &self.processes {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10.2} {:>12.2} {:>10.2}",
+                p.process,
+                p.cpu_secs,
+                p.energy_j,
+                p.avg_power_w()
+            );
+        }
+        let _ = writeln!(out, "{}", "-".repeat(64));
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10.2} {:>12.2}",
+            "Total",
+            self.total_cpu_secs(),
+            self.total_energy_j()
+        );
+        if let Some(top) = self.processes.first() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "Energy Usage Detail for process {}", top.process);
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10} {:>12} {:>10}",
+                "Procedure", "CPU(s)", "Energy(J)", "Power(W)"
+            );
+            let _ = writeln!(out, "{}", "-".repeat(64));
+            for f in &top.procedures {
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>10.2} {:>12.2} {:>10.2}",
+                    f.procedure,
+                    f.cpu_secs,
+                    f.energy_j,
+                    f.avg_power_w()
+                );
+            }
+        }
+        out
+    }
+}
+
+/// One row of a profile comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffRow {
+    /// Process name.
+    pub process: String,
+    /// Energy in the first profile, J.
+    pub before_j: f64,
+    /// Energy in the second profile, J.
+    pub after_j: f64,
+}
+
+impl DiffRow {
+    /// Energy change, J (negative = saved).
+    pub fn delta_j(&self) -> f64 {
+        self.after_j - self.before_j
+    }
+}
+
+impl EnergyProfile {
+    /// Compares two profiles process by process, sorted by the magnitude
+    /// of the change — the workflow the paper built PowerScope for:
+    /// "By providing fine-grained feedback, PowerScope helps expose
+    /// system components most responsible for energy consumption."
+    pub fn diff(&self, after: &EnergyProfile) -> Vec<DiffRow> {
+        let mut names: Vec<&str> = self.processes.iter().map(|p| p.process.as_str()).collect();
+        for p in &after.processes {
+            if !names.contains(&p.process.as_str()) {
+                names.push(&p.process);
+            }
+        }
+        let mut rows: Vec<DiffRow> = names
+            .into_iter()
+            .map(|n| DiffRow {
+                process: n.to_string(),
+                before_j: self.energy_of(n),
+                after_j: after.energy_of(n),
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.delta_j()
+                .abs()
+                .total_cmp(&a.delta_j().abs())
+                .then_with(|| a.process.cmp(&b.process))
+        });
+        rows
+    }
+
+    /// Renders a diff as a table.
+    pub fn format_diff(&self, after: &EnergyProfile) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>12}",
+            "Process", "Before(J)", "After(J)", "Delta(J)"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(68));
+        for r in self.diff(after) {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>12.2} {:>12.2} {:>+12.2}",
+                r.process,
+                r.before_j,
+                r.after_j,
+                r.delta_j()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12.2} {:>12.2} {:>+12.2}",
+            "Total",
+            self.total_energy_j(),
+            after.total_energy_j(),
+            after.total_energy_j() - self.total_energy_j()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> EnergyProfile {
+        EnergyProfile {
+            processes: vec![
+                ProcessRow {
+                    process: "/usr/odyssey/bin/xanim".into(),
+                    cpu_secs: 66.57,
+                    energy_j: 643.17,
+                    procedures: vec![
+                        ProcedureRow {
+                            procedure: "_Dispatcher".into(),
+                            cpu_secs: 1.2,
+                            energy_j: 12.6,
+                        },
+                        ProcedureRow {
+                            procedure: "_rpc2_RecvPacket".into(),
+                            cpu_secs: 0.7,
+                            energy_j: 7.4,
+                        },
+                    ],
+                },
+                ProcessRow {
+                    process: "Kernel".into(),
+                    cpu_secs: 35.28,
+                    energy_j: 331.91,
+                    procedures: vec![],
+                },
+            ],
+            duration_secs: 120.0,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let p = sample_profile();
+        assert!((p.total_energy_j() - 975.08).abs() < 1e-9);
+        assert!((p.total_cpu_secs() - 101.85).abs() < 1e-9);
+        assert!((p.energy_of("Kernel") - 331.91).abs() < 1e-9);
+        assert_eq!(p.energy_of("missing"), 0.0);
+    }
+
+    #[test]
+    fn avg_power() {
+        let p = sample_profile();
+        let row = &p.processes[0];
+        assert!((row.avg_power_w() - 643.17 / 66.57).abs() < 1e-9);
+        let empty = ProcessRow {
+            process: "zero".into(),
+            cpu_secs: 0.0,
+            energy_j: 0.0,
+            procedures: vec![],
+        };
+        assert_eq!(empty.avg_power_w(), 0.0);
+    }
+
+    #[test]
+    fn format_contains_figure2_elements() {
+        let text = sample_profile().format();
+        assert!(text.contains("Process"));
+        assert!(text.contains("Energy(J)"));
+        assert!(text.contains("xanim"));
+        assert!(text.contains("Total"));
+        assert!(text.contains("Energy Usage Detail for process"));
+        assert!(text.contains("_Dispatcher"));
+    }
+
+    #[test]
+    fn diff_ranks_by_change_magnitude() {
+        let before = sample_profile();
+        let mut after = sample_profile();
+        after.processes[0].energy_j = 300.0; // xanim saved ~343 J.
+        after.processes[1].energy_j = 350.0; // kernel grew ~18 J.
+        let rows = before.diff(&after);
+        assert_eq!(rows[0].process, "/usr/odyssey/bin/xanim");
+        assert!((rows[0].delta_j() + 343.17).abs() < 1e-9);
+        assert!(rows[1].delta_j() > 0.0);
+        let text = before.format_diff(&after);
+        assert!(text.contains("Delta(J)"));
+        assert!(text.contains("Total"));
+    }
+
+    #[test]
+    fn diff_includes_processes_unique_to_either_side() {
+        let before = sample_profile();
+        let after = EnergyProfile {
+            processes: vec![ProcessRow {
+                process: "newcomer".into(),
+                cpu_secs: 1.0,
+                energy_j: 5.0,
+                procedures: vec![],
+            }],
+            duration_secs: 1.0,
+        };
+        let rows = before.diff(&after);
+        assert!(rows
+            .iter()
+            .any(|r| r.process == "newcomer" && r.before_j == 0.0));
+        assert!(rows
+            .iter()
+            .any(|r| r.process == "Kernel" && r.after_j == 0.0));
+    }
+
+    #[test]
+    fn empty_profile_formats() {
+        let p = EnergyProfile::default();
+        let text = p.format();
+        assert!(text.contains("Total"));
+        assert!(!text.contains("Detail"));
+    }
+}

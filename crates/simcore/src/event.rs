@@ -1,0 +1,214 @@
+//! Event queue with deterministic tie-breaking.
+//!
+//! Discrete-event simulation requires a total order over pending events.
+//! Two events scheduled for the same instant are ordered by the sequence in
+//! which they were pushed, so a run is a pure function of its inputs and
+//! seed — a property every experiment in this workspace relies on when it
+//! reports "mean of five trials" over seeded repetitions.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A handle that identifies a scheduled event so it can be cancelled.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    cancelled: bool,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; reverse so the earliest (time, seq)
+        // pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "later");
+/// q.push(SimTime::from_secs(1), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_secs(1), "sooner"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Schedules `event` at instant `at` and returns a cancellation handle.
+    pub fn push(&mut self, at: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            cancelled: false,
+            event,
+        });
+        self.live += 1;
+        EventId(seq)
+    }
+
+    /// Removes and returns the earliest pending event.
+    ///
+    /// Events scheduled for the same instant pop in push order. Cancelled
+    /// events are skipped.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if !entry.cancelled {
+                self.live -= 1;
+                return Some((entry.at, entry.event));
+            }
+        }
+        None
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if entry.cancelled {
+                self.heap.pop();
+            } else {
+                return Some(entry.at);
+            }
+        }
+        None
+    }
+
+    /// Cancels a previously-scheduled event.
+    ///
+    /// Returns `true` if the event was pending and is now cancelled, `false`
+    /// if it had already fired or been cancelled. Cancellation is O(n) in
+    /// the number of pending events; callers cancel rarely (device timeout
+    /// resets), so this is acceptable and keeps pops O(log n).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let mut found = false;
+        // `BinaryHeap` offers no in-place mutation; rebuild via drain. The
+        // queue stays small (tens of entries) in every workload we run.
+        let entries: Vec<Entry<E>> = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .map(|mut e| {
+                if e.seq == id.0 && !e.cancelled {
+                    e.cancelled = true;
+                    found = true;
+                }
+                e
+            })
+            .collect();
+        if found {
+            self.live -= 1;
+        }
+        found
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 'c');
+        q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_push_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let id_a = q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(id_a));
+        assert!(!q.cancel(id_a), "double cancel must report false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let id = q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(5), "b");
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

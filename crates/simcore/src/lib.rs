@@ -1,0 +1,24 @@
+//! Deterministic discrete-event simulation core.
+//!
+//! This crate provides the substrate shared by every other crate in the
+//! workspace: simulated time ([`SimTime`], [`SimDuration`]), an event queue
+//! with deterministic tie-breaking ([`EventQueue`]), reproducible random
+//! streams ([`SimRng`]), and the statistics used to report experiment
+//! results the way the paper does ([`stats`]) — "mean of five trials" with
+//! 90% confidence intervals, plus the least-squares linear models of
+//! Figures 11 and 14.
+//!
+//! Nothing in this crate knows about power, hardware, or Odyssey; it is a
+//! generic, allocation-light simulation kernel.
+
+pub mod event;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use series::TimeSeries;
+pub use stats::{LinearFit, TrialStats};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,73 @@
+//! Quickstart: how much energy does fidelity buy?
+//!
+//! Plays one video clip three ways — baseline (no power management),
+//! hardware-only power management, and lowest fidelity with power
+//! management — and prints the energy bill for each, with the per-process
+//! breakdown the paper shades into its bars.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use energy_adaptation::apps::datasets::{VideoClip, VIDEO_CLIPS};
+use energy_adaptation::apps::{VideoPlayer, VideoVariant};
+use energy_adaptation::machine::{Machine, MachineConfig, RunReport};
+use energy_adaptation::simcore::SimRng;
+
+/// A 30-second excerpt keeps the example fast.
+fn short_clip() -> VideoClip {
+    VideoClip {
+        duration_s: 30.0,
+        ..VIDEO_CLIPS[0]
+    }
+}
+
+fn play(clip: VideoClip, variant: VideoVariant, pm: bool, seed: u64) -> RunReport {
+    let mut rng = SimRng::new(seed);
+    let cfg = if pm {
+        MachineConfig::default()
+    } else {
+        MachineConfig::baseline()
+    };
+    let mut machine = Machine::new(cfg);
+    machine.add_process(Box::new(VideoPlayer::fixed(clip, variant, &mut rng)));
+    machine.run()
+}
+
+fn describe(label: &str, report: &RunReport) {
+    println!(
+        "{label:<42} {:7.1} J over {:5.1} s ({:.2} W)",
+        report.total_j,
+        report.duration_secs(),
+        report.total_j / report.duration_secs()
+    );
+    for (bucket, joules) in &report.buckets {
+        println!("    {bucket:<12} {joules:8.1} J");
+    }
+}
+
+fn main() {
+    let clip = short_clip();
+    println!(
+        "Playing {} ({} s at {:.2} Mb/s)\n",
+        clip.name,
+        clip.duration_s,
+        clip.bitrate_bps / 1e6
+    );
+
+    let baseline = play(clip, VideoVariant::Full, false, 42);
+    let hw_only = play(clip, VideoVariant::Full, true, 42);
+    let lowest = play(clip, VideoVariant::Combined, true, 42);
+
+    describe("Baseline (full fidelity, no power mgmt)", &baseline);
+    describe("Hardware-only power management", &hw_only);
+    describe("Lowest fidelity + power management", &lowest);
+
+    println!();
+    println!(
+        "Hardware power management alone saves {:.0}%",
+        (1.0 - hw_only.total_j / baseline.total_j) * 100.0
+    );
+    println!(
+        "Adding fidelity adaptation saves {:.0}% overall",
+        (1.0 - lowest.total_j / baseline.total_j) * 100.0
+    );
+}

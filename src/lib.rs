@@ -1,0 +1,54 @@
+//! Energy-aware adaptation for mobile applications — a Rust reproduction
+//! of Flinn & Satyanarayanan (SOSP '99).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! - [`simcore`] — deterministic discrete-event simulation core;
+//! - [`hw560x`] — the calibrated IBM ThinkPad 560X power model;
+//! - [`netsim`] — the shared 2 Mb/s WaveLAN link;
+//! - [`machine`] — the client-machine simulator (scheduler, devices,
+//!   energy accounting with PowerScope-style attribution);
+//! - [`powerscope`] — the statistical energy profiler;
+//! - [`odyssey`] — the Odyssey platform: wardens, fidelity, expectations,
+//!   and the goal-directed energy-adaptation controller;
+//! - [`apps`] — the four adaptive applications plus composite and bursty
+//!   workloads;
+//! - [`backlight`] — the zoned-backlighting projection;
+//! - [`experiments`] — one module per table/figure of the paper.
+//!
+//! # Quickstart
+//!
+//! Measure a video playback under the paper's two power regimes:
+//!
+//! ```
+//! use energy_adaptation::apps::datasets::VIDEO_CLIPS;
+//! use energy_adaptation::apps::{VideoPlayer, VideoVariant};
+//! use energy_adaptation::machine::{Machine, MachineConfig};
+//! use energy_adaptation::simcore::SimRng;
+//!
+//! let mut rng = SimRng::new(42);
+//! let clip = energy_adaptation::apps::datasets::VideoClip {
+//!     duration_s: 10.0,
+//!     ..VIDEO_CLIPS[0]
+//! };
+//!
+//! let mut baseline = Machine::new(MachineConfig::baseline());
+//! baseline.add_process(Box::new(VideoPlayer::fixed(clip, VideoVariant::Full, &mut rng)));
+//! let base = baseline.run();
+//!
+//! let mut managed = Machine::new(MachineConfig::default());
+//! managed.add_process(Box::new(VideoPlayer::fixed(clip, VideoVariant::Combined, &mut rng)));
+//! let low = managed.run();
+//!
+//! assert!(low.total_j < base.total_j * 0.8, "adaptation + PM saves energy");
+//! ```
+
+pub use backlight;
+pub use experiments;
+pub use hw560x;
+pub use machine;
+pub use netsim;
+pub use odyssey;
+pub use odyssey_apps as apps;
+pub use powerscope;
+pub use simcore;

@@ -1,0 +1,224 @@
+//! Property-based tests over the simulator's core invariants.
+//!
+//! These run the public API against randomized inputs: link byte
+//! conservation under arbitrary flow interleavings, platform power
+//! monotonicity, energy-ledger balance for random workload scripts, and
+//! smoothing-operator bounds.
+
+use energy_adaptation::hw560x::{
+    DeviceStates, DiskState, DisplayState, PlatformPower, PlatformSpec, RadioState,
+};
+use energy_adaptation::machine::workload::ScriptedWorkload;
+use energy_adaptation::machine::{Activity, Machine, MachineConfig};
+use energy_adaptation::netsim::SharedLink;
+use energy_adaptation::odyssey::Smoother;
+use energy_adaptation::simcore::{EventQueue, SimDuration, SimTime, TimeSeries, TrialStats};
+use proptest::prelude::*;
+
+fn display_strategy() -> impl Strategy<Value = DisplayState> {
+    prop_oneof![
+        Just(DisplayState::Off),
+        Just(DisplayState::Dim),
+        Just(DisplayState::Bright),
+    ]
+}
+
+fn disk_strategy() -> impl Strategy<Value = DiskState> {
+    prop_oneof![
+        Just(DiskState::Active),
+        Just(DiskState::Idle),
+        Just(DiskState::Standby),
+        Just(DiskState::SpinningUp),
+    ]
+}
+
+fn radio_strategy() -> impl Strategy<Value = RadioState> {
+    prop_oneof![
+        Just(RadioState::Active),
+        Just(RadioState::Idle),
+        Just(RadioState::Standby),
+    ]
+}
+
+proptest! {
+    /// Total power equals the sum of its breakdown, is positive, and is
+    /// monotone in CPU load, for every device-state combination.
+    #[test]
+    fn platform_power_is_consistent(
+        display in display_strategy(),
+        disk in disk_strategy(),
+        radio in radio_strategy(),
+        load in 0.0f64..=1.0,
+    ) {
+        let p = PlatformPower::new(PlatformSpec::thinkpad_560x());
+        let s = DeviceStates { display, disk, radio, cpu_load: load };
+        let b = p.breakdown(&s);
+        prop_assert!((b.total_w() - p.power_w(&s)).abs() < 1e-12);
+        prop_assert!(p.power_w(&s) > 3.0, "below base power");
+        let hotter = DeviceStates { cpu_load: (load + 0.1).min(1.0), ..s };
+        prop_assert!(p.power_w(&hotter) >= p.power_w(&s));
+    }
+
+    /// A shared link delivers every byte exactly once, no matter how
+    /// flows interleave: total transfer time of a batch equals the
+    /// aggregate bytes over capacity once the link drains.
+    #[test]
+    fn link_conserves_bytes(
+        sizes in prop::collection::vec(1_000u64..500_000, 1..12),
+        gaps_ms in prop::collection::vec(0u64..800, 1..12),
+    ) {
+        let mut link = SharedLink::new(2.0e6);
+        let mut t = SimTime::ZERO;
+        let mut started = 0u64;
+        for (size, gap) in sizes.iter().zip(gaps_ms.iter().cycle()) {
+            t += SimDuration::from_millis(*gap);
+            link.advance(t);
+            link.start_flow(t, *size);
+            started += size;
+        }
+        // Drain: no flow can outlive total_bytes/capacity once alone.
+        let drain = SimDuration::from_secs_f64(started as f64 * 8.0 / 2.0e6 + 1.0);
+        link.advance(t + drain);
+        let mut completed = 0usize;
+        while link.take_completed().is_some() {
+            completed += 1;
+        }
+        prop_assert_eq!(completed, sizes.len());
+        prop_assert_eq!(link.active_count(), 0);
+        prop_assert_eq!(link.total_bytes_carried(), started);
+    }
+
+    /// Machine energy accounting balances for random workload scripts:
+    /// bucket totals and component totals both equal total energy, and
+    /// average power stays within the platform's physical envelope.
+    #[test]
+    fn ledger_balances_for_random_scripts(
+        script in prop::collection::vec((0u8..4, 1u64..800), 1..10),
+        pm in any::<bool>(),
+    ) {
+        let mut activities = Vec::new();
+        let mut wait_at = 0u64;
+        for (kind, amount) in &script {
+            let a = match kind {
+                0 => Activity::Cpu {
+                    duration: SimDuration::from_millis(*amount),
+                    intensity: (*amount % 100) as f64 / 100.0,
+                    procedure: "work",
+                },
+                1 => Activity::BulkFetch {
+                    bytes: *amount * 200,
+                    procedure: "fetch",
+                },
+                2 => Activity::XRender {
+                    cost: SimDuration::from_millis(*amount / 2 + 1),
+                },
+                _ => {
+                    wait_at += amount;
+                    Activity::Wait {
+                        until: SimTime::from_micros(wait_at * 1000),
+                    }
+                }
+            };
+            activities.push(a);
+        }
+        let cfg = if pm { MachineConfig::default() } else { MachineConfig::baseline() };
+        let mut m = Machine::new(cfg);
+        m.add_process(Box::new(ScriptedWorkload::new("fuzz", activities)));
+        let report = m.run();
+        let bucket_sum: f64 = report.buckets.iter().map(|(_, j)| j).sum();
+        prop_assert!((bucket_sum - report.total_j).abs() < 1e-6);
+        prop_assert!((report.components.total_j() - report.total_j).abs() < 1e-6);
+        if report.duration_secs() > 0.0 {
+            let avg = report.total_j / report.duration_secs();
+            prop_assert!((3.0..25.0).contains(&avg), "implausible power {avg}");
+        }
+    }
+
+    /// The exponential smoother's output always lies within the range of
+    /// the samples it has seen.
+    #[test]
+    fn smoother_is_bounded_by_inputs(
+        samples in prop::collection::vec(0.1f64..50.0, 1..200),
+        remaining in 1.0f64..10_000.0,
+    ) {
+        let mut s = Smoother::new(0.10, SimDuration::from_millis(100));
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for x in &samples {
+            lo = lo.min(*x);
+            hi = hi.max(*x);
+            let v = s.update(*x, remaining);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Events pop in (time, insertion) order no matter how they were
+    /// pushed, and cancellation removes exactly the cancelled events.
+    #[test]
+    fn event_queue_total_order(
+        times in prop::collection::vec(0u64..1_000, 1..64),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (q.push(SimTime::from_micros(*t), i), *t))
+            .collect();
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        for ((id, t), cancel) in ids.iter().zip(cancel_mask.iter().cycle()) {
+            if *cancel {
+                prop_assert!(q.cancel(*id));
+            } else {
+                // Identify by payload index via the push order.
+                expected.push((*t, expected.len()));
+            }
+        }
+        let mut last: Option<SimTime> = None;
+        let mut popped = 0usize;
+        while let Some((at, _payload)) = q.pop() {
+            if let Some(prev) = last {
+                prop_assert!(at >= prev, "time went backwards");
+            }
+            last = Some(at);
+            popped += 1;
+        }
+        prop_assert_eq!(popped, expected.len());
+        prop_assert!(q.is_empty());
+    }
+
+    /// Step-function semantics: the resampled value at any grid point
+    /// equals `value_at` of that instant.
+    #[test]
+    fn time_series_resample_matches_value_at(
+        deltas in prop::collection::vec(1u64..10_000, 1..40),
+        values in prop::collection::vec(-100.0f64..100.0, 1..40),
+        step_us in 500u64..5_000,
+    ) {
+        let mut s = TimeSeries::new("prop");
+        let mut t = SimTime::ZERO;
+        for (d, v) in deltas.iter().zip(values.iter().cycle()) {
+            t += SimDuration::from_micros(*d);
+            s.record(t, *v);
+        }
+        let end = t + SimDuration::from_micros(1_000);
+        for (at, v) in s.resample(SimDuration::from_micros(step_us), end) {
+            prop_assert_eq!(Some(v), s.value_at(at));
+        }
+    }
+
+    /// Trial statistics are scale-equivariant: scaling all observations
+    /// scales mean, sd and CI by the same factor.
+    #[test]
+    fn trial_stats_scale(
+        values in prop::collection::vec(0.1f64..1e4, 2..20),
+        k in 0.1f64..100.0,
+    ) {
+        let base = TrialStats::from_values(&values);
+        let scaled_values: Vec<f64> = values.iter().map(|v| v * k).collect();
+        let scaled = TrialStats::from_values(&scaled_values);
+        prop_assert!((scaled.mean - base.mean * k).abs() < 1e-6 * base.mean.abs().max(1.0) * k);
+        prop_assert!((scaled.sd - base.sd * k).abs() < 1e-6 * (base.sd * k).max(1.0));
+        prop_assert!((scaled.ci90 - base.ci90 * k).abs() < 1e-6 * (base.ci90 * k).max(1.0));
+    }
+}
