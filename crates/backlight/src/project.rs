@@ -78,6 +78,8 @@ mod tests {
             exhausted: false,
             residual_j: f64::INFINITY,
             bytes_carried: 0,
+            rpc_timeouts: 0,
+            rpc_retries: 0,
         }
     }
 

@@ -1,17 +1,9 @@
-//! Regenerates the controller ablation study as a benchmark.
+//! Regenerates the paper's controller ablations as a plain timing benchmark: one
+//! reduced-trial run of the experiment per iteration.
 
-use bench::bench_trials;
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
-    let trials = bench_trials();
-    let mut group = c.benchmark_group("ablate");
-    group.sample_size(10);
-    group.bench_function("run", |b| {
-        b.iter(|| std::hint::black_box(experiments::ablate::run(&trials)))
+fn main() {
+    let trials = bench::bench_trials();
+    bench::run_bench("ablate", 5, || {
+        std::hint::black_box(experiments::ablate::run(&trials));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

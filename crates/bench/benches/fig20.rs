@@ -1,18 +1,9 @@
-//! Regenerates the paper's Figure 20 (goal summary) as a benchmark: one reduced-trial run of
-//! the experiment per iteration.
+//! Regenerates the paper's Figure 20 experiment as a plain timing benchmark: one
+//! reduced-trial run of the experiment per iteration.
 
-use bench::bench_trials;
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
-    let trials = bench_trials();
-    let mut group = c.benchmark_group("fig20");
-    group.sample_size(10);
-    group.bench_function("run", |b| {
-        b.iter(|| std::hint::black_box(experiments::fig20::run(&trials)))
+fn main() {
+    let trials = bench::bench_trials();
+    bench::run_bench("fig20", 5, || {
+        std::hint::black_box(experiments::fig20::run(&trials));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

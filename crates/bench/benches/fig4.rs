@@ -1,13 +1,7 @@
-//! Regenerates the paper's Figure 4 (platform power table) as a
-//! benchmark.
+//! Regenerates the paper's Figure 4 table as a plain timing benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
-    c.bench_function("fig4/run", |b| {
-        b.iter(|| std::hint::black_box(experiments::fig4::run()))
+fn main() {
+    bench::run_bench("fig4", 20, || {
+        std::hint::black_box(experiments::fig4::run());
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

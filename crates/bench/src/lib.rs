@@ -1,16 +1,38 @@
-//! Benchmark support: shared trial configurations for the per-figure
-//! Criterion benches in `benches/`.
+//! Benchmark support: shared trial configuration and a dependency-free
+//! timing harness for the per-figure benches in `benches/`.
 //!
 //! Each bench target regenerates one table or figure of the paper with a
 //! reduced trial count, so `cargo bench` doubles as an end-to-end check
 //! that every experiment still runs and as a performance baseline for the
-//! simulator itself.
+//! simulator itself. The harness is deliberately minimal (no external
+//! crates): it warms up, runs a fixed number of timed iterations, and
+//! prints min/mean/max wall-clock times.
+
+use std::time::Instant;
 
 use experiments::harness::Trials;
 
 /// Trials used by benches: one repetition, fixed seed.
 pub fn bench_trials() -> Trials {
     Trials { n: 1, seed: 42 }
+}
+
+/// Times `f` over `iters` iterations (after one warm-up call) and prints
+/// a one-line summary. Use `std::hint::black_box` inside `f` to keep the
+/// optimizer honest.
+pub fn run_bench(name: &str, iters: usize, mut f: impl FnMut()) {
+    assert!(iters > 0, "bench needs at least one iteration");
+    f(); // warm-up
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(0.0f64, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!("{name}: mean {mean:.4} s, min {min:.4} s, max {max:.4} s ({iters} iters)");
 }
 
 #[cfg(test)]
@@ -22,5 +44,12 @@ mod tests {
         let t = bench_trials();
         assert_eq!(t.n, 1);
         assert_eq!(t.seed, 42);
+    }
+
+    #[test]
+    fn run_bench_executes_the_closure() {
+        let mut n = 0usize;
+        run_bench("noop", 3, || n += 1);
+        assert_eq!(n, 4, "warm-up plus three timed iterations");
     }
 }

@@ -10,7 +10,7 @@
 //! or the supply is exhausted.
 
 use hw560x::EnergySource;
-use machine::{Machine, MachineConfig, RunReport, Workload as _};
+use machine::{FaultConfig, Machine, MachineConfig, RunReport, Workload as _};
 use odyssey::goal::MONITOR_OVERHEAD_W;
 use odyssey::{GoalConfig, GoalController, GoalOutcome, PriorityTable};
 use odyssey_apps::bursty::{BurstyMember, BurstyRole};
@@ -39,9 +39,14 @@ impl GoalRun {
     }
 }
 
+/// The safety-net horizon the composite rig uses for a given goal.
+pub fn composite_horizon(goal: SimDuration) -> SimTime {
+    SimTime::ZERO + goal * 3 + SimDuration::from_secs(600)
+}
+
 /// Runs the composite + video workload under a goal controller.
 pub fn run_composite_goal(cfg: GoalConfig, rng: &mut SimRng) -> GoalRun {
-    run_composite_goal_custom(cfg, false, rng)
+    run_composite_goal_full(cfg, false, FaultConfig::clean(), rng)
 }
 
 /// Like [`run_composite_goal`], optionally reversing the priority order
@@ -51,11 +56,31 @@ pub fn run_composite_goal_custom(
     reverse_priorities: bool,
     rng: &mut SimRng,
 ) -> GoalRun {
+    run_composite_goal_full(cfg, reverse_priorities, FaultConfig::clean(), rng)
+}
+
+/// Like [`run_composite_goal`], with a fault-injection configuration for
+/// the substrate (link faults, RPC retry policy, lying battery gauge).
+pub fn run_composite_goal_faulted(
+    cfg: GoalConfig,
+    faults: FaultConfig,
+    rng: &mut SimRng,
+) -> GoalRun {
+    run_composite_goal_full(cfg, false, faults, rng)
+}
+
+fn run_composite_goal_full(
+    cfg: GoalConfig,
+    reverse_priorities: bool,
+    faults: FaultConfig,
+    rng: &mut SimRng,
+) -> GoalRun {
     let goal = cfg.goal;
-    let horizon = SimTime::ZERO + goal * 3 + SimDuration::from_secs(600);
+    let horizon = composite_horizon(goal);
     let mut m = Machine::new(MachineConfig {
         source: EnergySource::battery(cfg.initial_energy_j),
         monitor_overhead_w: MONITOR_OVERHEAD_W,
+        faults,
         ..Default::default()
     });
     // Members arrive as [speech, web, map].

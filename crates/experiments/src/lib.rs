@@ -25,9 +25,11 @@
 //! | [`sec54`]| Section 5.4: 90 kJ, 2:45 h goal + 30 min extension    |
 //! | [`headline`]| Section 1/3.8: overall savings summary             |
 //! | [`ablate`]| Controller design-choice ablations (beyond the paper)|
+//! | [`chaos`] | Fault-intensity sweep: paper vs hardened controller   |
 
 pub mod ablate;
 pub mod barchart;
+pub mod chaos;
 pub mod fig10;
 pub mod fig11;
 pub mod fig13;

@@ -14,9 +14,9 @@
 
 use experiments::{harness::Trials, *};
 
-const ALL: [&str; 18] = [
+const ALL: [&str; 19] = [
     "fig2", "fig4", "fig6", "fig8", "fig10", "fig11", "fig13", "fig14", "fig15", "fig16", "fig18",
-    "fig19", "fig20", "fig21", "fig22", "sec54", "headline", "ablate",
+    "fig19", "fig20", "fig21", "fig22", "sec54", "headline", "ablate", "chaos",
 ];
 
 fn usage() -> ! {
@@ -86,6 +86,7 @@ fn main() {
             "sec54" => sec54::render(&trials),
             "headline" => headline::render(&trials),
             "ablate" => ablate::render(&trials),
+            "chaos" => chaos::render(&trials),
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage()

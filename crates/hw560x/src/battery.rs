@@ -7,6 +7,8 @@
 //! an initial energy value (12,000 J, 13,000 J, or 90,000 J) and the
 //! experiment ends when the workload completes or the supply reaches zero.
 
+use simcore::{fault::hash_noise, SimTime};
+
 /// An energy supply being drained by the platform.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum EnergySource {
@@ -73,9 +75,100 @@ impl EnergySource {
     }
 }
 
+/// Error model of the battery fuel gauge: what the software *reads*, as
+/// opposed to what the cell *holds*.
+///
+/// The paper sidesteps gauge error by running from an external supply and
+/// handing Odyssey an exact initial-energy figure; a deployed client gets
+/// neither luxury. The model composes four effects observed in smart
+/// batteries: a proportional calibration bias, a coulomb-counter drift
+/// that grows linearly with time, zero-mean proportional read noise, and
+/// quantization to the gauge's reporting step.
+///
+/// `read` is a pure function of `(now, true_j)` — per-instant noise comes
+/// from [`hash_noise`], not an rng stream — so a read-only probe can call
+/// it any number of times without perturbing determinism.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatteryGauge {
+    /// Seed for the per-read noise hash.
+    pub seed: u64,
+    /// Proportional calibration bias: +0.1 reads 10% optimistic.
+    pub bias_frac: f64,
+    /// Coulomb-counter drift, J of over-report per simulated second.
+    pub drift_j_per_s: f64,
+    /// Standard-deviation-scale read noise as a fraction of the reading.
+    pub noise_frac: f64,
+    /// Reporting quantum, J (readings are floored to a multiple of it).
+    pub quantum_j: f64,
+}
+
+impl BatteryGauge {
+    /// An ideal gauge: reads the true value exactly.
+    pub fn ideal() -> Self {
+        BatteryGauge {
+            seed: 0,
+            bias_frac: 0.0,
+            drift_j_per_s: 0.0,
+            noise_frac: 0.0,
+            quantum_j: 0.0,
+        }
+    }
+
+    /// A hostile gauge scaled by `intensity` in `[0, 1]`: at full
+    /// intensity it reads 20% optimistic, drifts upward 0.5 J/s, carries
+    /// 2% read noise, and reports in 50 J steps. The optimistic sign is
+    /// the dangerous one — a pessimistic gauge merely wastes fidelity,
+    /// an optimistic one walks the client into a dead battery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity` is outside `[0, 1]`.
+    pub fn hostile(seed: u64, intensity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&intensity),
+            "invalid intensity: {intensity}"
+        );
+        BatteryGauge {
+            seed,
+            bias_frac: 0.20 * intensity,
+            drift_j_per_s: 0.5 * intensity,
+            noise_frac: 0.02 * intensity,
+            quantum_j: 50.0 * intensity,
+        }
+    }
+
+    /// True when the gauge introduces no error at all.
+    pub fn is_ideal(&self) -> bool {
+        self.bias_frac == 0.0
+            && self.drift_j_per_s == 0.0
+            && self.noise_frac == 0.0
+            && self.quantum_j == 0.0
+    }
+
+    /// What the gauge reports at `now` when the cell truly holds
+    /// `true_j`. Deterministic in `(now, true_j)`; never negative; an
+    /// infinite `true_j` (external supply) passes through untouched.
+    pub fn read(&self, now: SimTime, true_j: f64) -> f64 {
+        if self.is_ideal() || true_j.is_infinite() {
+            return true_j;
+        }
+        let mut v = true_j * (1.0 + self.bias_frac) + self.drift_j_per_s * now.as_secs_f64();
+        if self.noise_frac > 0.0 {
+            // One noise draw per 100 ms bucket so back-to-back reads agree.
+            let tick = now.as_micros() / 100_000;
+            v *= 1.0 + self.noise_frac * hash_noise(self.seed, tick);
+        }
+        if self.quantum_j > 0.0 {
+            v = (v / self.quantum_j).floor() * self.quantum_j;
+        }
+        v.max(0.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simcore::SimDuration;
 
     #[test]
     fn external_is_never_exhausted() {
@@ -113,5 +206,44 @@ mod tests {
     #[should_panic(expected = "invalid drain")]
     fn negative_drain_panics() {
         EnergySource::External.drain(-1.0);
+    }
+
+    #[test]
+    fn ideal_gauge_is_transparent() {
+        let g = BatteryGauge::ideal();
+        assert!(g.is_ideal());
+        assert_eq!(g.read(SimTime::from_secs(100), 5_000.0), 5_000.0);
+        assert_eq!(g.read(SimTime::ZERO, f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn hostile_gauge_reads_optimistic_and_deterministic() {
+        let g = BatteryGauge::hostile(7, 1.0);
+        let now = SimTime::from_secs(600);
+        let a = g.read(now, 6_000.0);
+        let b = g.read(now, 6_000.0);
+        assert_eq!(a, b, "same instant, same reading");
+        // Bias +20% and drift +0.5 J/s dominate the ±2% noise.
+        assert!(a > 6_000.0, "hostile gauge should over-report: {a}");
+        // Quantized to 50 J steps.
+        assert_eq!(a % 50.0, 0.0);
+        // Noise means two different instants read differently even at
+        // equal true energy (drift aside).
+        let later = g.read(now + SimDuration::from_secs(1), 6_000.0);
+        assert_ne!(a, later);
+    }
+
+    #[test]
+    fn gauge_never_goes_negative() {
+        let g = BatteryGauge::hostile(3, 1.0);
+        for s in 0..100 {
+            let v = g.read(SimTime::from_secs(s), 1.0);
+            assert!(v >= 0.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn zero_intensity_gauge_is_ideal() {
+        assert!(BatteryGauge::hostile(1, 0.0).is_ideal());
     }
 }

@@ -24,7 +24,7 @@ pub mod platform;
 pub mod policy;
 pub mod wavelan;
 
-pub use battery::EnergySource;
+pub use battery::{BatteryGauge, EnergySource};
 pub use calib::PlatformSpec;
 pub use disk::{DiskModel, DiskState};
 pub use display::{DisplayModel, DisplayState};

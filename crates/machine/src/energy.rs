@@ -148,8 +148,12 @@ pub struct RunReport {
     pub exhausted: bool,
     /// Energy remaining in the supply at the end (∞ for external).
     pub residual_j: f64,
-    /// Bytes carried over the wireless link.
+    /// Bytes carried over the wireless link (including aborted attempts).
     pub bytes_carried: u64,
+    /// RPC attempts aborted by the retry policy's timeout.
+    pub rpc_timeouts: u64,
+    /// RPC attempts re-issued after a timeout.
+    pub rpc_retries: u64,
 }
 
 impl RunReport {
@@ -253,6 +257,8 @@ mod tests {
             exhausted: false,
             residual_j: f64::INFINITY,
             bytes_carried: 0,
+            rpc_timeouts: 0,
+            rpc_retries: 0,
         };
         assert_eq!(report.bucket_j("xanim"), 20.0);
         assert_eq!(report.bucket_j("nope"), 0.0);

@@ -21,12 +21,14 @@
 
 pub mod activity;
 pub mod energy;
+pub mod faults;
 pub mod machine;
 pub mod observer;
 pub mod workload;
 
 pub use activity::{Activity, AdaptDirection, FidelityView, Step};
 pub use energy::{ComponentTotals, ProcDetail, RunReport};
+pub use faults::{FaultConfig, RpcPolicy};
 pub use machine::{ControlHook, Machine, MachineConfig, MachineView, Pid, ProcessInfo};
 pub use observer::{IntervalObserver, IntervalRecord, ShareEntry};
 pub use workload::Workload;

@@ -20,12 +20,13 @@ use hw560x::{
     DeviceStates, DiskModel, DiskState, DisplayState, EnergySource, PlatformPower, PlatformSpec,
     PmPolicy, RadioModel,
 };
-use netsim::{FlowId, SharedLink, RPC_LATENCY, WAVELAN_CAPACITY_BPS};
+use netsim::{FlowId, LinkFaultTimeline, SharedLink, RPC_LATENCY, WAVELAN_CAPACITY_BPS};
 use simcore::event::EventId;
-use simcore::{EventQueue, SimDuration, SimTime, TimeSeries};
+use simcore::{EventQueue, SimDuration, SimRng, SimTime, TimeSeries};
 
 use crate::activity::{Activity, AdaptDirection, FidelityView, Step};
 use crate::energy::{Ledger, RunReport};
+use crate::faults::FaultConfig;
 use crate::observer::{IntervalObserver, IntervalRecord, ShareEntry};
 use crate::workload::Workload;
 use crate::{BUCKET_IDLE, BUCKET_KERNEL, BUCKET_ODYSSEY, BUCKET_WAVELAN, BUCKET_X};
@@ -72,6 +73,9 @@ pub struct MachineConfig {
     /// 5.1.4: ~10 mW for SmartBattery-class measurement plus ~4 mW for
     /// demand prediction). Zero when no monitor is deployed.
     pub monitor_overhead_w: f64,
+    /// Substrate fault model; [`FaultConfig::clean`] (the default)
+    /// reproduces the paper's bench conditions exactly.
+    pub faults: FaultConfig,
 }
 
 impl Default for MachineConfig {
@@ -82,6 +86,7 @@ impl Default for MachineConfig {
             link_bps: WAVELAN_CAPACITY_BPS,
             source: EnergySource::External,
             monitor_overhead_w: 0.0,
+            faults: FaultConfig::clean(),
         }
     }
 }
@@ -131,8 +136,21 @@ impl MachineView<'_> {
         self.m.ledger.total_j()
     }
 
-    /// Energy remaining in the supply, J (∞ for an external supply).
+    /// Energy remaining in the supply as the battery gauge reports it, J
+    /// (∞ for an external supply). Under a faulty gauge this is what a
+    /// deployed controller would actually see; use
+    /// [`MachineView::true_residual_j`] for ground truth.
     pub fn residual_j(&self) -> f64 {
+        self.m
+            .cfg
+            .faults
+            .gauge
+            .read(self.m.clock, self.m.source.remaining_j())
+    }
+
+    /// Ground-truth energy remaining in the supply, J. Only rigs and
+    /// tests should read this; controllers see [`MachineView::residual_j`].
+    pub fn true_residual_j(&self) -> f64 {
         self.m.source.remaining_j()
     }
 
@@ -197,6 +215,8 @@ struct RpcPlan {
     request_bytes: u64,
     reply_bytes: u64,
     server_time: SimDuration,
+    /// Bulk fetches skip the request/server phases entirely.
+    is_bulk: bool,
 }
 
 #[derive(Debug)]
@@ -206,7 +226,9 @@ enum ProcState {
     NetAwaitTx(RpcPlan),
     NetTx(RpcPlan),
     NetServerWait(RpcPlan),
-    NetRx,
+    NetRx(RpcPlan),
+    /// Timed out; waiting out the retry backoff with the radio held open.
+    NetBackoff(RpcPlan),
     DiskSpinup { bytes: u64 },
     DiskBusy,
     Waiting,
@@ -223,6 +245,14 @@ struct ProcEntry {
     /// bandwidth-supply estimate the original Odyssey derived from its
     /// RPC transfers.
     last_transfer_bps: Option<f64>,
+    /// Attempt number of the RPC in flight (1-based; 0 when idle).
+    attempts: u32,
+    /// The flow currently on the link for this process, if any.
+    flow: Option<FlowId>,
+    /// Pending RPC timeout event, cancelled on completion.
+    timeout_ev: Option<EventId>,
+    /// Pending NetTimer event, cancelled when an attempt is aborted.
+    net_timer_ev: Option<EventId>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -243,6 +273,12 @@ enum Event {
     SpinDownCheck,
     DimCheck,
     HookTick(usize),
+    /// The link-fault timeline has a capacity transition now.
+    LinkFault,
+    /// The RPC in flight for this process has exceeded its timeout.
+    RpcTimeout(Pid),
+    /// Retry backoff expired; reissue the aborted RPC.
+    NetRetry(Pid),
 }
 
 struct HookSlot {
@@ -276,8 +312,11 @@ pub struct Machine {
     disk: DiskModel,
     radio: RadioModel,
     link: SharedLink,
+    link_faults: LinkFaultTimeline,
     flows: HashMap<FlowId, FlowCtx>,
     link_event: Option<EventId>,
+    rpc_timeouts: u64,
+    rpc_retries: u64,
     // Display dimming.
     quiet_since: Option<SimTime>,
     dim_active: bool,
@@ -300,6 +339,10 @@ impl Machine {
         let disk = DiskModel::new(cfg.pm.disk_policy(), cfg.spec.disk_spinup_time);
         let radio = RadioModel::new(cfg.pm.radio_policy());
         let link = SharedLink::new(cfg.link_bps);
+        let link_faults = cfg
+            .faults
+            .link
+            .compile(&SimRng::new(cfg.faults.seed), cfg.faults.horizon);
         let source = cfg.source;
         Machine {
             cfg,
@@ -316,8 +359,11 @@ impl Machine {
             disk,
             radio,
             link,
+            link_faults,
             flows: HashMap::new(),
             link_event: None,
+            rpc_timeouts: 0,
+            rpc_retries: 0,
             quiet_since: None,
             dim_active: false,
             dim_event: None,
@@ -365,6 +411,10 @@ impl Machine {
             background,
             bytes_received: 0,
             last_transfer_bps: None,
+            attempts: 0,
+            flow: None,
+            timeout_ev: None,
+            net_timer_ev: None,
         });
         if !background {
             self.alive += 1;
@@ -411,6 +461,14 @@ impl Machine {
             if let Some(dl) = self.disk.spin_down_deadline() {
                 self.queue.push(dl, Event::SpinDownCheck);
             }
+            // Arm the link-fault timeline.
+            if !self.link_faults.is_clean() {
+                let f = self.link_faults.capacity_factor_at(SimTime::ZERO);
+                self.link.set_rate_factor(SimTime::ZERO, f);
+                if let Some(t) = self.link_faults.next_capacity_transition_after(SimTime::ZERO) {
+                    self.queue.push(t, Event::LinkFault);
+                }
+            }
         }
         loop {
             if self.stopped {
@@ -455,6 +513,8 @@ impl Machine {
             exhausted: self.exhausted,
             residual_j: self.source.remaining_j(),
             bytes_carried: self.link.total_bytes_carried(),
+            rpc_timeouts: self.rpc_timeouts,
+            rpc_retries: self.rpc_retries,
         }
     }
 
@@ -654,6 +714,9 @@ impl Machine {
                 }
             }
             Event::HookTick(i) => self.on_hook_tick(i),
+            Event::LinkFault => self.on_link_fault(),
+            Event::RpcTimeout(pid) => self.on_rpc_timeout(pid),
+            Event::NetRetry(pid) => self.on_net_retry(pid),
         }
     }
 
@@ -727,12 +790,16 @@ impl Machine {
                 }
                 Step::Run(Activity::Rpc { spec, procedure: _ }) => {
                     self.radio.open_window();
-                    self.procs[pid.0].state = ProcState::NetAwaitTx(RpcPlan {
-                        request_bytes: spec.request_bytes,
-                        reply_bytes: spec.reply_bytes,
-                        server_time: spec.server_time,
-                    });
-                    self.queue.push(now + RPC_LATENCY, Event::NetTimer(pid));
+                    self.procs[pid.0].attempts = 1;
+                    self.begin_attempt(
+                        pid,
+                        RpcPlan {
+                            request_bytes: spec.request_bytes,
+                            reply_bytes: spec.reply_bytes,
+                            server_time: spec.server_time,
+                            is_bulk: false,
+                        },
+                    );
                     break;
                 }
                 Step::Run(Activity::BulkFetch {
@@ -740,12 +807,16 @@ impl Machine {
                     procedure: _,
                 }) => {
                     self.radio.open_window();
-                    self.procs[pid.0].state = ProcState::NetServerWait(RpcPlan {
-                        request_bytes: 0,
-                        reply_bytes: bytes,
-                        server_time: SimDuration::ZERO,
-                    });
-                    self.queue.push(now + RPC_LATENCY, Event::NetTimer(pid));
+                    self.procs[pid.0].attempts = 1;
+                    self.begin_attempt(
+                        pid,
+                        RpcPlan {
+                            request_bytes: 0,
+                            reply_bytes: bytes,
+                            server_time: SimDuration::ZERO,
+                            is_bulk: true,
+                        },
+                    );
                     break;
                 }
                 Step::Run(Activity::DiskRead {
@@ -856,7 +927,26 @@ impl Machine {
         }
     }
 
+    /// Launches one RPC attempt: arms the media-access timer (inflated by
+    /// any active latency spike) and, under a retry policy, the attempt's
+    /// timeout. The caller sets `attempts` and holds the radio window.
+    fn begin_attempt(&mut self, pid: Pid, plan: RpcPlan) {
+        let now = self.clock;
+        let lat = RPC_LATENCY + self.link_faults.extra_latency_at(now);
+        self.procs[pid.0].state = if plan.is_bulk {
+            ProcState::NetServerWait(plan)
+        } else {
+            ProcState::NetAwaitTx(plan)
+        };
+        self.procs[pid.0].net_timer_ev = Some(self.queue.push(now + lat, Event::NetTimer(pid)));
+        if let Some(policy) = self.cfg.faults.rpc {
+            self.procs[pid.0].timeout_ev =
+                Some(self.queue.push(now + policy.timeout, Event::RpcTimeout(pid)));
+        }
+    }
+
     fn on_net_timer(&mut self, pid: Pid) {
+        self.procs[pid.0].net_timer_ev = None;
         let state = std::mem::replace(&mut self.procs[pid.0].state, ProcState::Start);
         match state {
             ProcState::NetAwaitTx(plan) => {
@@ -869,6 +959,7 @@ impl Machine {
                         started: self.clock,
                     },
                 );
+                self.procs[pid.0].flow = Some(flow);
                 self.radio.begin_transfer();
                 self.procs[pid.0].state = ProcState::NetTx(plan);
                 self.relink();
@@ -883,12 +974,74 @@ impl Machine {
                         started: self.clock,
                     },
                 );
+                self.procs[pid.0].flow = Some(flow);
                 self.radio.begin_transfer();
-                self.procs[pid.0].state = ProcState::NetRx;
+                self.procs[pid.0].state = ProcState::NetRx(plan);
                 self.relink();
             }
             other => panic!("NetTimer in unexpected state {other:?}"),
         }
+    }
+
+    // ---- Fault handling ---------------------------------------------------
+
+    /// Applies the link-fault timeline's capacity factor at the current
+    /// instant and re-arms both the completion event (shares changed) and
+    /// the next fault transition.
+    fn on_link_fault(&mut self) {
+        let f = self.link_faults.capacity_factor_at(self.clock);
+        self.link.set_rate_factor(self.clock, f);
+        self.relink();
+        if let Some(t) = self.link_faults.next_capacity_transition_after(self.clock) {
+            self.queue.push(t, Event::LinkFault);
+        }
+    }
+
+    /// Aborts the RPC attempt in flight for `pid` and parks the process in
+    /// backoff. Partial transfer progress is lost — the retry resends from
+    /// scratch — and the radio window stays open throughout, so every
+    /// retry costs real energy.
+    fn on_rpc_timeout(&mut self, pid: Pid) {
+        self.procs[pid.0].timeout_ev = None;
+        let state = std::mem::replace(&mut self.procs[pid.0].state, ProcState::Start);
+        let plan = match state {
+            ProcState::NetAwaitTx(p) | ProcState::NetServerWait(p) => {
+                // The attempt is still in a media-access wait; disarm it.
+                if let Some(id) = self.procs[pid.0].net_timer_ev.take() {
+                    self.queue.cancel(id);
+                }
+                p
+            }
+            ProcState::NetTx(p) | ProcState::NetRx(p) => {
+                if let Some(flow) = self.procs[pid.0].flow.take() {
+                    self.flows.remove(&flow);
+                    self.link.cancel_flow(self.clock, flow);
+                    self.relink();
+                }
+                self.radio.end_transfer();
+                p
+            }
+            // The RPC completed at this very instant; nothing to abort.
+            other => {
+                self.procs[pid.0].state = other;
+                return;
+            }
+        };
+        self.rpc_timeouts += 1;
+        let policy = self.cfg.faults.rpc.expect("RpcTimeout without a policy");
+        let backoff = policy.backoff_after(self.procs[pid.0].attempts);
+        self.procs[pid.0].state = ProcState::NetBackoff(plan);
+        self.queue.push(self.clock + backoff, Event::NetRetry(pid));
+    }
+
+    fn on_net_retry(&mut self, pid: Pid) {
+        let state = std::mem::replace(&mut self.procs[pid.0].state, ProcState::Start);
+        let ProcState::NetBackoff(plan) = state else {
+            panic!("NetRetry in unexpected state {state:?}");
+        };
+        self.rpc_retries += 1;
+        self.procs[pid.0].attempts += 1;
+        self.begin_attempt(pid, plan);
     }
 
     fn on_link_wake(&mut self) {
@@ -897,6 +1050,7 @@ impl Machine {
         while let Some(flow) = self.link.take_completed() {
             let ctx = self.flows.remove(&flow).expect("completed unknown flow");
             let pid = ctx.pid;
+            self.procs[pid.0].flow = None;
             if ctx.rx_bytes > 0 {
                 self.procs[pid.0].bytes_received += ctx.rx_bytes;
                 let secs = self.clock.since(ctx.started).as_secs_f64();
@@ -909,12 +1063,17 @@ impl Machine {
             match state {
                 ProcState::NetTx(plan) => {
                     self.procs[pid.0].state = ProcState::NetServerWait(plan);
-                    self.queue.push(
-                        self.clock + plan.server_time + RPC_LATENCY,
+                    let lat = RPC_LATENCY + self.link_faults.extra_latency_at(self.clock);
+                    self.procs[pid.0].net_timer_ev = Some(self.queue.push(
+                        self.clock + plan.server_time + lat,
                         Event::NetTimer(pid),
-                    );
+                    ));
                 }
-                ProcState::NetRx => {
+                ProcState::NetRx(_) => {
+                    if let Some(id) = self.procs[pid.0].timeout_ev.take() {
+                        self.queue.cancel(id);
+                    }
+                    self.procs[pid.0].attempts = 0;
                     self.radio.close_window();
                     self.schedule_poll(pid);
                 }
@@ -1465,6 +1624,114 @@ mod tests {
             "total {}",
             report.total_j
         );
+    }
+
+    /// Under heavy outages the retry policy aborts and reissues RPCs; the
+    /// workload still completes, and the retries cost real energy.
+    #[test]
+    fn rpc_retries_survive_outages_and_cost_energy() {
+        use crate::faults::{FaultConfig, RpcPolicy};
+        use hw560x::BatteryGauge;
+        use netsim::LinkFaultPlan;
+        use simcore::FaultPlan;
+
+        let fetch = || {
+            Box::new(
+                ScriptedWorkload::new(
+                    "dl",
+                    vec![Activity::BulkFetch {
+                        bytes: 250_000, // 1 s at 2 Mb/s when clean.
+                        procedure: "fetch",
+                    }],
+                )
+                .with_display(DisplayState::Off),
+            )
+        };
+        let clean_j = {
+            let mut m = idle_machine(PmPolicy::enabled());
+            m.add_process(fetch());
+            m.run().total_j
+        };
+        let mut saw_timeout = false;
+        for seed in 0..12 {
+            let faults = FaultConfig {
+                seed,
+                horizon: SimTime::from_secs(600),
+                link: LinkFaultPlan {
+                    // Outage-dominated link: ~5 s outages every ~3 s quiet.
+                    outage: Some(FaultPlan::new(
+                        SimDuration::from_secs(3),
+                        SimDuration::from_secs(5),
+                    )),
+                    dip: None,
+                    latency: None,
+                },
+                rpc: Some(RpcPolicy::standard()),
+                gauge: BatteryGauge::ideal(),
+            };
+            let mut m = Machine::new(MachineConfig {
+                faults,
+                ..Default::default()
+            });
+            m.add_process(fetch());
+            let report = m.run();
+            assert_eq!(report.rpc_retries, report.rpc_timeouts);
+            if report.rpc_timeouts > 0 {
+                saw_timeout = true;
+                assert!(
+                    report.total_j > clean_j,
+                    "retries must cost energy: {} vs clean {clean_j}",
+                    report.total_j
+                );
+                assert!(report.duration_secs() > 1.0);
+            }
+        }
+        assert!(saw_timeout, "no seed in 0..12 produced a timeout");
+    }
+
+    /// The controller sees the gauge's lie; the report keeps ground truth.
+    #[test]
+    fn gauge_distorts_controller_view_only() {
+        use crate::faults::FaultConfig;
+        use hw560x::BatteryGauge;
+
+        struct Reader {
+            gauged: f64,
+            truth: f64,
+        }
+        impl ControlHook for Reader {
+            fn on_tick(&mut self, _now: SimTime, view: &mut MachineView<'_>) {
+                self.gauged = view.residual_j();
+                self.truth = view.true_residual_j();
+                view.request_stop();
+            }
+        }
+        let shared = std::rc::Rc::new(std::cell::RefCell::new(Reader {
+            gauged: 0.0,
+            truth: 0.0,
+        }));
+        struct Probe(std::rc::Rc<std::cell::RefCell<Reader>>);
+        impl ControlHook for Probe {
+            fn on_tick(&mut self, now: SimTime, view: &mut MachineView<'_>) {
+                self.0.borrow_mut().on_tick(now, view);
+            }
+        }
+        let mut m = Machine::new(MachineConfig {
+            pm: PmPolicy::disabled(),
+            source: EnergySource::battery(10_000.0),
+            faults: FaultConfig {
+                gauge: BatteryGauge::hostile(3, 1.0),
+                ..FaultConfig::clean()
+            },
+            ..Default::default()
+        });
+        m.add_hook(SimDuration::from_secs(60), Box::new(Probe(shared.clone())));
+        let _ = m.run_until(SimTime::from_secs(600));
+        let r = shared.borrow();
+        // 60 s of full-on idle (10.28 W) leaves ~9383 J; the hostile gauge
+        // reads ~20% high plus 30 J of drift.
+        assert!((r.truth - (10_000.0 - 60.0 * 10.28)).abs() < 5.0);
+        assert!(r.gauged > r.truth + 1_000.0, "gauge should lie high");
     }
 
     #[test]

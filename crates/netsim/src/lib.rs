@@ -8,9 +8,11 @@
 //! equal share of the capacity, recomputed whenever flows start or finish.
 //! RPC timing (request → server residence → reply) composes on top.
 
+pub mod faults;
 pub mod link;
 pub mod rpc;
 
+pub use faults::{LinkFaultPlan, LinkFaultTimeline};
 pub use link::{FlowId, SharedLink};
 pub use rpc::RpcSpec;
 

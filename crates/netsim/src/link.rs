@@ -42,6 +42,10 @@ struct Flow {
 #[derive(Clone, Debug)]
 pub struct SharedLink {
     capacity_bps: f64,
+    /// Multiplier on capacity for fault modelling: 1.0 is a healthy link,
+    /// values in (0, 1) are bandwidth dips, 0.0 is a full outage (flows
+    /// stall but are not lost).
+    rate_factor: f64,
     flows: Vec<Flow>,
     completed: VecDeque<FlowId>,
     last_advance: SimTime,
@@ -62,6 +66,7 @@ impl SharedLink {
         );
         SharedLink {
             capacity_bps,
+            rate_factor: 1.0,
             flows: Vec::new(),
             completed: VecDeque::new(),
             last_advance: SimTime::ZERO,
@@ -85,6 +90,30 @@ impl SharedLink {
         self.total_bytes_carried
     }
 
+    /// Current capacity multiplier (see [`SharedLink::set_rate_factor`]).
+    pub fn rate_factor(&self) -> f64 {
+        self.rate_factor
+    }
+
+    /// Changes the link's effective capacity at `now` — the fault hook.
+    ///
+    /// The fluid model is advanced to `now` under the old factor first, so
+    /// a fault transition never rewrites history. A factor of `0.0`
+    /// freezes all in-flight flows (an outage); they resume, with their
+    /// remaining bytes intact, when the factor becomes positive again.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the factor is finite and in `[0, 1]`.
+    pub fn set_rate_factor(&mut self, now: SimTime, factor: f64) {
+        assert!(
+            factor.is_finite() && (0.0..=1.0).contains(&factor),
+            "invalid rate factor: {factor}"
+        );
+        self.advance(now);
+        self.rate_factor = factor;
+    }
+
     /// Advances the fluid model to `now`, draining every active flow at its
     /// current share. Flows that finish are moved to the completed queue in
     /// departure order.
@@ -98,11 +127,12 @@ impl SharedLink {
         // each departure, as the fluid model requires.
         loop {
             let dt = now.since(self.last_advance).as_secs_f64();
-            if self.flows.is_empty() || dt <= 0.0 {
+            if self.flows.is_empty() || dt <= 0.0 || self.rate_factor == 0.0 {
+                // An outage freezes every flow in place.
                 self.last_advance = now;
                 return;
             }
-            let share = self.capacity_bps / self.flows.len() as f64;
+            let share = self.capacity_bps * self.rate_factor / self.flows.len() as f64;
             // Earliest internal departure among active flows.
             let min_remaining = self
                 .flows
@@ -162,10 +192,12 @@ impl SharedLink {
     /// stop in the meantime, assuming the model is advanced to `now`.
     pub fn next_completion(&self, now: SimTime) -> Option<(SimTime, FlowId)> {
         debug_assert_eq!(self.last_advance, now, "advance the link to `now` first");
-        if self.flows.is_empty() {
+        if self.flows.is_empty() || self.rate_factor == 0.0 {
+            // During an outage no completion is in sight; the fault hook
+            // re-arms the machine's link event when capacity returns.
             return None;
         }
-        let share = self.capacity_bps / self.flows.len() as f64;
+        let share = self.capacity_bps * self.rate_factor / self.flows.len() as f64;
         let f = self
             .flows
             .iter()
@@ -312,5 +344,40 @@ mod tests {
     #[should_panic(expected = "invalid link capacity")]
     fn zero_capacity_rejected() {
         let _ = SharedLink::new(0.0);
+    }
+
+    #[test]
+    fn outage_freezes_flows_and_preserves_bytes() {
+        let mut link = SharedLink::new(CAP);
+        let t0 = SimTime::ZERO;
+        link.start_flow(t0, 250_000); // 2 Mbit → 1 s alone.
+        // Outage from 0.5 s to 2.5 s: the flow pauses halfway.
+        link.set_rate_factor(SimTime::from_secs_f64(0.5), 0.0);
+        assert!(link.next_completion(SimTime::from_secs_f64(0.5)).is_none());
+        link.advance(SimTime::from_secs_f64(2.5));
+        assert_eq!(link.active_count(), 1, "flow survives the outage");
+        link.set_rate_factor(SimTime::from_secs_f64(2.5), 1.0);
+        let (done, _) = link.next_completion(SimTime::from_secs_f64(2.5)).unwrap();
+        assert!(
+            (done.as_secs_f64() - 3.0).abs() < 1e-6,
+            "remaining 1 Mbit takes the remaining 0.5 s: done at {done}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_dip_slows_flows() {
+        let mut link = SharedLink::new(CAP);
+        let t0 = SimTime::ZERO;
+        link.set_rate_factor(t0, 0.25); // 500 kb/s effective.
+        link.start_flow(t0, 125_000); // 1 Mbit → 2 s at quarter rate.
+        let (done, _) = link.next_completion(t0).unwrap();
+        assert!((done.as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate factor")]
+    fn rate_factor_above_one_rejected() {
+        let mut link = SharedLink::new(CAP);
+        link.set_rate_factor(SimTime::ZERO, 1.5);
     }
 }

@@ -20,7 +20,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use machine::{AdaptDirection, ControlHook, MachineView};
-use powerscope::OnlinePowerMeter;
+use powerscope::{FaultyEnergySensor, MeterFaultPlan, OnlinePowerMeter};
 use simcore::{SimDuration, SimTime, TimeSeries};
 
 use crate::demand::{predicted_demand_j, Smoother};
@@ -59,6 +59,69 @@ pub struct GoalConfig {
     /// Goal revisions: at each instant, the goal is replaced by a new
     /// total duration (Section 5.4's mid-run extension).
     pub extensions: Vec<(SimTime, SimDuration)>,
+    /// Defects of the energy instrument feeding the on-line meter
+    /// (dropout, jitter, quantization). Clean by default.
+    pub meter_faults: MeterFaultPlan,
+    /// Robustness measures for hostile substrates; `None` (the default)
+    /// reproduces the paper's controller exactly.
+    pub hardening: Option<Hardening>,
+}
+
+/// Robustness measures layered onto the paper's controller for deployment
+/// on a substrate whose sensors lie.
+///
+/// Each measure counters one concrete failure mode:
+/// - a gauge that *recovers* (noise, drift correction) would otherwise
+///   make supply jump upward and trigger spurious upgrades → the
+///   controller tracks a **monotone envelope** of gauge readings;
+/// - an *optimistic* gauge (the dangerous sign) walks the client into a
+///   dead battery → supply is **cross-checked** against
+///   `initial energy − metered consumption` and the minimum wins;
+/// - a jittering meter yields implausible instantaneous power → samples
+///   outside the platform's **physical envelope** are clamped before
+///   smoothing;
+/// - dropped samples leave the demand prediction **stale** → decisions
+///   pause (and are counted) until fresh data arrives, rather than acting
+///   on fiction;
+/// - a single-sample demand spike must not thrash fidelity → degrades
+///   require the deficit to **persist** across consecutive decisions;
+/// - the smoothed demand estimate lags real consumption, so a controller
+///   that rides `demand == supply` exactly exhausts the battery moments
+///   before the deadline → a **budget reserve** is withheld from the
+///   supply estimate, leaving headroom for estimation lag.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hardening {
+    /// Skip decisions when the newest accepted power sample is older
+    /// than this.
+    pub stale_after: SimDuration,
+    /// Physical power envelope `[min, max]` W; accepted samples are
+    /// clamped into it before smoothing.
+    pub power_clamp_w: (f64, f64),
+    /// Consecutive deficit decisions required before degrading.
+    pub degrade_persistence: usize,
+    /// Cross-check the gauge against metered consumption, taking the
+    /// more pessimistic of the two supply estimates.
+    pub use_energy_cross_check: bool,
+    /// Fraction of the *initial* energy withheld as a constant reserve
+    /// against demand-estimation lag. A proportional reserve would decay
+    /// with the supply and stop protecting exactly when exhaustion nears.
+    pub reserve_frac: f64,
+}
+
+impl Hardening {
+    /// Defaults sized to the ThinkPad 560X platform: 2 s staleness bound
+    /// (20 samples), a 1–30 W envelope bracketing the platform's 3.47 W
+    /// floor and ~20 W worst case, 2-decision degrade persistence (1 s),
+    /// the energy cross-check on, and a 5% budget reserve.
+    pub fn standard() -> Self {
+        Hardening {
+            stale_after: SimDuration::from_secs(2),
+            power_clamp_w: (1.0, 30.0),
+            degrade_persistence: 2,
+            use_energy_cross_check: true,
+            reserve_frac: 0.05,
+        }
+    }
 }
 
 impl GoalConfig {
@@ -75,6 +138,8 @@ impl GoalConfig {
             decision_period: SimDuration::from_millis(500),
             warmup: SimDuration::from_secs(10),
             extensions: Vec::new(),
+            meter_faults: MeterFaultPlan::clean(),
+            hardening: None,
         }
     }
 
@@ -82,6 +147,18 @@ impl GoalConfig {
     pub fn with_extension(mut self, at: SimTime, new_goal: SimDuration) -> Self {
         self.extensions.push((at, new_goal));
         self.extensions.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// Degrades the controller's energy instrument.
+    pub fn with_meter_faults(mut self, plan: MeterFaultPlan) -> Self {
+        self.meter_faults = plan;
+        self
+    }
+
+    /// Enables robustness measures.
+    pub fn with_hardening(mut self, h: Hardening) -> Self {
+        self.hardening = Some(h);
         self
     }
 }
@@ -98,6 +175,11 @@ pub struct GoalOutcome {
     pub degrades: usize,
     /// Upgrade upcalls that changed a fidelity.
     pub upgrades: usize,
+    /// Decisions skipped because the power estimate was stale (hardened
+    /// controllers only).
+    pub stale_decisions: usize,
+    /// Instant of the first infeasibility alert, if any was raised.
+    pub first_infeasible_at: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -108,6 +190,8 @@ struct Shared {
     infeasible_signals: usize,
     degrades: usize,
     upgrades: usize,
+    stale_decisions: usize,
+    first_infeasible_at: Option<SimTime>,
 }
 
 /// Caller-side handle to inspect a controller after the run.
@@ -124,6 +208,8 @@ impl GoalHandle {
             infeasible_signals: s.infeasible_signals,
             degrades: s.degrades,
             upgrades: s.upgrades,
+            stale_decisions: s.stale_decisions,
+            first_infeasible_at: s.first_infeasible_at,
         }
     }
 
@@ -178,6 +264,16 @@ pub struct GoalController {
     smoother: Smoother,
     last_decision: Option<SimTime>,
     last_upgrade: Option<SimTime>,
+    /// Instrument defects between the ledger and the meter.
+    sensor: FaultyEnergySensor,
+    /// Instant of the last accepted (non-dropped) power sample.
+    last_sample_at: Option<SimTime>,
+    /// Last accepted cumulative-energy reading, J (for the cross-check).
+    last_metered_j: f64,
+    /// Monotone non-increasing envelope of gauge readings (hardened).
+    supply_floor: f64,
+    /// Consecutive deficit decisions (hardened degrade persistence).
+    deficit_streak: usize,
     shared: Rc<RefCell<Shared>>,
 }
 
@@ -191,6 +287,8 @@ impl GoalController {
             infeasible_signals: 0,
             degrades: 0,
             upgrades: 0,
+            stale_decisions: 0,
+            first_infeasible_at: None,
         }));
         let deadline = SimTime::ZERO + cfg.goal;
         let controller = GoalController {
@@ -201,6 +299,11 @@ impl GoalController {
             priorities,
             last_decision: None,
             last_upgrade: None,
+            sensor: FaultyEnergySensor::new(cfg.meter_faults),
+            last_sample_at: None,
+            last_metered_j: 0.0,
+            supply_floor: f64::INFINITY,
+            deficit_streak: 0,
             shared: shared.clone(),
             cfg,
         };
@@ -217,11 +320,45 @@ impl GoalController {
         }
     }
 
+    /// The controller's best estimate of remaining supply. The paper's
+    /// controller trusts the gauge outright; a hardened one assumes the
+    /// gauge may lie high and takes the most pessimistic of (a) the
+    /// monotone envelope of gauge readings — a real battery never regains
+    /// energy, so upward jumps are sensor artifacts — and (b) the initial
+    /// energy value minus everything the on-line meter has seen consumed,
+    /// then withholds the budget reserve from the result.
+    fn estimate_supply(&mut self, gauge_j: f64) -> f64 {
+        let Some(h) = self.cfg.hardening else {
+            return gauge_j;
+        };
+        if gauge_j.is_finite() {
+            self.supply_floor = self.supply_floor.min(gauge_j);
+        }
+        let mut supply = self.supply_floor;
+        if h.use_energy_cross_check {
+            supply = supply.min((self.cfg.initial_energy_j - self.last_metered_j).max(0.0));
+        }
+        if supply.is_finite() {
+            supply = (supply - h.reserve_frac * self.cfg.initial_energy_j).max(0.0);
+        }
+        supply
+    }
+
     fn decide(&mut self, now: SimTime, view: &mut MachineView<'_>) {
         let Some(power) = self.smoother.value() else {
             return;
         };
-        let supply = view.residual_j();
+        if let Some(h) = self.cfg.hardening {
+            let fresh = self
+                .last_sample_at
+                .is_some_and(|t| now.saturating_since(t) <= h.stale_after);
+            if !fresh {
+                // The power estimate is fiction; don't act on it.
+                self.shared.borrow_mut().stale_decisions += 1;
+                return;
+            }
+        }
+        let supply = self.estimate_supply(view.residual_j());
         let remaining_s = self.deadline.saturating_since(now).as_secs_f64();
         let demand = predicted_demand_j(power, remaining_s);
         {
@@ -231,6 +368,12 @@ impl GoalController {
         }
         let procs = view.processes();
         if demand > supply {
+            self.deficit_streak += 1;
+            if let Some(h) = self.cfg.hardening {
+                if self.deficit_streak < h.degrade_persistence {
+                    return;
+                }
+            }
             for pid in self.priorities.degrade_order() {
                 let info = procs[pid.index()];
                 if info.done || !info.fidelity.can_degrade() {
@@ -243,8 +386,11 @@ impl GoalController {
             }
             // Every application is already at lowest fidelity: the goal is
             // infeasible; alert the user.
-            self.shared.borrow_mut().infeasible_signals += 1;
+            let mut s = self.shared.borrow_mut();
+            s.infeasible_signals += 1;
+            s.first_infeasible_at.get_or_insert(now);
         } else {
+            self.deficit_streak = 0;
             let hyst = self.cfg.hysteresis_supply_frac * supply
                 + self.cfg.hysteresis_initial_frac * self.cfg.initial_energy_j;
             if supply <= demand + hyst {
@@ -273,9 +419,19 @@ impl GoalController {
 impl ControlHook for GoalController {
     fn on_tick(&mut self, now: SimTime, view: &mut MachineView<'_>) {
         self.apply_extensions(now);
-        if let Some(p) = self.meter.update(now, view.energy_consumed_j()) {
-            let remaining = self.deadline.saturating_since(now).as_secs_f64();
-            self.smoother.update(p, remaining);
+        // The controller never reads the ledger directly: its cumulative
+        // energy passes through the (possibly faulty) instrument, which
+        // may drop the sample entirely.
+        if let Some(metered) = self.sensor.observe(view.energy_consumed_j()) {
+            self.last_metered_j = metered;
+            if let Some(mut p) = self.meter.update(now, metered) {
+                if let Some(h) = self.cfg.hardening {
+                    p = p.clamp(h.power_clamp_w.0, h.power_clamp_w.1);
+                }
+                let remaining = self.deadline.saturating_since(now).as_secs_f64();
+                self.smoother.update(p, remaining);
+                self.last_sample_at = Some(now);
+            }
         }
         if now >= self.deadline {
             self.shared.borrow_mut().goal_met = true;
@@ -492,6 +648,82 @@ mod tests {
             "ended at {}",
             report.duration_secs()
         );
+    }
+
+    /// Against a gauge that reads 20% optimistic and drifts higher, the
+    /// paper's controller under-degrades and dies early; the hardened
+    /// controller's energy cross-check keeps the goal.
+    #[test]
+    fn hardened_controller_survives_lying_gauge() {
+        use hw560x::BatteryGauge;
+        use machine::FaultConfig;
+
+        let run = |hardened: bool| {
+            let mut cfg = GoalConfig::paper(2000.0, SimDuration::from_secs(300));
+            cfg.warmup = SimDuration::from_secs(1);
+            if hardened {
+                cfg = cfg.with_hardening(Hardening::standard());
+            }
+            let mut m = Machine::new(MachineConfig {
+                source: EnergySource::battery(2000.0),
+                faults: FaultConfig {
+                    gauge: BatteryGauge::hostile(9, 1.0),
+                    ..FaultConfig::clean()
+                },
+                ..Default::default()
+            });
+            let pid = m.add_process(Box::new(DutyCycle {
+                level: 2,
+                until: SimTime::from_secs(600),
+            }));
+            let (handle, hook) = GoalController::new(cfg.clone(), PriorityTable::new(vec![pid]));
+            m.add_hook(cfg.sample_period, hook);
+            let report = m.run();
+            (handle.outcome(), report)
+        };
+        let (naive, naive_report) = run(false);
+        let (hard, hard_report) = run(true);
+        assert!(hard.goal_met, "hardened missed the goal: {hard:?}");
+        assert!(!hard_report.exhausted);
+        assert!(
+            naive_report.exhausted && !naive.goal_met,
+            "naive should die early believing the gauge: {naive:?} ended at {}",
+            naive_report.duration_secs()
+        );
+        assert!(naive_report.duration_secs() < 295.0);
+    }
+
+    /// Heavy meter dropout starves the demand predictor; the hardened
+    /// controller pauses (counting stale decisions) instead of panicking
+    /// or acting on fiction, and still finishes the run.
+    #[test]
+    fn dropout_pauses_decisions_without_panic() {
+        let mut cfg = GoalConfig::paper(4000.0, SimDuration::from_secs(300))
+            .with_meter_faults(MeterFaultPlan {
+                seed: 17,
+                drop_p: 0.95,
+                jitter_j: 0.5,
+                quantum_j: 1.0,
+            })
+            .with_hardening(Hardening::standard());
+        cfg.warmup = SimDuration::from_secs(1);
+        let mut m = Machine::new(MachineConfig {
+            source: EnergySource::battery(4000.0),
+            ..Default::default()
+        });
+        let pid = m.add_process(Box::new(DutyCycle {
+            level: 2,
+            until: SimTime::from_secs(600),
+        }));
+        let (handle, hook) = GoalController::new(cfg.clone(), PriorityTable::new(vec![pid]));
+        m.add_hook(cfg.sample_period, hook);
+        let report = m.run();
+        let outcome = handle.outcome();
+        assert!(
+            outcome.stale_decisions > 0,
+            "95% dropout must produce stale windows: {outcome:?}"
+        );
+        assert!(report.duration_secs() > 290.0);
     }
 
     /// The controller leaves non-adaptive workloads alone.

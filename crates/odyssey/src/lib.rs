@@ -33,7 +33,7 @@ pub mod warden;
 pub use demand::Smoother;
 pub use expectation::{Expectation, ExpectationRegistry, Resource, WindowEvent};
 pub use fidelity::{FidelityLevel, FidelitySpace};
-pub use goal::{GoalConfig, GoalController, GoalHandle, GoalOutcome};
+pub use goal::{GoalConfig, GoalController, GoalHandle, GoalOutcome, Hardening};
 pub use priority::PriorityTable;
 pub use viceroy::{BandwidthMonitor, Viceroy};
 pub use warden::{Warden, WardenRegistry};

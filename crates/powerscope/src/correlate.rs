@@ -15,13 +15,33 @@ use crate::sample::CollectedRun;
 use crate::symbols::UNKNOWN_PROCEDURE;
 use crate::SUPPLY_VOLTS;
 
+/// Options for the correlation stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CorrelateOptions {
+    /// Cap on a single sample's quantum. When the multimeter drops
+    /// triggers, the surviving sample before a gap would otherwise absorb
+    /// the whole gap's energy and time, grossly over-attributing to
+    /// whatever happened to be running at that instant. With a cap, a
+    /// quantum longer than `max_quantum` is truncated: the profile then
+    /// covers only metered time, and `duration_secs` shrinks by the
+    /// uncovered gaps instead of lying about attribution.
+    pub max_quantum: Option<simcore::SimDuration>,
+}
+
 /// Correlates a collected run into an energy profile.
 ///
 /// Samples must be in time order (as the multimeter produced them). The
 /// final sample's quantum extends to the trace end. PCs with no covering
 /// symbol resolve to [`UNKNOWN_PROCEDURE`].
 pub fn correlate(run: &CollectedRun) -> EnergyProfile {
+    correlate_with(run, CorrelateOptions::default())
+}
+
+/// [`correlate`] with explicit [`CorrelateOptions`] — used when the trace
+/// came from a faulty meter and may contain sampling gaps.
+pub fn correlate_with(run: &CollectedRun, opts: CorrelateOptions) -> EnergyProfile {
     let trace = &run.trace;
+    let cap_secs = opts.max_quantum.map(|q| q.as_secs_f64());
     let mut by_proc: HashMap<&'static str, HashMap<&'static str, (f64, f64)>> = HashMap::new();
     let mut duration = 0.0;
     for (i, s) in trace.samples.iter().enumerate() {
@@ -30,7 +50,10 @@ pub fn correlate(run: &CollectedRun) -> EnergyProfile {
             .get(i + 1)
             .map(|n| n.at)
             .unwrap_or(trace.end.max(s.at));
-        let dt = next_at.since(s.at).as_secs_f64();
+        let mut dt = next_at.since(s.at).as_secs_f64();
+        if let Some(cap) = cap_secs {
+            dt = dt.min(cap);
+        }
         let energy = s.current_a * SUPPLY_VOLTS * dt;
         duration += dt;
         let procedure = run
@@ -164,5 +187,26 @@ mod tests {
         let p = correlate(&CollectedRun::default());
         assert!(p.processes.is_empty());
         assert_eq!(p.total_energy_j(), 0.0);
+    }
+
+    #[test]
+    fn max_quantum_caps_gap_attribution() {
+        // A 2 s sampling gap after the first sample: uncapped, process
+        // "a" absorbs all 2 s; capped at 100 ms, it absorbs only the
+        // metered window and the profile duration shrinks by the gap.
+        let run = run_with(
+            vec![(0, 1.0, "a", "f"), (2000, 1.0, "b", "g")],
+            2100,
+        );
+        let uncapped = correlate(&run);
+        assert!((uncapped.energy_of("a") - 12.0 * 2.0).abs() < 1e-9);
+        let capped = correlate_with(
+            &run,
+            CorrelateOptions {
+                max_quantum: Some(simcore::SimDuration::from_millis(100)),
+            },
+        );
+        assert!((capped.energy_of("a") - 12.0 * 0.1).abs() < 1e-9);
+        assert!((capped.duration_secs - 0.2).abs() < 1e-9);
     }
 }

@@ -15,13 +15,15 @@
 //! that the sampled profile converges to the machine's exact ledger.
 
 pub mod correlate;
+pub mod faults;
 pub mod multimeter;
 pub mod online;
 pub mod profile;
 pub mod sample;
 pub mod symbols;
 
-pub use correlate::correlate;
+pub use correlate::{correlate, correlate_with, CorrelateOptions};
+pub use faults::{FaultyEnergySensor, MeterFaultPlan};
 pub use multimeter::PowerScope;
 pub use online::OnlinePowerMeter;
 pub use profile::{EnergyProfile, ProcedureRow, ProcessRow};

@@ -12,12 +12,14 @@
 //! generic, allocation-light simulation kernel.
 
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use fault::{FaultPlan, FaultSchedule, FaultWindow};
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use stats::{LinearFit, TrialStats};

@@ -7,10 +7,11 @@
 //! randomness never perturbs existing ones (a classic simulation
 //! reproducibility pitfall).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
 /// A seeded random stream with labelled forking.
+///
+/// Backed by a self-contained xoshiro256++ generator so the workspace
+/// builds with no external dependencies (offline, vendored-free builds
+/// are a tier-1 requirement).
 ///
 /// # Examples
 ///
@@ -21,9 +22,10 @@ use rand::{RngExt, SeedableRng};
 /// let mut b = SimRng::new(42).fork("sampler");
 /// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
 /// ```
+#[derive(Clone, Debug)]
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 /// SplitMix64 step, used to mix fork labels into child seeds.
@@ -48,10 +50,40 @@ fn hash_label(label: &str) -> u64 {
 impl SimRng {
     /// Creates a stream from an experiment seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            seed,
-            inner: StdRng::seed_from_u64(splitmix64(seed)),
+        // Expand the seed into four non-zero state words with a SplitMix64
+        // chain, the initialization xoshiro's authors recommend.
+        let mut x = splitmix64(seed ^ 0x6a09_e667_f3bc_c908);
+        let mut state = [0u64; 4];
+        for lane in &mut state {
+            x = splitmix64(x);
+            *lane = x;
         }
+        if state == [0, 0, 0, 0] {
+            state[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        SimRng { seed, state }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// The seed this stream was created from.
@@ -86,13 +118,27 @@ impl SimRng {
         if lo == hi {
             return lo;
         }
-        self.inner.random_range(lo..hi)
+        let v = lo + (hi - lo) * self.next_f64();
+        // Floating-point rounding can land exactly on `hi`; keep the
+        // half-open contract.
+        if v >= hi {
+            hi - (hi - lo) * f64::EPSILON
+        } else {
+            v
+        }
     }
 
     /// Uniform integer sample in `[lo, hi]`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi);
-        self.inner.random_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Widening-multiply range reduction (Lemire); the bias is far below
+        // anything a simulation statistic can resolve.
+        let reduced = ((self.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+        lo + reduced
     }
 
     /// Bernoulli trial with success probability `p`.
@@ -102,7 +148,7 @@ impl SimRng {
     /// Panics if `p` is outside `[0, 1]`.
     pub fn bernoulli(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "invalid probability: {p}");
-        self.inner.random_bool(p)
+        self.next_f64() < p
     }
 
     /// Exponentially distributed sample with the given mean.
@@ -112,15 +158,16 @@ impl SimRng {
     /// Panics if `mean` is not positive and finite.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean.is_finite() && mean > 0.0, "invalid mean: {mean}");
-        let u: f64 = self.inner.random_range(f64::MIN_POSITIVE..1.0);
+        // `1 - next_f64()` lies in (0, 1], keeping ln() finite.
+        let u = 1.0 - self.next_f64();
         -mean * u.ln()
     }
 
     /// Standard-normal sample via Box-Muller.
     pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
         assert!(sd.is_finite() && sd >= 0.0, "invalid sd: {sd}");
-        let u1: f64 = self.inner.random_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.random_range(0.0..1.0);
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
         mean + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Offline verification: tier-1 build + tests, lint wall, and a chaos
+# determinism smoke check. No network access required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: workspace tests =="
+cargo test -q --workspace
+
+echo "== lint: clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== chaos: fixed-seed determinism smoke =="
+out_a="$(cargo run --release -q -p experiments -- chaos --trials 1 --seed 7 2>/dev/null)"
+out_b="$(cargo run --release -q -p experiments -- chaos --trials 1 --seed 7 2>/dev/null)"
+if [ "$out_a" != "$out_b" ]; then
+    echo "chaos sweep is not deterministic for a fixed seed" >&2
+    exit 1
+fi
+echo "$out_a" | head -4
+
+echo "verify: OK"

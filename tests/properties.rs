@@ -1,9 +1,11 @@
-//! Property-based tests over the simulator's core invariants.
+//! Property-style tests over the simulator's core invariants.
 //!
 //! These run the public API against randomized inputs: link byte
 //! conservation under arbitrary flow interleavings, platform power
 //! monotonicity, energy-ledger balance for random workload scripts, and
-//! smoothing-operator bounds.
+//! smoothing-operator bounds. Randomness comes from [`SimRng`] with fixed
+//! seeds, so every case is deterministic and a failure message's case
+//! index reproduces the input exactly.
 
 use energy_adaptation::hw560x::{
     DeviceStates, DiskState, DisplayState, PlatformPower, PlatformSpec, RadioState,
@@ -12,68 +14,82 @@ use energy_adaptation::machine::workload::ScriptedWorkload;
 use energy_adaptation::machine::{Activity, Machine, MachineConfig};
 use energy_adaptation::netsim::SharedLink;
 use energy_adaptation::odyssey::Smoother;
-use energy_adaptation::simcore::{EventQueue, SimDuration, SimTime, TimeSeries, TrialStats};
-use proptest::prelude::*;
+use energy_adaptation::simcore::{
+    EventQueue, SimDuration, SimRng, SimTime, TimeSeries, TrialStats,
+};
 
-fn display_strategy() -> impl Strategy<Value = DisplayState> {
-    prop_oneof![
-        Just(DisplayState::Off),
-        Just(DisplayState::Dim),
-        Just(DisplayState::Bright),
-    ]
-}
-
-fn disk_strategy() -> impl Strategy<Value = DiskState> {
-    prop_oneof![
-        Just(DiskState::Active),
-        Just(DiskState::Idle),
-        Just(DiskState::Standby),
-        Just(DiskState::SpinningUp),
-    ]
-}
-
-fn radio_strategy() -> impl Strategy<Value = RadioState> {
-    prop_oneof![
-        Just(RadioState::Active),
-        Just(RadioState::Idle),
-        Just(RadioState::Standby),
-    ]
-}
-
-proptest! {
-    /// Total power equals the sum of its breakdown, is positive, and is
-    /// monotone in CPU load, for every device-state combination.
-    #[test]
-    fn platform_power_is_consistent(
-        display in display_strategy(),
-        disk in disk_strategy(),
-        radio in radio_strategy(),
-        load in 0.0f64..=1.0,
-    ) {
-        let p = PlatformPower::new(PlatformSpec::thinkpad_560x());
-        let s = DeviceStates { display, disk, radio, cpu_load: load };
-        let b = p.breakdown(&s);
-        prop_assert!((b.total_w() - p.power_w(&s)).abs() < 1e-12);
-        prop_assert!(p.power_w(&s) > 3.0, "below base power");
-        let hotter = DeviceStates { cpu_load: (load + 0.1).min(1.0), ..s };
-        prop_assert!(p.power_w(&hotter) >= p.power_w(&s));
+/// Runs `body` over `n` independently seeded cases.
+fn cases(label: &str, n: u64, mut body: impl FnMut(&mut SimRng)) {
+    let root = SimRng::new(0xA11CE);
+    for i in 0..n {
+        let mut rng = root.fork_indexed(label, i);
+        body(&mut rng);
     }
+}
 
-    /// A shared link delivers every byte exactly once, no matter how
-    /// flows interleave: total transfer time of a batch equals the
-    /// aggregate bytes over capacity once the link drains.
-    #[test]
-    fn link_conserves_bytes(
-        sizes in prop::collection::vec(1_000u64..500_000, 1..12),
-        gaps_ms in prop::collection::vec(0u64..800, 1..12),
-    ) {
+fn random_display(rng: &mut SimRng) -> DisplayState {
+    match rng.uniform_u64(0, 2) {
+        0 => DisplayState::Off,
+        1 => DisplayState::Dim,
+        _ => DisplayState::Bright,
+    }
+}
+
+fn random_disk(rng: &mut SimRng) -> DiskState {
+    match rng.uniform_u64(0, 3) {
+        0 => DiskState::Active,
+        1 => DiskState::Idle,
+        2 => DiskState::Standby,
+        _ => DiskState::SpinningUp,
+    }
+}
+
+fn random_radio(rng: &mut SimRng) -> RadioState {
+    match rng.uniform_u64(0, 2) {
+        0 => RadioState::Active,
+        1 => RadioState::Idle,
+        _ => RadioState::Standby,
+    }
+}
+
+/// Total power equals the sum of its breakdown, is positive, and is
+/// monotone in CPU load, for every device-state combination.
+#[test]
+fn platform_power_is_consistent() {
+    let p = PlatformPower::new(PlatformSpec::thinkpad_560x());
+    cases("power", 256, |rng| {
+        let s = DeviceStates {
+            display: random_display(rng),
+            disk: random_disk(rng),
+            radio: random_radio(rng),
+            cpu_load: rng.uniform(0.0, 1.0),
+        };
+        let b = p.breakdown(&s);
+        assert!((b.total_w() - p.power_w(&s)).abs() < 1e-12);
+        assert!(p.power_w(&s) > 3.0, "below base power: {s:?}");
+        let hotter = DeviceStates {
+            cpu_load: (s.cpu_load + 0.1).min(1.0),
+            ..s
+        };
+        assert!(p.power_w(&hotter) >= p.power_w(&s));
+    });
+}
+
+/// A shared link delivers every byte exactly once, no matter how flows
+/// interleave: once the link drains, every started flow has completed.
+#[test]
+fn link_conserves_bytes() {
+    cases("link", 64, |rng| {
+        let n_flows = rng.uniform_u64(1, 11) as usize;
         let mut link = SharedLink::new(2.0e6);
         let mut t = SimTime::ZERO;
         let mut started = 0u64;
-        for (size, gap) in sizes.iter().zip(gaps_ms.iter().cycle()) {
-            t += SimDuration::from_millis(*gap);
+        for _ in 0..n_flows {
+            let size = rng.uniform_u64(1_000, 499_999);
+            let gap = rng.uniform_u64(0, 799);
+            t += SimDuration::from_millis(gap);
             link.advance(t);
-            link.start_flow(t, *size);
+            link.start_flow(t, size);
             started += size;
         }
         // Drain: no flow can outlive total_bytes/capacity once alone.
@@ -83,34 +99,37 @@ proptest! {
         while link.take_completed().is_some() {
             completed += 1;
         }
-        prop_assert_eq!(completed, sizes.len());
-        prop_assert_eq!(link.active_count(), 0);
-        prop_assert_eq!(link.total_bytes_carried(), started);
-    }
+        assert_eq!(completed, n_flows);
+        assert_eq!(link.active_count(), 0);
+        assert_eq!(link.total_bytes_carried(), started);
+    });
+}
 
-    /// Machine energy accounting balances for random workload scripts:
-    /// bucket totals and component totals both equal total energy, and
-    /// average power stays within the platform's physical envelope.
-    #[test]
-    fn ledger_balances_for_random_scripts(
-        script in prop::collection::vec((0u8..4, 1u64..800), 1..10),
-        pm in any::<bool>(),
-    ) {
+/// Machine energy accounting balances for random workload scripts:
+/// bucket totals and component totals both equal total energy, and
+/// average power stays within the platform's physical envelope.
+#[test]
+fn ledger_balances_for_random_scripts() {
+    cases("ledger", 48, |rng| {
+        let steps = rng.uniform_u64(1, 9) as usize;
+        let pm = rng.bernoulli(0.5);
         let mut activities = Vec::new();
         let mut wait_at = 0u64;
-        for (kind, amount) in &script {
+        for _ in 0..steps {
+            let kind = rng.uniform_u64(0, 3);
+            let amount = rng.uniform_u64(1, 799);
             let a = match kind {
                 0 => Activity::Cpu {
-                    duration: SimDuration::from_millis(*amount),
-                    intensity: (*amount % 100) as f64 / 100.0,
+                    duration: SimDuration::from_millis(amount),
+                    intensity: (amount % 100) as f64 / 100.0,
                     procedure: "work",
                 },
                 1 => Activity::BulkFetch {
-                    bytes: *amount * 200,
+                    bytes: amount * 200,
                     procedure: "fetch",
                 },
                 2 => Activity::XRender {
-                    cost: SimDuration::from_millis(*amount / 2 + 1),
+                    cost: SimDuration::from_millis(amount / 2 + 1),
                 },
                 _ => {
                     wait_at += amount;
@@ -121,104 +140,112 @@ proptest! {
             };
             activities.push(a);
         }
-        let cfg = if pm { MachineConfig::default() } else { MachineConfig::baseline() };
+        let cfg = if pm {
+            MachineConfig::default()
+        } else {
+            MachineConfig::baseline()
+        };
         let mut m = Machine::new(cfg);
         m.add_process(Box::new(ScriptedWorkload::new("fuzz", activities)));
         let report = m.run();
         let bucket_sum: f64 = report.buckets.iter().map(|(_, j)| j).sum();
-        prop_assert!((bucket_sum - report.total_j).abs() < 1e-6);
-        prop_assert!((report.components.total_j() - report.total_j).abs() < 1e-6);
+        assert!((bucket_sum - report.total_j).abs() < 1e-6);
+        assert!((report.components.total_j() - report.total_j).abs() < 1e-6);
         if report.duration_secs() > 0.0 {
             let avg = report.total_j / report.duration_secs();
-            prop_assert!((3.0..25.0).contains(&avg), "implausible power {avg}");
+            assert!((3.0..25.0).contains(&avg), "implausible power {avg}");
         }
-    }
+    });
+}
 
-    /// The exponential smoother's output always lies within the range of
-    /// the samples it has seen.
-    #[test]
-    fn smoother_is_bounded_by_inputs(
-        samples in prop::collection::vec(0.1f64..50.0, 1..200),
-        remaining in 1.0f64..10_000.0,
-    ) {
+/// The exponential smoother's output always lies within the range of the
+/// samples it has seen.
+#[test]
+fn smoother_is_bounded_by_inputs() {
+    cases("smoother", 128, |rng| {
+        let n = rng.uniform_u64(1, 199) as usize;
+        let remaining = rng.uniform(1.0, 10_000.0);
         let mut s = Smoother::new(0.10, SimDuration::from_millis(100));
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        for x in &samples {
-            lo = lo.min(*x);
-            hi = hi.max(*x);
-            let v = s.update(*x, remaining);
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+        for _ in 0..n {
+            let x = rng.uniform(0.1, 50.0);
+            lo = lo.min(x);
+            hi = hi.max(x);
+            let v = s.update(x, remaining);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
         }
-    }
+    });
+}
 
-    /// Events pop in (time, insertion) order no matter how they were
-    /// pushed, and cancellation removes exactly the cancelled events.
-    #[test]
-    fn event_queue_total_order(
-        times in prop::collection::vec(0u64..1_000, 1..64),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..64),
-    ) {
+/// Events pop in (time, insertion) order no matter how they were pushed,
+/// and cancellation removes exactly the cancelled events.
+#[test]
+fn event_queue_total_order() {
+    cases("queue", 128, |rng| {
+        let n = rng.uniform_u64(1, 63) as usize;
         let mut q = EventQueue::new();
-        let ids: Vec<_> = times
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (q.push(SimTime::from_micros(*t), i), *t))
-            .collect();
-        let mut expected: Vec<(u64, usize)> = Vec::new();
-        for ((id, t), cancel) in ids.iter().zip(cancel_mask.iter().cycle()) {
-            if *cancel {
-                prop_assert!(q.cancel(*id));
+        let mut kept = 0usize;
+        let mut to_cancel = Vec::new();
+        for i in 0..n {
+            let t = rng.uniform_u64(0, 999);
+            let id = q.push(SimTime::from_micros(t), i);
+            if rng.bernoulli(0.4) {
+                to_cancel.push(id);
             } else {
-                // Identify by payload index via the push order.
-                expected.push((*t, expected.len()));
+                kept += 1;
             }
+        }
+        for id in to_cancel {
+            assert!(q.cancel(id));
         }
         let mut last: Option<SimTime> = None;
         let mut popped = 0usize;
         while let Some((at, _payload)) = q.pop() {
             if let Some(prev) = last {
-                prop_assert!(at >= prev, "time went backwards");
+                assert!(at >= prev, "time went backwards");
             }
             last = Some(at);
             popped += 1;
         }
-        prop_assert_eq!(popped, expected.len());
-        prop_assert!(q.is_empty());
-    }
+        assert_eq!(popped, kept);
+        assert!(q.is_empty());
+    });
+}
 
-    /// Step-function semantics: the resampled value at any grid point
-    /// equals `value_at` of that instant.
-    #[test]
-    fn time_series_resample_matches_value_at(
-        deltas in prop::collection::vec(1u64..10_000, 1..40),
-        values in prop::collection::vec(-100.0f64..100.0, 1..40),
-        step_us in 500u64..5_000,
-    ) {
+/// Step-function semantics: the resampled value at any grid point equals
+/// `value_at` of that instant.
+#[test]
+fn time_series_resample_matches_value_at() {
+    cases("series", 96, |rng| {
+        let n = rng.uniform_u64(1, 39) as usize;
+        let step_us = rng.uniform_u64(500, 4_999);
         let mut s = TimeSeries::new("prop");
         let mut t = SimTime::ZERO;
-        for (d, v) in deltas.iter().zip(values.iter().cycle()) {
-            t += SimDuration::from_micros(*d);
-            s.record(t, *v);
+        for _ in 0..n {
+            t += SimDuration::from_micros(rng.uniform_u64(1, 9_999));
+            s.record(t, rng.uniform(-100.0, 100.0));
         }
         let end = t + SimDuration::from_micros(1_000);
         for (at, v) in s.resample(SimDuration::from_micros(step_us), end) {
-            prop_assert_eq!(Some(v), s.value_at(at));
+            assert_eq!(Some(v), s.value_at(at));
         }
-    }
+    });
+}
 
-    /// Trial statistics are scale-equivariant: scaling all observations
-    /// scales mean, sd and CI by the same factor.
-    #[test]
-    fn trial_stats_scale(
-        values in prop::collection::vec(0.1f64..1e4, 2..20),
-        k in 0.1f64..100.0,
-    ) {
+/// Trial statistics are scale-equivariant: scaling all observations
+/// scales mean, sd and CI by the same factor.
+#[test]
+fn trial_stats_scale() {
+    cases("stats", 128, |rng| {
+        let n = rng.uniform_u64(2, 19) as usize;
+        let k = rng.uniform(0.1, 100.0);
+        let values: Vec<f64> = (0..n).map(|_| rng.uniform(0.1, 1e4)).collect();
         let base = TrialStats::from_values(&values);
         let scaled_values: Vec<f64> = values.iter().map(|v| v * k).collect();
         let scaled = TrialStats::from_values(&scaled_values);
-        prop_assert!((scaled.mean - base.mean * k).abs() < 1e-6 * base.mean.abs().max(1.0) * k);
-        prop_assert!((scaled.sd - base.sd * k).abs() < 1e-6 * (base.sd * k).max(1.0));
-        prop_assert!((scaled.ci90 - base.ci90 * k).abs() < 1e-6 * (base.ci90 * k).max(1.0));
-    }
+        assert!((scaled.mean - base.mean * k).abs() < 1e-6 * base.mean.abs().max(1.0) * k);
+        assert!((scaled.sd - base.sd * k).abs() < 1e-6 * (base.sd * k).max(1.0));
+        assert!((scaled.ci90 - base.ci90 * k).abs() < 1e-6 * (base.ci90 * k).max(1.0));
+    });
 }
