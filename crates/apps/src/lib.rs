@@ -24,6 +24,7 @@ pub mod bursty;
 pub mod composite;
 pub mod datasets;
 pub mod map;
+pub mod misbehavior;
 pub mod speech;
 pub mod units;
 pub mod video;
@@ -32,6 +33,7 @@ pub mod web;
 pub use bursty::{BurstyMember, BurstyRole};
 pub use composite::{Baton, CompositeMember, CompositeMode, CompositeRole};
 pub use map::{MapFidelity, MapViewer};
+pub use misbehavior::Misbehavior;
 pub use speech::{SpeechApp, SpeechStrategy};
 pub use video::{VideoPlayer, VideoVariant};
 pub use web::{WebBrowser, WebFidelity};

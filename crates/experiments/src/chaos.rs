@@ -153,8 +153,7 @@ pub fn run_sweep(
                 shortfall.push(short);
                 residual.push(run.report.residual_j);
                 energy.push(run.report.total_j);
-                adaptations
-                    .push((run.outcome.degrades + run.outcome.upgrades) as f64);
+                adaptations.push((run.outcome.degrades + run.outcome.upgrades) as f64);
                 timeouts.push(run.report.rpc_timeouts as f64);
                 retries.push(run.report.rpc_retries as f64);
                 stale.push(run.outcome.stale_decisions as f64);
@@ -216,7 +215,10 @@ pub fn render(trials: &Trials) -> String {
             if cell.hardened { "hardened" } else { "paper" }.to_string(),
             format!("{:.0}%", cell.met_fraction * 100.0),
             format!("{:.0}%", cell.hit95_fraction * 100.0),
-            format!("{:.1} ({:.1})", cell.shortfall_pct.mean, cell.shortfall_pct.sd),
+            format!(
+                "{:.1} ({:.1})",
+                cell.shortfall_pct.mean, cell.shortfall_pct.sd
+            ),
             format!("{:.0} ({:.0})", cell.residual.mean, cell.residual.sd),
             format!("{overhead_pct:+.1}"),
             format!("{:.1}", cell.adaptations.mean),

@@ -26,6 +26,7 @@
 //! | [`headline`]| Section 1/3.8: overall savings summary             |
 //! | [`ablate`]| Controller design-choice ablations (beyond the paper)|
 //! | [`chaos`] | Fault-intensity sweep: paper vs hardened controller   |
+//! | [`supervise`] | Misbehaving apps: unsupervised vs supervised viceroy |
 
 pub mod ablate;
 pub mod barchart;
@@ -49,6 +50,7 @@ pub mod goalrig;
 pub mod harness;
 pub mod headline;
 pub mod sec54;
+pub mod supervise;
 pub mod table;
 
 pub use harness::Trials;

@@ -14,9 +14,27 @@
 
 use experiments::{harness::Trials, *};
 
-const ALL: [&str; 19] = [
-    "fig2", "fig4", "fig6", "fig8", "fig10", "fig11", "fig13", "fig14", "fig15", "fig16", "fig18",
-    "fig19", "fig20", "fig21", "fig22", "sec54", "headline", "ablate", "chaos",
+const ALL: [&str; 20] = [
+    "fig2",
+    "fig4",
+    "fig6",
+    "fig8",
+    "fig10",
+    "fig11",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "sec54",
+    "headline",
+    "ablate",
+    "chaos",
+    "supervise",
 ];
 
 fn usage() -> ! {
@@ -87,6 +105,7 @@ fn main() {
             "headline" => headline::render(&trials),
             "ablate" => ablate::render(&trials),
             "chaos" => chaos::render(&trials),
+            "supervise" => supervise::render(&trials),
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage()

@@ -94,6 +94,13 @@ impl Ledger {
         }
     }
 
+    /// Energy attributed to one bucket so far, J (0 when absent). This is
+    /// the live PowerScope-attribution feed the supervisor cross-checks
+    /// declarations against.
+    pub(crate) fn bucket_j(&self, name: &str) -> f64 {
+        self.buckets.get(name).copied().unwrap_or(0.0)
+    }
+
     pub(crate) fn snapshot_buckets(&self) -> Vec<(String, f64)> {
         let mut v: Vec<(String, f64)> = self
             .buckets

@@ -20,6 +20,7 @@
 //! - CPU bursts run at full speed regardless of concurrent interrupt load.
 
 pub mod activity;
+pub mod checkpoint;
 pub mod energy;
 pub mod faults;
 pub mod machine;
@@ -27,6 +28,7 @@ pub mod observer;
 pub mod workload;
 
 pub use activity::{Activity, AdaptDirection, FidelityView, Step};
+pub use checkpoint::CheckpointHook;
 pub use energy::{ComponentTotals, ProcDetail, RunReport};
 pub use faults::{FaultConfig, RpcPolicy};
 pub use machine::{ControlHook, Machine, MachineConfig, MachineView, Pid, ProcessInfo};

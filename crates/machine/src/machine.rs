@@ -47,6 +47,25 @@ const ODYSSEY_FRAC: f64 = 0.05;
 /// requests.
 const DISK_KERNEL_FRAC: f64 = 0.05;
 
+/// Scales a work duration by the warden's datapath clamp.
+fn scale_duration(d: SimDuration, clamp: f64) -> SimDuration {
+    if clamp >= 1.0 {
+        d
+    } else {
+        d.mul_f64(clamp)
+    }
+}
+
+/// Scales a transfer/read size by the warden's datapath clamp, keeping at
+/// least one byte so zero-size special cases never appear.
+fn scale_bytes(bytes: u64, clamp: f64) -> u64 {
+    if clamp >= 1.0 {
+        bytes
+    } else {
+        ((bytes as f64 * clamp).round() as u64).max(1)
+    }
+}
+
 /// Identifies a process (workload instance) on the machine.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Pid(usize);
@@ -112,6 +131,8 @@ pub struct ProcessInfo {
     pub fidelity: FidelityView,
     /// True once the workload has finished.
     pub done: bool,
+    /// True while the process is quarantined by the supervisor.
+    pub suspended: bool,
 }
 
 /// A controller invoked on a fixed period (the Odyssey viceroy).
@@ -165,6 +186,7 @@ impl MachineView<'_> {
                 name: p.workload.name(),
                 fidelity: p.workload.fidelity(),
                 done: matches!(p.state, ProcState::Done),
+                suspended: p.suspended,
             })
             .collect()
     }
@@ -192,6 +214,60 @@ impl MachineView<'_> {
     /// transfers (`None` before the first receive completes).
     pub fn transfer_rate_of(&self, pid: Pid) -> Option<f64> {
         self.m.procs[pid.0].last_transfer_bps
+    }
+
+    /// Instant of the process's most recent `poll` — the supervisor's
+    /// watchdog signal. A workload that keeps the CPU without yielding
+    /// back through `poll` stops advancing this.
+    pub fn last_poll_at(&self, pid: Pid) -> SimTime {
+        self.m.procs[pid.0].last_poll_at
+    }
+
+    /// Cumulative energy attributed to the process's bucket so far, J —
+    /// the PowerScope attribution the supervisor cross-checks declared
+    /// demand against. Idle (think-time) power is attributed to the Idle
+    /// bucket, not the process, so a blocked app reads near zero here
+    /// while a hung spin does not.
+    pub fn attributed_energy_j(&self, pid: Pid) -> f64 {
+        self.m.ledger.bucket_j(self.m.procs[pid.0].workload.name())
+    }
+
+    /// Quarantines a process: aborts any in-flight network attempt,
+    /// removes it from the CPU queue, and parks it so it draws no power
+    /// until [`MachineView::restart`]. Returns `false` if the process is
+    /// already suspended or done.
+    pub fn suspend(&mut self, pid: Pid) -> bool {
+        self.m.suspend_proc(pid)
+    }
+
+    /// Restarts a suspended or crashed process via
+    /// [`Workload::on_restart`]. Returns `true` if the workload accepted
+    /// the restart and is running again.
+    pub fn restart(&mut self, pid: Pid) -> bool {
+        self.m.restart_proc(pid)
+    }
+
+    /// Sets the warden's datapath clamp for a process: all subsequent CPU
+    /// bursts, transfer sizes, and disk reads are scaled by `factor` —
+    /// the forced-fidelity response to an app that misdeclares demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is in `(0, 1]`.
+    pub fn set_datapath_clamp(&mut self, pid: Pid, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0 && factor <= 1.0,
+            "invalid datapath clamp: {factor}"
+        );
+        self.m.procs[pid.0].clamp = factor;
+    }
+
+    /// 64-bit digest of the machine's live state: the clock, supply,
+    /// ledger, counters, and every process's state/fidelity. Two runs of
+    /// the same configuration digest equal at equal instants iff their
+    /// evolution is bit-identical — the checkpoint/resume proof.
+    pub fn state_digest(&self) -> u64 {
+        self.m.state_digest()
     }
 
     /// Requests that the run stop after the current event.
@@ -229,10 +305,35 @@ enum ProcState {
     NetRx(RpcPlan),
     /// Timed out; waiting out the retry backoff with the radio held open.
     NetBackoff(RpcPlan),
-    DiskSpinup { bytes: u64 },
+    DiskSpinup {
+        bytes: u64,
+    },
     DiskBusy,
     Waiting,
+    /// Quarantined by the supervisor: parked off every device queue,
+    /// drawing no power, until restarted.
+    Suspended,
     Done,
+}
+
+impl ProcState {
+    /// Stable discriminant for state digests.
+    fn tag(&self) -> u64 {
+        match self {
+            ProcState::Start => 0,
+            ProcState::ReadyCpu(_) => 1,
+            ProcState::NetAwaitTx(_) => 2,
+            ProcState::NetTx(_) => 3,
+            ProcState::NetServerWait(_) => 4,
+            ProcState::NetRx(_) => 5,
+            ProcState::NetBackoff(_) => 6,
+            ProcState::DiskSpinup { .. } => 7,
+            ProcState::DiskBusy => 8,
+            ProcState::Waiting => 9,
+            ProcState::Suspended => 10,
+            ProcState::Done => 11,
+        }
+    }
 }
 
 struct ProcEntry {
@@ -253,6 +354,20 @@ struct ProcEntry {
     timeout_ev: Option<EventId>,
     /// Pending NetTimer event, cancelled when an attempt is aborted.
     net_timer_ev: Option<EventId>,
+    /// Pending Timer (think-time) event, cancelled on suspension.
+    wait_timer_ev: Option<EventId>,
+    /// Pending NetRetry event, cancelled on suspension.
+    retry_ev: Option<EventId>,
+    /// True while the supervisor holds this process off the machine.
+    suspended: bool,
+    /// Datapath clamp in `(0, 1]`: the warden scales this process's CPU
+    /// bursts, transfers, and disk reads by this factor (a forced-fidelity
+    /// response to misdeclared demand). 1.0 = unclamped.
+    clamp: f64,
+    /// Instant of the most recent `poll` — the watchdog's liveness signal.
+    last_poll_at: SimTime,
+    /// True while this foreground process counts toward `alive`.
+    alive_counted: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -415,6 +530,12 @@ impl Machine {
             flow: None,
             timeout_ev: None,
             net_timer_ev: None,
+            wait_timer_ev: None,
+            retry_ev: None,
+            suspended: false,
+            clamp: 1.0,
+            last_poll_at: SimTime::ZERO,
+            alive_counted: !background,
         });
         if !background {
             self.alive += 1;
@@ -465,7 +586,10 @@ impl Machine {
             if !self.link_faults.is_clean() {
                 let f = self.link_faults.capacity_factor_at(SimTime::ZERO);
                 self.link.set_rate_factor(SimTime::ZERO, f);
-                if let Some(t) = self.link_faults.next_capacity_transition_after(SimTime::ZERO) {
+                if let Some(t) = self
+                    .link_faults
+                    .next_capacity_transition_after(SimTime::ZERO)
+                {
                     self.queue.push(t, Event::LinkFault);
                 }
             }
@@ -631,7 +755,7 @@ impl Machine {
         }
         let mut need = DisplayState::Off;
         for p in &self.procs {
-            if !matches!(p.state, ProcState::Done) {
+            if !matches!(p.state, ProcState::Done | ProcState::Suspended) {
                 need = need.max(p.workload.display_need());
             }
         }
@@ -691,8 +815,12 @@ impl Machine {
             Event::LinkWake => self.on_link_wake(),
             Event::NetTimer(pid) => self.on_net_timer(pid),
             Event::Timer(pid) => {
-                debug_assert!(matches!(self.procs[pid.0].state, ProcState::Waiting));
-                self.schedule_poll(pid);
+                self.procs[pid.0].wait_timer_ev = None;
+                // A timer surviving a suspend/restart cycle is stale;
+                // only a Waiting process wakes on it.
+                if matches!(self.procs[pid.0].state, ProcState::Waiting) {
+                    self.schedule_poll(pid);
+                }
             }
             Event::DiskSpinupDone(pid) => self.on_disk_spinup(pid),
             Event::DiskDone(pid) => self.on_disk_done(pid),
@@ -721,23 +849,33 @@ impl Machine {
     }
 
     fn schedule_poll(&mut self, pid: Pid) {
+        if self.procs[pid.0].suspended {
+            // A device operation finished while the process was being
+            // quarantined; park instead of polling.
+            self.procs[pid.0].state = ProcState::Suspended;
+            return;
+        }
         self.procs[pid.0].state = ProcState::Start;
         self.queue.push(self.clock, Event::Poll(pid));
     }
 
     fn do_poll(&mut self, pid: Pid) {
+        if self.procs[pid.0].suspended {
+            self.procs[pid.0].state = ProcState::Suspended;
+            return;
+        }
+        self.procs[pid.0].last_poll_at = self.clock;
         let mut budget = 10_000u32;
         loop {
             budget -= 1;
             assert!(budget > 0, "workload {pid:?} livelocked at zero time");
             let now = self.clock;
+            let clamp = self.procs[pid.0].clamp;
             let step = self.procs[pid.0].workload.poll(now);
             match step {
                 Step::Done => {
                     self.procs[pid.0].state = ProcState::Done;
-                    if !self.procs[pid.0].background {
-                        self.alive -= 1;
-                    }
+                    self.release_alive(pid);
                     break;
                 }
                 Step::Run(Activity::Cpu {
@@ -759,6 +897,7 @@ impl Machine {
                         (0.0..=1.0).contains(&intensity),
                         "invalid intensity {intensity}"
                     );
+                    let duration = scale_duration(duration, clamp);
                     if duration.is_zero() {
                         continue;
                     }
@@ -773,6 +912,7 @@ impl Machine {
                     break;
                 }
                 Step::Run(Activity::XRender { cost }) => {
+                    let cost = scale_duration(cost, clamp);
                     if !cost.is_zero() {
                         self.x_queue.push_back(CpuJob {
                             remaining: cost,
@@ -795,7 +935,7 @@ impl Machine {
                         pid,
                         RpcPlan {
                             request_bytes: spec.request_bytes,
-                            reply_bytes: spec.reply_bytes,
+                            reply_bytes: scale_bytes(spec.reply_bytes, clamp),
                             server_time: spec.server_time,
                             is_bulk: false,
                         },
@@ -812,7 +952,7 @@ impl Machine {
                         pid,
                         RpcPlan {
                             request_bytes: 0,
-                            reply_bytes: bytes,
+                            reply_bytes: scale_bytes(bytes, clamp),
                             server_time: SimDuration::ZERO,
                             is_bulk: true,
                         },
@@ -823,6 +963,7 @@ impl Machine {
                     bytes,
                     procedure: _,
                 }) => {
+                    let bytes = scale_bytes(bytes, clamp);
                     let delay = self.disk.begin_access(now);
                     if delay.is_zero() {
                         let t = self.disk_transfer_time(bytes);
@@ -839,7 +980,8 @@ impl Machine {
                         continue;
                     }
                     self.procs[pid.0].state = ProcState::Waiting;
-                    self.queue.push(until, Event::Timer(pid));
+                    self.procs[pid.0].wait_timer_ev =
+                        Some(self.queue.push(until, Event::Timer(pid)));
                     break;
                 }
             }
@@ -849,6 +991,147 @@ impl Machine {
     fn disk_transfer_time(&self, bytes: u64) -> SimDuration {
         SimDuration::from_secs_f64(bytes as f64 / self.cfg.spec.disk_rate_bps)
             .max(SimDuration::from_micros(100))
+    }
+
+    // ---- Supervision primitives ----------------------------------------
+
+    /// Releases this process's claim on `alive` (once).
+    fn release_alive(&mut self, pid: Pid) {
+        let p = &mut self.procs[pid.0];
+        if p.alive_counted {
+            p.alive_counted = false;
+            self.alive -= 1;
+        }
+    }
+
+    /// Re-acquires the `alive` claim for a restarted foreground process.
+    fn acquire_alive(&mut self, pid: Pid) {
+        let p = &mut self.procs[pid.0];
+        if !p.background && !p.alive_counted {
+            p.alive_counted = true;
+            self.alive += 1;
+        }
+    }
+
+    fn suspend_proc(&mut self, pid: Pid) -> bool {
+        if self.procs[pid.0].suspended || matches!(self.procs[pid.0].state, ProcState::Done) {
+            return false;
+        }
+        self.procs[pid.0].suspended = true;
+        for ev in [
+            self.procs[pid.0].timeout_ev.take(),
+            self.procs[pid.0].net_timer_ev.take(),
+            self.procs[pid.0].wait_timer_ev.take(),
+            self.procs[pid.0].retry_ev.take(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            self.queue.cancel(ev);
+        }
+        let running = matches!(self.current, Some((Source::Proc(q), _)) if q == pid);
+        match self.procs[pid.0].state {
+            ProcState::NetTx(_) | ProcState::NetRx(_) => {
+                if let Some(flow) = self.procs[pid.0].flow.take() {
+                    self.flows.remove(&flow);
+                    self.link.cancel_flow(self.clock, flow);
+                    self.relink();
+                }
+                self.radio.end_transfer();
+                self.radio.close_window();
+                self.procs[pid.0].attempts = 0;
+                self.procs[pid.0].state = ProcState::Suspended;
+            }
+            ProcState::NetAwaitTx(_) | ProcState::NetServerWait(_) | ProcState::NetBackoff(_) => {
+                // No transfer is active in these phases, but the radio
+                // window opened at issue is still held; release it.
+                self.radio.close_window();
+                self.procs[pid.0].attempts = 0;
+                self.procs[pid.0].state = ProcState::Suspended;
+            }
+            ProcState::ReadyCpu(_) if running => {
+                // Mid-slice on the CPU: the quantum finishes (at most
+                // 10 ms away) and `on_cpu_done` parks the process.
+            }
+            ProcState::ReadyCpu(_) => {
+                self.run_queue.retain(|s| *s != Source::Proc(pid));
+                self.procs[pid.0].state = ProcState::Suspended;
+            }
+            ProcState::DiskSpinup { .. } | ProcState::DiskBusy => {
+                // Let the disk operation complete so the disk model's
+                // accounting stays consistent; the post-op poll parks.
+            }
+            ProcState::Waiting | ProcState::Start => {
+                self.procs[pid.0].state = ProcState::Suspended;
+            }
+            ProcState::Suspended | ProcState::Done => unreachable!("filtered above"),
+        }
+        self.release_alive(pid);
+        true
+    }
+
+    fn restart_proc(&mut self, pid: Pid) -> bool {
+        let restartable =
+            self.procs[pid.0].suspended || matches!(self.procs[pid.0].state, ProcState::Done);
+        if !restartable {
+            return false;
+        }
+        let now = self.clock;
+        if !self.procs[pid.0].workload.on_restart(now) {
+            return false;
+        }
+        self.procs[pid.0].suspended = false;
+        self.procs[pid.0].attempts = 0;
+        self.procs[pid.0].state = ProcState::Start;
+        self.queue.push(now, Event::Poll(pid));
+        self.acquire_alive(pid);
+        let level = self.procs[pid.0].workload.fidelity().level as f64;
+        self.fidelity_series[pid.0].record(now, level);
+        true
+    }
+
+    /// 64-bit digest of the machine's live state; see
+    /// [`MachineView::state_digest`].
+    pub fn state_digest(&self) -> u64 {
+        let mut h = simcore::SnapshotHasher::new();
+        h.write_u64(self.clock.as_micros());
+        h.write_f64(self.ledger.total_j());
+        h.write_f64(self.source.remaining_j());
+        h.write_u64(self.exhausted as u64);
+        h.write_u64(self.rpc_timeouts);
+        h.write_u64(self.rpc_retries);
+        h.write_u64(self.link.total_bytes_carried());
+        let c = self.ledger.components();
+        for v in [
+            c.display_j,
+            c.disk_j,
+            c.radio_j,
+            c.cpu_j,
+            c.base_j,
+            c.superlinear_j,
+        ] {
+            h.write_f64(v);
+        }
+        h.write_u64(self.procs.len() as u64);
+        for p in &self.procs {
+            h.write_u64(p.state.tag());
+            let f = p.workload.fidelity();
+            h.write_u64(f.level as u64);
+            h.write_u64(f.levels as u64);
+            h.write_u64(p.bytes_received);
+            h.write_u64(p.attempts as u64);
+            h.write_u64(p.suspended as u64);
+            h.write_f64(p.clamp);
+            h.write_u64(p.last_poll_at.as_micros());
+            match p.last_transfer_bps {
+                None => h.write_u64(0),
+                Some(bps) => {
+                    h.write_u64(1);
+                    h.write_f64(bps);
+                }
+            }
+        }
+        h.finish()
     }
 
     // ---- CPU scheduler --------------------------------------------------
@@ -891,7 +1174,10 @@ impl Machine {
                     job.remaining = job.remaining.saturating_sub(slice);
                     job.remaining.is_zero()
                 };
-                if finished {
+                if self.procs[pid.0].suspended {
+                    // Quarantined mid-slice: park instead of re-queueing.
+                    self.procs[pid.0].state = ProcState::Suspended;
+                } else if finished {
                     self.schedule_poll(pid);
                 } else {
                     self.run_queue.push_back(src);
@@ -940,8 +1226,10 @@ impl Machine {
         };
         self.procs[pid.0].net_timer_ev = Some(self.queue.push(now + lat, Event::NetTimer(pid)));
         if let Some(policy) = self.cfg.faults.rpc {
-            self.procs[pid.0].timeout_ev =
-                Some(self.queue.push(now + policy.timeout, Event::RpcTimeout(pid)));
+            self.procs[pid.0].timeout_ev = Some(
+                self.queue
+                    .push(now + policy.timeout, Event::RpcTimeout(pid)),
+            );
         }
     }
 
@@ -1031,13 +1319,17 @@ impl Machine {
         let policy = self.cfg.faults.rpc.expect("RpcTimeout without a policy");
         let backoff = policy.backoff_after(self.procs[pid.0].attempts);
         self.procs[pid.0].state = ProcState::NetBackoff(plan);
-        self.queue.push(self.clock + backoff, Event::NetRetry(pid));
+        self.procs[pid.0].retry_ev =
+            Some(self.queue.push(self.clock + backoff, Event::NetRetry(pid)));
     }
 
     fn on_net_retry(&mut self, pid: Pid) {
+        self.procs[pid.0].retry_ev = None;
         let state = std::mem::replace(&mut self.procs[pid.0].state, ProcState::Start);
         let ProcState::NetBackoff(plan) = state else {
-            panic!("NetRetry in unexpected state {state:?}");
+            // Stale retry after a suspend/restart cycle.
+            self.procs[pid.0].state = state;
+            return;
         };
         self.rpc_retries += 1;
         self.procs[pid.0].attempts += 1;
@@ -1064,10 +1356,10 @@ impl Machine {
                 ProcState::NetTx(plan) => {
                     self.procs[pid.0].state = ProcState::NetServerWait(plan);
                     let lat = RPC_LATENCY + self.link_faults.extra_latency_at(self.clock);
-                    self.procs[pid.0].net_timer_ev = Some(self.queue.push(
-                        self.clock + plan.server_time + lat,
-                        Event::NetTimer(pid),
-                    ));
+                    self.procs[pid.0].net_timer_ev = Some(
+                        self.queue
+                            .push(self.clock + plan.server_time + lat, Event::NetTimer(pid)),
+                    );
                 }
                 ProcState::NetRx(_) => {
                     if let Some(id) = self.procs[pid.0].timeout_ev.take() {
@@ -1122,9 +1414,12 @@ impl Machine {
         if self.current.is_some() || !self.x_queue.is_empty() || self.link.active_count() > 0 {
             return false;
         }
-        self.procs
-            .iter()
-            .all(|p| matches!(p.state, ProcState::Waiting | ProcState::Done))
+        self.procs.iter().all(|p| {
+            matches!(
+                p.state,
+                ProcState::Waiting | ProcState::Done | ProcState::Suspended
+            )
+        })
     }
 
     fn update_quiet_tracking(&mut self) {

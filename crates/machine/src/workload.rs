@@ -37,6 +37,14 @@ pub trait Workload {
     fn on_upcall(&mut self, _dir: AdaptDirection, _now: SimTime) -> bool {
         false
     }
+
+    /// Supervisor restart: the viceroy is reviving this workload after a
+    /// crash or quarantine, recovering whatever state its warden held.
+    /// Returns `true` if the workload can continue; the default (`false`)
+    /// marks the workload as non-restartable.
+    fn on_restart(&mut self, _now: SimTime) -> bool {
+        false
+    }
 }
 
 /// A workload that runs a fixed list of activities then finishes.

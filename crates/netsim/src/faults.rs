@@ -76,9 +76,7 @@ impl LinkFaultPlan {
     /// Each fault class draws from its own labelled fork of `rng`, so
     /// adding a class never perturbs the others' timelines.
     pub fn compile(&self, rng: &SimRng, horizon: SimTime) -> LinkFaultTimeline {
-        let sched = |plan: &FaultPlan, label: &str| {
-            plan.schedule(&mut rng.fork(label), horizon)
-        };
+        let sched = |plan: &FaultPlan, label: &str| plan.schedule(&mut rng.fork(label), horizon);
         LinkFaultTimeline {
             outages: self
                 .outage
@@ -96,10 +94,7 @@ impl LinkFaultPlan {
                 .as_ref()
                 .map(|(p, _)| sched(p, "link.latency"))
                 .unwrap_or_default(),
-            latency_extra: self
-                .latency
-                .map(|(_, d)| d)
-                .unwrap_or(SimDuration::ZERO),
+            latency_extra: self.latency.map(|(_, d)| d).unwrap_or(SimDuration::ZERO),
         }
     }
 }
@@ -120,6 +115,33 @@ impl LinkFaultTimeline {
         LinkFaultTimeline {
             dip_factor: 1.0,
             ..Default::default()
+        }
+    }
+
+    /// A hand-scripted timeline from explicit schedules — for tests and
+    /// scenario replays that need exact windows (e.g. a dip overlapping
+    /// an outage) rather than a generative plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dip_factor` is finite and in `[0, 1]`.
+    pub fn scripted(
+        outages: FaultSchedule,
+        dips: FaultSchedule,
+        dip_factor: f64,
+        latency: FaultSchedule,
+        latency_extra: SimDuration,
+    ) -> Self {
+        assert!(
+            dip_factor.is_finite() && (0.0..=1.0).contains(&dip_factor),
+            "invalid dip factor: {dip_factor}"
+        );
+        LinkFaultTimeline {
+            outages,
+            dips,
+            dip_factor,
+            latency,
+            latency_extra,
         }
     }
 

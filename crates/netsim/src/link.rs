@@ -351,7 +351,7 @@ mod tests {
         let mut link = SharedLink::new(CAP);
         let t0 = SimTime::ZERO;
         link.start_flow(t0, 250_000); // 2 Mbit → 1 s alone.
-        // Outage from 0.5 s to 2.5 s: the flow pauses halfway.
+                                      // Outage from 0.5 s to 2.5 s: the flow pauses halfway.
         link.set_rate_factor(SimTime::from_secs_f64(0.5), 0.0);
         assert!(link.next_completion(SimTime::from_secs_f64(0.5)).is_none());
         link.advance(SimTime::from_secs_f64(2.5));

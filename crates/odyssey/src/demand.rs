@@ -90,6 +90,149 @@ pub fn predicted_demand_j(smoothed_w: f64, remaining_s: f64) -> f64 {
     smoothed_w * remaining_s.max(0.0)
 }
 
+/// One application's standing demand declaration.
+#[derive(Clone, Debug, PartialEq)]
+struct DemandEntry {
+    /// Declared sustained power at each fidelity level, W, index 0 =
+    /// lowest fidelity.
+    declared_w: Vec<f64>,
+    /// The fidelity level the application currently claims to run at.
+    claimed_level: usize,
+    /// False once the entry has been released (app exited or was
+    /// quarantined); a released entry no longer contributes demand.
+    active: bool,
+}
+
+/// The viceroy's demand ledger: per-application declared power by fidelity
+/// level, keyed by process index.
+///
+/// Declarations enter when an application registers with the viceroy and
+/// must leave when it does — historically an app that crashed mid-operation
+/// never issued the final downcall, so its declaration leaked and the
+/// viceroy kept budgeting supply for a corpse. [`DemandLedger::release`] is
+/// the explicit exit; [`DemandLedger::leaked`] audits for entries that
+/// outlived their process, and the supervisor garbage-collects them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DemandLedger {
+    entries: std::collections::BTreeMap<usize, DemandEntry>,
+}
+
+impl DemandLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        DemandLedger::default()
+    }
+
+    /// Registers (or replaces) a declaration for process `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `declared_w` is empty, contains a non-finite or negative
+    /// value, or `claimed_level` is out of range.
+    pub fn declare(&mut self, idx: usize, declared_w: Vec<f64>, claimed_level: usize) {
+        assert!(!declared_w.is_empty(), "empty demand declaration");
+        assert!(
+            declared_w.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "invalid declared power: {declared_w:?}"
+        );
+        assert!(
+            claimed_level < declared_w.len(),
+            "claimed level {claimed_level} out of range (levels: {})",
+            declared_w.len()
+        );
+        self.entries.insert(
+            idx,
+            DemandEntry {
+                declared_w,
+                claimed_level,
+                active: true,
+            },
+        );
+    }
+
+    /// Updates the claimed fidelity level for `idx`. Returns `false` when
+    /// the process has no active entry or the level is out of range.
+    pub fn set_claimed_level(&mut self, idx: usize, level: usize) -> bool {
+        match self.entries.get_mut(&idx) {
+            Some(e) if e.active && level < e.declared_w.len() => {
+                e.claimed_level = level;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Releases the declaration for `idx` (app exit, crash GC, or
+    /// quarantine). Returns the watts freed, or `None` if there was no
+    /// active entry — calling it twice is a no-op, not a double-free.
+    pub fn release(&mut self, idx: usize) -> Option<f64> {
+        match self.entries.get_mut(&idx) {
+            Some(e) if e.active => {
+                e.active = false;
+                Some(e.declared_w[e.claimed_level])
+            }
+            _ => None,
+        }
+    }
+
+    /// Re-activates a released entry at `level` (supervisor restart path).
+    /// Returns `false` if the process was never declared, is still active,
+    /// or `level` is out of range.
+    pub fn reinstate(&mut self, idx: usize, level: usize) -> bool {
+        match self.entries.get_mut(&idx) {
+            Some(e) if !e.active && level < e.declared_w.len() => {
+                e.active = true;
+                e.claimed_level = level;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Declared power for `idx` at its claimed level, W; `None` when
+    /// absent or released.
+    pub fn declared_w(&self, idx: usize) -> Option<f64> {
+        self.entries
+            .get(&idx)
+            .filter(|e| e.active)
+            .map(|e| e.declared_w[e.claimed_level])
+    }
+
+    /// Claimed fidelity level for `idx`; `None` when absent or released.
+    pub fn claimed_level(&self, idx: usize) -> Option<usize> {
+        self.entries
+            .get(&idx)
+            .filter(|e| e.active)
+            .map(|e| e.claimed_level)
+    }
+
+    /// True while `idx` holds an active declaration.
+    pub fn is_active(&self, idx: usize) -> bool {
+        self.entries.get(&idx).is_some_and(|e| e.active)
+    }
+
+    /// Sum of declared power over all active entries, W.
+    pub fn total_declared_w(&self) -> f64 {
+        self.entries
+            .values()
+            .filter(|e| e.active)
+            .map(|e| e.declared_w[e.claimed_level])
+            .sum()
+    }
+
+    /// Audit: indices whose entries are still active even though the
+    /// process is done — declarations leaked by apps that died without the
+    /// final downcall. `done` reports whether each process index has
+    /// terminated.
+    pub fn leaked(&self, done: impl Fn(usize) -> bool) -> Vec<usize> {
+        self.entries
+            .iter()
+            .filter(|(idx, e)| e.active && done(**idx))
+            .map(|(idx, _)| *idx)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +310,58 @@ mod tests {
         s.reset();
         assert_eq!(s.value(), None);
         assert_eq!(s.update(1.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn ledger_tracks_claimed_level() {
+        let mut l = DemandLedger::new();
+        l.declare(0, vec![1.0, 2.0, 4.0], 2);
+        assert_eq!(l.declared_w(0), Some(4.0));
+        assert!(l.set_claimed_level(0, 0));
+        assert_eq!(l.declared_w(0), Some(1.0));
+        assert!(!l.set_claimed_level(0, 3));
+        assert!(!l.set_claimed_level(9, 0));
+    }
+
+    #[test]
+    fn release_frees_demand_exactly_once() {
+        let mut l = DemandLedger::new();
+        l.declare(0, vec![2.0, 5.0], 1);
+        l.declare(1, vec![3.0], 0);
+        assert!((l.total_declared_w() - 8.0).abs() < 1e-12);
+        assert_eq!(l.release(0), Some(5.0));
+        assert!((l.total_declared_w() - 3.0).abs() < 1e-12);
+        // Double release is a no-op, not a double-free.
+        assert_eq!(l.release(0), None);
+        assert!(!l.is_active(0));
+        assert!(l.is_active(1));
+    }
+
+    /// Regression test for the demand leak: an app that dies without the
+    /// final downcall leaves an active entry behind, the audit finds it,
+    /// and releasing it restores the budget.
+    #[test]
+    fn crashed_app_without_release_is_a_leak_until_collected() {
+        let mut l = DemandLedger::new();
+        l.declare(0, vec![2.0], 0);
+        l.declare(1, vec![6.0], 0);
+        let done = |idx: usize| idx == 1; // process 1 crashed
+        assert_eq!(l.leaked(done), vec![1]);
+        assert!((l.total_declared_w() - 8.0).abs() < 1e-12);
+        assert_eq!(l.release(1), Some(6.0));
+        assert!(l.leaked(done).is_empty());
+        assert!((l.total_declared_w() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reinstate_reactivates_at_recovery_level() {
+        let mut l = DemandLedger::new();
+        l.declare(0, vec![1.0, 3.0], 1);
+        assert!(!l.reinstate(0, 0), "active entries cannot be reinstated");
+        l.release(0);
+        assert!(!l.reinstate(0, 5), "out-of-range level rejected");
+        assert!(l.reinstate(0, 0));
+        assert_eq!(l.declared_w(0), Some(1.0));
+        assert_eq!(l.claimed_level(0), Some(0));
     }
 }

@@ -17,6 +17,7 @@
 //! trading stability far from the goal for agility near it.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use machine::{AdaptDirection, ControlHook, MachineView};
@@ -192,9 +193,15 @@ struct Shared {
     upgrades: usize,
     stale_decisions: usize,
     first_infeasible_at: Option<SimTime>,
+    /// Degrade upcalls that changed nothing although the app claimed it
+    /// could degrade, per process index — the supervisor's ignored-upcall
+    /// feed.
+    rejected_degrades: BTreeMap<usize, usize>,
 }
 
-/// Caller-side handle to inspect a controller after the run.
+/// Caller-side handle to inspect a controller after the run. Cloneable so
+/// a supervisor can watch the controller's upcall feed live.
+#[derive(Clone)]
 pub struct GoalHandle {
     shared: Rc<RefCell<Shared>>,
 }
@@ -221,6 +228,23 @@ impl GoalHandle {
     /// Predicted-demand series sampled at each decision (Figure 19 top).
     pub fn demand_series(&self) -> TimeSeries {
         self.shared.borrow().demand.clone()
+    }
+
+    /// Degrade upcalls to process index `idx` that changed nothing even
+    /// though its fidelity view said it could degrade — the signature of
+    /// an app ignoring upcalls.
+    pub fn rejected_degrades_of(&self, idx: usize) -> usize {
+        self.shared
+            .borrow()
+            .rejected_degrades
+            .get(&idx)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total rejected degrade upcalls across all processes.
+    pub fn total_rejected_degrades(&self) -> usize {
+        self.shared.borrow().rejected_degrades.values().sum()
     }
 }
 
@@ -289,6 +313,7 @@ impl GoalController {
             upgrades: 0,
             stale_decisions: 0,
             first_infeasible_at: None,
+            rejected_degrades: BTreeMap::new(),
         }));
         let deadline = SimTime::ZERO + cfg.goal;
         let controller = GoalController {
@@ -376,13 +401,22 @@ impl GoalController {
             }
             for pid in self.priorities.degrade_order() {
                 let info = procs[pid.index()];
-                if info.done || !info.fidelity.can_degrade() {
+                if info.done || info.suspended || !info.fidelity.can_degrade() {
                     continue;
                 }
                 if view.upcall(pid, AdaptDirection::Degrade) {
                     self.shared.borrow_mut().degrades += 1;
                     return;
                 }
+                // The app claims it can degrade yet the upcall changed
+                // nothing. Publish the rejection for the supervisor and
+                // fall through to the next candidate.
+                *self
+                    .shared
+                    .borrow_mut()
+                    .rejected_degrades
+                    .entry(pid.index())
+                    .or_insert(0) += 1;
             }
             // Every application is already at lowest fidelity: the goal is
             // infeasible; alert the user.
@@ -403,7 +437,7 @@ impl GoalController {
             }
             for pid in self.priorities.upgrade_order() {
                 let info = procs[pid.index()];
-                if info.done || !info.fidelity.can_upgrade() {
+                if info.done || info.suspended || !info.fidelity.can_upgrade() {
                     continue;
                 }
                 if view.upcall(pid, AdaptDirection::Upgrade) {

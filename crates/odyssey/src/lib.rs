@@ -20,20 +20,25 @@
 //!   with hysteresis so the battery lasts exactly as long as asked;
 //! - [`viceroy`] — the resource-management facade plus the original
 //!   Odyssey bandwidth-adaptation loop (passive throughput estimation
-//!   against expectation windows), the substrate the energy work extends.
+//!   against expectation windows), the substrate the energy work extends;
+//! - [`supervisor`] — the crash-tolerant control plane: watchdogs,
+//!   demand-vs-attribution cross-checks, quarantine, and deterministic
+//!   restart for applications that hang, crash, lie, or ignore upcalls.
 
 pub mod demand;
 pub mod expectation;
 pub mod fidelity;
 pub mod goal;
 pub mod priority;
+pub mod supervisor;
 pub mod viceroy;
 pub mod warden;
 
-pub use demand::Smoother;
+pub use demand::{DemandLedger, Smoother};
 pub use expectation::{Expectation, ExpectationRegistry, Resource, WindowEvent};
 pub use fidelity::{FidelityLevel, FidelitySpace};
 pub use goal::{GoalConfig, GoalController, GoalHandle, GoalOutcome, Hardening};
 pub use priority::PriorityTable;
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorHandle, SupervisorStats};
 pub use viceroy::{BandwidthMonitor, Viceroy};
 pub use warden::{Warden, WardenRegistry};

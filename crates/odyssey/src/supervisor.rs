@@ -1,0 +1,589 @@
+//! The viceroy's application supervisor: crash tolerance for the control
+//! plane.
+//!
+//! The paper's viceroy trusts applications: it assumes every registered
+//! app keeps issuing operations, honours fidelity upcalls, and reports the
+//! fidelity it actually runs at. A single misbehaving app breaks all three
+//! assumptions and silently converts the goal-directed controller into an
+//! open loop. The supervisor closes it again with four detectors and an
+//! escalating response ladder, all driven by observations the viceroy
+//! already has:
+//!
+//! - **hang** — the app has not polled for longer than the watchdog while
+//!   PowerScope still attributes sustained power to it (a *blocked* app
+//!   attributes think-time to Idle, so it never trips this);
+//! - **ignore** — the goal controller's degrade upcalls keep returning
+//!   "unchanged" although the app's fidelity view says it could degrade
+//!   (fed live from [`GoalHandle::rejected_degrades_of`]);
+//! - **overdraw (lie)** — attributed power exceeds the demand the app
+//!   declared for its claimed fidelity level by more than the overdraw
+//!   factor: the app says it runs at fidelity F but draws the power of F′;
+//! - **crash** — the process terminated while its entry in the
+//!   [`DemandLedger`] was still active; the declaration is
+//!   garbage-collected so the viceroy stops budgeting supply for a corpse.
+//!
+//! Responses escalate one rung per strike: re-issue the degrade upcall,
+//! then force a warden datapath clamp, then quarantine (suspend the
+//! process, release its declared demand back to the survivors), and
+//! finally — after a cooldown — a deterministic restart that recovers the
+//! warden's last known-good fidelity level. Apps whose workloads refuse
+//! [`machine::Workload::on_restart`] are retired instead. Everything is
+//! opt-in: a rig that never attaches a supervisor behaves exactly as the
+//! paper's controller does.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use machine::{AdaptDirection, ControlHook, MachineView, Pid};
+use powerscope::AttributionFeed;
+use simcore::{SimDuration, SimTime};
+
+use crate::demand::DemandLedger;
+use crate::goal::GoalHandle;
+
+/// Supervisor tuning knobs.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Supervision period (also the hook period to attach at).
+    pub period: SimDuration,
+    /// No detections before this instant: the attribution feed needs a
+    /// few windows before its power estimates mean anything.
+    pub warmup: SimDuration,
+    /// An app that has not polled for this long while drawing power is
+    /// hung. Must exceed the longest honest CPU burst any workload emits.
+    pub watchdog: SimDuration,
+    /// Minimum attributed power, W, for hang and overdraw detection — a
+    /// blocked app attributes ~0 W and must never strike.
+    pub hang_power_w: f64,
+    /// Overdraw threshold: strike when attributed power exceeds declared
+    /// power at the claimed level times this factor.
+    pub overdraw_factor: f64,
+    /// Grace period after a claimed fidelity change before the overdraw
+    /// cross-check resumes: the smoothed attribution of an honestly
+    /// degrading app lags its level change by a few windows.
+    pub response_window: SimDuration,
+    /// Datapath clamp applied on the second strike.
+    pub clamp_factor: f64,
+    /// Strikes before quarantine.
+    pub quarantine_after: u32,
+    /// Clean ticks before one strike is forgiven (keeps rare false
+    /// positives from ratcheting an honest app to quarantine).
+    pub forgive_after: u32,
+    /// Quarantine cooldown before a restart is attempted.
+    pub restart_after: SimDuration,
+    /// Restarts granted per app before it is retired for good.
+    pub max_restarts: u32,
+}
+
+impl SupervisorConfig {
+    /// Defaults sized for the paper's applications: a 30 s watchdog
+    /// clears the longest honest speech-recognition burst, and the 1 W
+    /// power gate clears every blocked state (a waiting app attributes
+    /// think-time to Idle and reads near zero).
+    pub fn standard() -> Self {
+        SupervisorConfig {
+            period: SimDuration::from_secs(1),
+            warmup: SimDuration::from_secs(30),
+            watchdog: SimDuration::from_secs(30),
+            hang_power_w: 1.0,
+            overdraw_factor: 1.6,
+            response_window: SimDuration::from_secs(10),
+            clamp_factor: 0.5,
+            quarantine_after: 3,
+            forgive_after: 10,
+            restart_after: SimDuration::from_secs(60),
+            max_restarts: 1,
+        }
+    }
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig::standard()
+    }
+}
+
+/// Counters the supervisor accumulates over a run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SupervisorStats {
+    /// Watchdog expiries with attributed power (hang detections).
+    pub hang_strikes: usize,
+    /// New rejected-degrade observations (ignored-upcall detections).
+    pub ignore_strikes: usize,
+    /// Attributed power above declared demand (lie detections).
+    pub overdraw_strikes: usize,
+    /// First-rung responses: degrade upcalls re-issued by the supervisor.
+    pub reissued_upcalls: usize,
+    /// Second-rung responses: forced warden datapath clamps.
+    pub clamps: usize,
+    /// Third-rung responses: processes suspended.
+    pub quarantines: usize,
+    /// Successful restarts after quarantine.
+    pub restarts: usize,
+    /// Apps permanently retired (restart refused or budget exhausted).
+    pub retired: usize,
+    /// Demand-ledger entries garbage-collected from dead processes.
+    pub crash_releases: usize,
+    /// Declared watts released back to surviving apps by quarantines and
+    /// crash collections.
+    pub redistributed_w: f64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    stats: SupervisorStats,
+    ledger: DemandLedger,
+}
+
+/// Caller-side handle to inspect the supervisor during and after a run.
+#[derive(Clone)]
+pub struct SupervisorHandle {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl SupervisorHandle {
+    /// Current counters.
+    pub fn stats(&self) -> SupervisorStats {
+        self.inner.borrow().stats.clone()
+    }
+
+    /// A copy of the demand ledger.
+    pub fn ledger(&self) -> DemandLedger {
+        self.inner.borrow().ledger.clone()
+    }
+
+    /// Sum of declared power over all live declarations, W.
+    pub fn total_declared_w(&self) -> f64 {
+        self.inner.borrow().ledger.total_declared_w()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Phase {
+    Healthy,
+    Clamped,
+    Quarantined { since: SimTime },
+    Retired,
+}
+
+#[derive(Debug)]
+struct AppState {
+    pid: Pid,
+    phase: Phase,
+    strikes: u32,
+    clean_ticks: u32,
+    restarts: u32,
+    /// Last fidelity level observed while behaving — the warden state a
+    /// restart recovers to.
+    recovery_level: usize,
+    /// Rejected-degrade count already accounted for.
+    seen_rejections: usize,
+    /// Last claimed fidelity level observed, and when it changed — the
+    /// overdraw cross-check pauses for the response window after a change.
+    level_seen: usize,
+    level_changed_at: SimTime,
+    /// Whether the done-transition has been processed.
+    collected: bool,
+}
+
+/// The supervisor; attach with [`machine::Machine::add_hook`] at
+/// [`SupervisorConfig::period`], after registering each watched app with
+/// [`Supervisor::watch`].
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    apps: Vec<AppState>,
+    feed: AttributionFeed,
+    goal: Option<GoalHandle>,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Supervisor {
+    /// Creates a supervisor and its inspection handle.
+    pub fn new(cfg: SupervisorConfig) -> (SupervisorHandle, Box<Supervisor>) {
+        assert!(!cfg.period.is_zero(), "supervision period must be positive");
+        assert!(
+            cfg.overdraw_factor >= 1.0,
+            "overdraw factor below 1 strikes honest apps"
+        );
+        let inner = Rc::new(RefCell::new(Inner::default()));
+        let s = Supervisor {
+            cfg,
+            apps: Vec::new(),
+            feed: AttributionFeed::new(),
+            goal: None,
+            inner: inner.clone(),
+        };
+        (SupervisorHandle { inner }, Box::new(s))
+    }
+
+    /// Registers an app: its declared sustained power per fidelity level
+    /// (index 0 = lowest) and the level it starts at. Declarations enter
+    /// the demand ledger immediately.
+    pub fn watch(&mut self, pid: Pid, declared_w: Vec<f64>, initial_level: usize) {
+        self.inner
+            .borrow_mut()
+            .ledger
+            .declare(pid.index(), declared_w, initial_level);
+        self.apps.push(AppState {
+            pid,
+            phase: Phase::Healthy,
+            strikes: 0,
+            clean_ticks: 0,
+            restarts: 0,
+            recovery_level: initial_level,
+            seen_rejections: 0,
+            level_seen: initial_level,
+            level_changed_at: SimTime::ZERO,
+            collected: false,
+        });
+    }
+
+    /// Connects the goal controller's upcall feed so ignored degrades
+    /// count as strikes.
+    pub fn attach_goal(&mut self, goal: GoalHandle) {
+        self.goal = Some(goal);
+    }
+
+    fn collect_crash(&mut self, app_i: usize, now: SimTime) {
+        let app = &mut self.apps[app_i];
+        app.collected = true;
+        let mut inner = self.inner.borrow_mut();
+        if let Some(freed) = inner.ledger.release(app.pid.index()) {
+            inner.stats.crash_releases += 1;
+            inner.stats.redistributed_w += freed;
+        }
+        if app.restarts < self.cfg.max_restarts {
+            app.phase = Phase::Quarantined { since: now };
+        } else {
+            app.phase = Phase::Retired;
+            inner.stats.retired += 1;
+        }
+    }
+
+    fn try_restart(&mut self, app_i: usize, view: &mut MachineView<'_>) {
+        let (pid, recovery_level) = {
+            let app = &self.apps[app_i];
+            (app.pid, app.recovery_level)
+        };
+        if !view.restart(pid) {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.retired += 1;
+            self.apps[app_i].phase = Phase::Retired;
+            return;
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.restarts += 1;
+            inner.ledger.reinstate(pid.index(), recovery_level);
+        }
+        // Warden state recovery: walk the revived app back down to its
+        // last known-good fidelity level before it runs again.
+        let mut level = view.processes()[pid.index()].fidelity.level;
+        while level > recovery_level && view.upcall(pid, AdaptDirection::Degrade) {
+            level -= 1;
+        }
+        self.feed.reset(pid.index());
+        let app = &mut self.apps[app_i];
+        app.restarts += 1;
+        app.strikes = 0;
+        app.clean_ticks = 0;
+        app.collected = false;
+        app.phase = Phase::Healthy;
+    }
+
+    fn respond(&mut self, app_i: usize, now: SimTime, view: &mut MachineView<'_>) {
+        let (pid, strikes) = {
+            let app = &mut self.apps[app_i];
+            app.strikes += 1;
+            app.clean_ticks = 0;
+            (app.pid, app.strikes)
+        };
+        let mut inner = self.inner.borrow_mut();
+        if strikes == 1 {
+            inner.stats.reissued_upcalls += 1;
+            drop(inner);
+            view.upcall(pid, AdaptDirection::Degrade);
+        } else if strikes == 2 {
+            inner.stats.clamps += 1;
+            drop(inner);
+            view.set_datapath_clamp(pid, self.cfg.clamp_factor);
+            self.apps[app_i].phase = Phase::Clamped;
+        } else if strikes >= self.cfg.quarantine_after && view.suspend(pid) {
+            inner.stats.quarantines += 1;
+            if let Some(freed) = inner.ledger.release(pid.index()) {
+                inner.stats.redistributed_w += freed;
+            }
+            self.apps[app_i].phase = Phase::Quarantined { since: now };
+        }
+    }
+}
+
+impl ControlHook for Supervisor {
+    fn on_tick(&mut self, now: SimTime, view: &mut MachineView<'_>) {
+        let procs = view.processes();
+        for i in 0..self.apps.len() {
+            let pid = self.apps[i].pid;
+            let info = &procs[pid.index()];
+
+            // The attribution feed observes every tick so its estimate is
+            // warm by the time detection starts.
+            let cum_j = view.attributed_energy_j(pid);
+            let power = self.feed.observe(pid.index(), now, cum_j).unwrap_or(0.0);
+
+            if info.done && !self.apps[i].collected {
+                self.collect_crash(i, now);
+                continue;
+            }
+
+            match self.apps[i].phase {
+                Phase::Retired => continue,
+                Phase::Quarantined { since } => {
+                    if self.apps[i].restarts < self.cfg.max_restarts
+                        && now.saturating_since(since) >= self.cfg.restart_after
+                    {
+                        self.try_restart(i, view);
+                    }
+                    continue;
+                }
+                Phase::Healthy | Phase::Clamped => {}
+            }
+            if info.done || now < SimTime::ZERO + self.cfg.warmup {
+                continue;
+            }
+
+            let mut strike = false;
+            {
+                let mut inner = self.inner.borrow_mut();
+
+                // Hang: silent on the poll interface, loud on the meter.
+                let since_poll = now.saturating_since(view.last_poll_at(pid));
+                if since_poll > self.cfg.watchdog && power > self.cfg.hang_power_w {
+                    inner.stats.hang_strikes += 1;
+                    strike = true;
+                }
+
+                // Ignore: the goal controller's upcalls bounce off.
+                if let Some(goal) = &self.goal {
+                    let rejections = goal.rejected_degrades_of(pid.index());
+                    if rejections > self.apps[i].seen_rejections {
+                        self.apps[i].seen_rejections = rejections;
+                        inner.stats.ignore_strikes += 1;
+                        strike = true;
+                    }
+                }
+
+                // Lie: claimed fidelity F, power of F'. Sync the claimed
+                // level from the app's own report, then — once the
+                // response window has passed — cross-check it against
+                // PowerScope attribution.
+                let level = info.fidelity.level;
+                if level != self.apps[i].level_seen {
+                    self.apps[i].level_seen = level;
+                    self.apps[i].level_changed_at = now;
+                }
+                if inner.ledger.claimed_level(pid.index()) != Some(level) {
+                    inner.ledger.set_claimed_level(pid.index(), level);
+                }
+                let settled =
+                    now.saturating_since(self.apps[i].level_changed_at) >= self.cfg.response_window;
+                if let Some(declared) = inner.ledger.declared_w(pid.index()) {
+                    if settled
+                        && power > declared * self.cfg.overdraw_factor
+                        && power > self.cfg.hang_power_w
+                    {
+                        inner.stats.overdraw_strikes += 1;
+                        strike = true;
+                    }
+                }
+            }
+
+            if strike {
+                self.respond(i, now, view);
+            } else {
+                let app = &mut self.apps[i];
+                if app.phase == Phase::Healthy {
+                    app.recovery_level = info.fidelity.level;
+                }
+                if app.strikes > 0 {
+                    app.clean_ticks += 1;
+                    if app.clean_ticks >= self.cfg.forgive_after {
+                        app.strikes -= 1;
+                        app.clean_ticks = 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw560x::PmPolicy;
+    use machine::workload::ScriptedWorkload;
+    use machine::{Activity, FidelityView, Machine, MachineConfig, Step, Workload};
+    use simcore::SimDuration;
+
+    /// A workload that behaves for `honest_until`, then spins forever
+    /// without polling — the canonical hang.
+    struct Spinner {
+        honest_until: SimTime,
+        horizon: SimTime,
+        restarted: bool,
+    }
+
+    impl Workload for Spinner {
+        fn name(&self) -> &'static str {
+            "spinner"
+        }
+        fn poll(&mut self, now: SimTime) -> Step {
+            if now >= self.horizon {
+                return Step::Done;
+            }
+            if now < self.honest_until || self.restarted {
+                // Honest phase: short burst, long think.
+                Step::Run(Activity::Wait {
+                    until: now + SimDuration::from_secs(1),
+                })
+            } else {
+                // One enormous burst: no polls until the horizon.
+                Step::Run(Activity::Cpu {
+                    duration: self.horizon.saturating_since(now),
+                    intensity: 1.0,
+                    procedure: "spin",
+                })
+            }
+        }
+        fn fidelity(&self) -> FidelityView {
+            FidelityView {
+                level: 1,
+                levels: 2,
+            }
+        }
+        fn on_restart(&mut self, _now: SimTime) -> bool {
+            self.restarted = true;
+            true
+        }
+    }
+
+    fn rig(horizon_s: u64) -> (Machine, SupervisorHandle) {
+        let mut m = Machine::new(MachineConfig {
+            pm: PmPolicy::enabled(),
+            ..Default::default()
+        });
+        let pid = m.add_process(Box::new(Spinner {
+            honest_until: SimTime::from_secs(60),
+            horizon: SimTime::from_secs(horizon_s),
+            restarted: false,
+        }));
+        let cfg = SupervisorConfig::standard();
+        let period = cfg.period;
+        let (handle, mut sup) = Supervisor::new(cfg);
+        // Generous declaration: the spin never overdraws it, so the
+        // watchdog is the only detector that can fire.
+        sup.watch(pid, vec![25.0, 50.0], 1);
+        m.add_hook(period, sup);
+        (m, handle)
+    }
+
+    #[test]
+    fn hang_escalates_to_quarantine_and_restart() {
+        let (mut m, handle) = rig(600);
+        m.run_until(SimTime::from_secs(400));
+        let stats = handle.stats();
+        assert!(stats.hang_strikes >= 3, "{stats:?}");
+        assert_eq!(stats.reissued_upcalls, 1, "{stats:?}");
+        assert_eq!(stats.clamps, 1, "{stats:?}");
+        assert_eq!(stats.quarantines, 1, "{stats:?}");
+        assert_eq!(stats.restarts, 1, "{stats:?}");
+        assert!(stats.redistributed_w > 0.0);
+        // After restart the app behaves again; its declaration is live.
+        assert!(handle.ledger().is_active(0));
+    }
+
+    #[test]
+    fn honest_app_never_strikes() {
+        let mut m = Machine::new(MachineConfig {
+            pm: PmPolicy::enabled(),
+            ..Default::default()
+        });
+        let pid = m.add_process(Box::new(ScriptedWorkload::idle_for(
+            "calm",
+            SimDuration::from_secs(200),
+        )));
+        let cfg = SupervisorConfig::standard();
+        let period = cfg.period;
+        let (handle, mut sup) = Supervisor::new(cfg);
+        sup.watch(pid, vec![1.0], 0);
+        m.add_hook(period, sup);
+        m.run_until(SimTime::from_secs(300));
+        let stats = handle.stats();
+        assert_eq!(stats.hang_strikes, 0, "{stats:?}");
+        assert_eq!(stats.overdraw_strikes, 0, "{stats:?}");
+        assert_eq!(stats.quarantines, 0, "{stats:?}");
+        // The workload finished; its declaration was collected, and since
+        // ScriptedWorkload refuses on_restart, the app was retired.
+        assert_eq!(stats.crash_releases, 1, "{stats:?}");
+        assert_eq!(stats.retired, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn crashed_app_declaration_is_garbage_collected() {
+        let mut m = Machine::new(MachineConfig {
+            pm: PmPolicy::enabled(),
+            ..Default::default()
+        });
+        // Dies at 10 s without any release downcall.
+        let pid = m.add_process(Box::new(ScriptedWorkload::idle_for(
+            "crashy",
+            SimDuration::from_secs(10),
+        )));
+        let _keepalive = m.add_process(Box::new(ScriptedWorkload::idle_for(
+            "bg",
+            SimDuration::from_secs(120),
+        )));
+        let cfg = SupervisorConfig {
+            max_restarts: 0,
+            ..SupervisorConfig::standard()
+        };
+        let period = cfg.period;
+        let (handle, mut sup) = Supervisor::new(cfg);
+        sup.watch(pid, vec![2.5], 0);
+        m.add_hook(period, sup);
+        m.run_until(SimTime::from_secs(60));
+        let stats = handle.stats();
+        assert_eq!(stats.crash_releases, 1);
+        assert!((stats.redistributed_w - 2.5).abs() < 1e-12);
+        assert_eq!(stats.retired, 1);
+        assert!(!handle.ledger().is_active(pid.index()));
+        assert_eq!(handle.total_declared_w(), 0.0);
+    }
+
+    #[test]
+    fn overdraw_is_detected_against_declaration() {
+        let mut m = Machine::new(MachineConfig {
+            pm: PmPolicy::enabled(),
+            ..Default::default()
+        });
+        // Declares 0.1 W but burns CPU continuously in short bursts (so it
+        // keeps polling — no hang), drawing several watts.
+        let script: Vec<Activity> = (0..3000)
+            .map(|_| Activity::Cpu {
+                duration: SimDuration::from_millis(100),
+                intensity: 1.0,
+                procedure: "burn",
+            })
+            .collect();
+        let pid = m.add_process(Box::new(ScriptedWorkload::new("liar", script)));
+        let cfg = SupervisorConfig::standard();
+        let period = cfg.period;
+        let (handle, mut sup) = Supervisor::new(cfg);
+        sup.watch(pid, vec![0.1], 0);
+        m.add_hook(period, sup);
+        m.run_until(SimTime::from_secs(120));
+        let stats = handle.stats();
+        assert!(stats.overdraw_strikes >= 3, "{stats:?}");
+        assert_eq!(stats.hang_strikes, 0, "kept polling: {stats:?}");
+        assert_eq!(stats.quarantines, 1, "{stats:?}");
+    }
+}

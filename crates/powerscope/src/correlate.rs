@@ -194,10 +194,7 @@ mod tests {
         // A 2 s sampling gap after the first sample: uncapped, process
         // "a" absorbs all 2 s; capped at 100 ms, it absorbs only the
         // metered window and the profile duration shrinks by the gap.
-        let run = run_with(
-            vec![(0, 1.0, "a", "f"), (2000, 1.0, "b", "g")],
-            2100,
-        );
+        let run = run_with(vec![(0, 1.0, "a", "f"), (2000, 1.0, "b", "g")], 2100);
         let uncapped = correlate(&run);
         assert!((uncapped.energy_of("a") - 12.0 * 2.0).abs() < 1e-9);
         let capped = correlate_with(

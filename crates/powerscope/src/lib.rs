@@ -14,6 +14,7 @@
 //! statistical attribution (including its sampling noise). Tests verify
 //! that the sampled profile converges to the machine's exact ledger.
 
+pub mod attribution;
 pub mod correlate;
 pub mod faults;
 pub mod multimeter;
@@ -22,6 +23,7 @@ pub mod profile;
 pub mod sample;
 pub mod symbols;
 
+pub use attribution::AttributionFeed;
 pub use correlate::{correlate, correlate_with, CorrelateOptions};
 pub use faults::{FaultyEnergySensor, MeterFaultPlan};
 pub use multimeter::PowerScope;

@@ -57,7 +57,10 @@ impl FaultPlan {
     /// the renewal process).
     pub fn new(mean_gap: SimDuration, mean_len: SimDuration) -> Self {
         assert!(!mean_gap.is_zero(), "fault plan needs a positive mean gap");
-        assert!(!mean_len.is_zero(), "fault plan needs a positive mean length");
+        assert!(
+            !mean_len.is_zero(),
+            "fault plan needs a positive mean length"
+        );
         FaultPlan { mean_gap, mean_len }
     }
 
@@ -76,11 +79,13 @@ impl FaultPlan {
                 rng.exponential(self.mean_len.as_secs_f64())
                     .max(self.mean_len.as_secs_f64() * 0.05),
             );
-            let start = t + gap;
+            // Saturating arithmetic: a horizon near the end of representable
+            // time (multi-month soak runs) must clamp, not wrap.
+            let start = t.saturating_add(gap);
             if start >= horizon {
                 break;
             }
-            let end = (start + len).min(horizon);
+            let end = start.saturating_add(len).min(horizon);
             windows.push(FaultWindow { start, end });
             t = end;
         }
@@ -152,11 +157,13 @@ impl FaultSchedule {
         self.windows.get(i).map(|w| w.start)
     }
 
-    /// Total faulted time.
+    /// Total faulted time. Saturates at the maximum representable
+    /// duration (windows are disjoint, so the sum is bounded by the last
+    /// window's end and cannot wrap for any real schedule).
     pub fn total_active(&self) -> SimDuration {
         self.windows
             .iter()
-            .fold(SimDuration::ZERO, |acc, w| acc + w.duration())
+            .fold(SimDuration::ZERO, |acc, w| acc.saturating_add(w.duration()))
     }
 }
 
@@ -180,6 +187,7 @@ pub fn hash_noise(seed: u64, tick: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::time::TICKS_PER_SEC;
 
     fn secs(s: u64) -> SimTime {
         SimTime::from_secs(s)
@@ -275,6 +283,35 @@ mod tests {
             assert_eq!(v, hash_noise(42, tick));
         }
         assert_ne!(hash_noise(42, 1), hash_noise(43, 1));
+    }
+
+    /// A 60-day soak horizon compiles without wrapping and every window
+    /// stays inside it — the ≥30-day audit target.
+    #[test]
+    fn two_month_horizon_compiles_cleanly() {
+        let plan = FaultPlan::new(SimDuration::from_secs(3600), SimDuration::from_secs(120));
+        let horizon = secs(60 * 24 * 3600);
+        let s = plan.schedule(&mut SimRng::new(11), horizon);
+        assert!(!s.is_empty());
+        for w in s.windows() {
+            assert!(w.start < w.end && w.end <= horizon);
+        }
+        assert!(s.total_active() < horizon.since(SimTime::ZERO));
+    }
+
+    /// Even a horizon at the very end of representable time clamps
+    /// instead of wrapping.
+    #[test]
+    fn compilation_saturates_at_end_of_time() {
+        let plan = FaultPlan::new(
+            SimDuration::from_secs(u64::MAX / TICKS_PER_SEC / 4),
+            SimDuration::from_secs(u64::MAX / TICKS_PER_SEC / 4),
+        );
+        let horizon = SimTime::from_micros(u64::MAX);
+        let s = plan.schedule(&mut SimRng::new(5), horizon);
+        for w in s.windows() {
+            assert!(w.end <= horizon);
+        }
     }
 
     #[test]

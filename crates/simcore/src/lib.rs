@@ -15,6 +15,7 @@ pub mod event;
 pub mod fault;
 pub mod rng;
 pub mod series;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 
@@ -22,5 +23,6 @@ pub use event::EventQueue;
 pub use fault::{FaultPlan, FaultSchedule, FaultWindow};
 pub use rng::SimRng;
 pub use series::TimeSeries;
+pub use snapshot::{Checkpoint, RunJournal, Snapshot, SnapshotHasher};
 pub use stats::{LinearFit, TrialStats};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,348 @@
+//! Checkpoint/resume support: state digests and the run journal.
+//!
+//! A deterministic simulation needs no serialized core dump to resume: a
+//! run is a pure function of its configuration, so a checkpoint is just a
+//! *proof point* — (simulated time, digest of live state). Resuming means
+//! replaying the same configuration up to the checkpoint time, asserting
+//! that the digest matches (catching any nondeterminism or drifted code),
+//! and then continuing. The [`RunJournal`] records those proof points
+//! every N simulated seconds; the [`Snapshot`] trait folds a component's
+//! live state into a [`SnapshotHasher`].
+//!
+//! The digest is a 64-bit FNV-1a/splitmix chain over the raw bits of the
+//! state (floats via `to_bits`), so two states digest equal iff they are
+//! bit-identical — the property the crash-halfway/resume test relies on.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Incremental 64-bit state digest.
+///
+/// FNV-1a over bytes with a splitmix64 finalizer per word; not
+/// cryptographic, but sensitive to every bit fed in, which is all a
+/// determinism check needs.
+#[derive(Clone, Debug)]
+pub struct SnapshotHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SnapshotHasher {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        SnapshotHasher { state: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self.state = splitmix(self.state);
+    }
+
+    /// Folds a word into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a float into the digest by its exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The digest of everything written so far.
+    pub fn finish(&self) -> u64 {
+        splitmix(self.state)
+    }
+}
+
+impl Default for SnapshotHasher {
+    fn default() -> Self {
+        SnapshotHasher::new()
+    }
+}
+
+/// State that can be folded into a checkpoint digest.
+///
+/// Implementations must visit every field that influences future
+/// behavior, in a fixed order; two components snapshot equal iff their
+/// observable future evolution is identical.
+pub trait Snapshot {
+    /// Folds this component's live state into the hasher.
+    fn snapshot(&self, h: &mut SnapshotHasher);
+}
+
+impl Snapshot for u64 {
+    fn snapshot(&self, h: &mut SnapshotHasher) {
+        h.write_u64(*self);
+    }
+}
+
+impl Snapshot for u32 {
+    fn snapshot(&self, h: &mut SnapshotHasher) {
+        h.write_u64(*self as u64);
+    }
+}
+
+impl Snapshot for usize {
+    fn snapshot(&self, h: &mut SnapshotHasher) {
+        h.write_u64(*self as u64);
+    }
+}
+
+impl Snapshot for bool {
+    fn snapshot(&self, h: &mut SnapshotHasher) {
+        h.write_u64(*self as u64);
+    }
+}
+
+impl Snapshot for f64 {
+    fn snapshot(&self, h: &mut SnapshotHasher) {
+        h.write_f64(*self);
+    }
+}
+
+impl Snapshot for SimTime {
+    fn snapshot(&self, h: &mut SnapshotHasher) {
+        h.write_u64(self.as_micros());
+    }
+}
+
+impl Snapshot for SimDuration {
+    fn snapshot(&self, h: &mut SnapshotHasher) {
+        h.write_u64(self.as_micros());
+    }
+}
+
+impl Snapshot for str {
+    fn snapshot(&self, h: &mut SnapshotHasher) {
+        h.write_u64(self.len() as u64);
+        h.write_bytes(self.as_bytes());
+    }
+}
+
+impl<T: Snapshot> Snapshot for Option<T> {
+    fn snapshot(&self, h: &mut SnapshotHasher) {
+        match self {
+            None => h.write_u64(0),
+            Some(v) => {
+                h.write_u64(1);
+                v.snapshot(h);
+            }
+        }
+    }
+}
+
+impl<T: Snapshot> Snapshot for [T] {
+    fn snapshot(&self, h: &mut SnapshotHasher) {
+        h.write_u64(self.len() as u64);
+        for v in self {
+            v.snapshot(h);
+        }
+    }
+}
+
+impl<T: Snapshot> Snapshot for Vec<T> {
+    fn snapshot(&self, h: &mut SnapshotHasher) {
+        self.as_slice().snapshot(h);
+    }
+}
+
+/// One recorded proof point of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Sequence number, starting at 0.
+    pub seq: u64,
+    /// Simulated instant the digest was taken.
+    pub t: SimTime,
+    /// Digest of the full live state at `t`.
+    pub digest: u64,
+}
+
+/// Journal of checkpoints taken every N simulated seconds.
+///
+/// The journal itself never mutates simulation state; recording a
+/// checkpoint observes the digest a hook computed and remembers when the
+/// next one is due.
+#[derive(Clone, Debug)]
+pub struct RunJournal {
+    interval: SimDuration,
+    next_due: SimTime,
+    checkpoints: Vec<Checkpoint>,
+}
+
+impl RunJournal {
+    /// Creates a journal checkpointing every `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval.
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "checkpoint interval must be positive");
+        RunJournal {
+            interval,
+            next_due: SimTime::ZERO + interval,
+            checkpoints: Vec::new(),
+        }
+    }
+
+    /// The checkpoint interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// True if a checkpoint is due at or before `now`.
+    pub fn is_due(&self, now: SimTime) -> bool {
+        now >= self.next_due
+    }
+
+    /// Records a checkpoint at `now` if one is due; returns true if
+    /// recorded. `digest` is only invoked when due.
+    pub fn record_if_due(&mut self, now: SimTime, digest: impl FnOnce() -> u64) -> bool {
+        if !self.is_due(now) {
+            return false;
+        }
+        self.checkpoints.push(Checkpoint {
+            seq: self.checkpoints.len() as u64,
+            t: now,
+            digest: digest(),
+        });
+        // Schedule strictly after `now` so a stalled clock cannot record
+        // twice at one instant.
+        while self.next_due <= now {
+            self.next_due += self.interval;
+        }
+        true
+    }
+
+    /// All recorded checkpoints, in time order.
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        &self.checkpoints
+    }
+
+    /// The most recent checkpoint, if any.
+    pub fn latest(&self) -> Option<&Checkpoint> {
+        self.checkpoints.last()
+    }
+
+    /// The most recent checkpoint at or before `t` — the resume point
+    /// after a crash at `t`.
+    pub fn latest_at_or_before(&self, t: SimTime) -> Option<&Checkpoint> {
+        self.checkpoints.iter().rev().find(|c| c.t <= t)
+    }
+
+    /// True if `digest` matches the checkpoint recorded at exactly `t`.
+    /// Used on resume to prove the replay reproduced the journaled state.
+    pub fn verify(&self, t: SimTime, digest: u64) -> bool {
+        self.checkpoints
+            .iter()
+            .any(|c| c.t == t && c.digest == digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_bit_sensitive() {
+        let mut a = SnapshotHasher::new();
+        let mut b = SnapshotHasher::new();
+        a.write_f64(1.0);
+        b.write_f64(1.0 + f64::EPSILON);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = SnapshotHasher::new();
+        let mut b = SnapshotHasher::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn identical_streams_digest_equal() {
+        let mut a = SnapshotHasher::new();
+        let mut b = SnapshotHasher::new();
+        for h in [&mut a, &mut b] {
+            h.write_u64(42);
+            h.write_f64(-0.5);
+            "speech".snapshot(h);
+            Some(7u64).snapshot(h);
+            vec![1u64, 2, 3].snapshot(h);
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn option_none_differs_from_some_zero() {
+        let mut a = SnapshotHasher::new();
+        let mut b = SnapshotHasher::new();
+        Option::<u64>::None.snapshot(&mut a);
+        Some(0u64).snapshot(&mut b);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn journal_records_on_interval() {
+        let mut j = RunJournal::new(SimDuration::from_secs(10));
+        assert!(!j.record_if_due(SimTime::from_secs(5), || 1));
+        assert!(j.record_if_due(SimTime::from_secs(10), || 2));
+        assert!(!j.record_if_due(SimTime::from_secs(10), || 3));
+        assert!(j.record_if_due(SimTime::from_secs(25), || 4));
+        let cs = j.checkpoints();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(
+            cs[0],
+            Checkpoint {
+                seq: 0,
+                t: SimTime::from_secs(10),
+                digest: 2
+            }
+        );
+        assert_eq!(
+            cs[1],
+            Checkpoint {
+                seq: 1,
+                t: SimTime::from_secs(25),
+                digest: 4
+            }
+        );
+    }
+
+    #[test]
+    fn resume_point_lookup() {
+        let mut j = RunJournal::new(SimDuration::from_secs(10));
+        j.record_if_due(SimTime::from_secs(10), || 10);
+        j.record_if_due(SimTime::from_secs(20), || 20);
+        j.record_if_due(SimTime::from_secs(30), || 30);
+        let ck = j.latest_at_or_before(SimTime::from_secs(25)).unwrap();
+        assert_eq!(ck.t, SimTime::from_secs(20));
+        assert_eq!(ck.digest, 20);
+        assert!(j.latest_at_or_before(SimTime::from_secs(5)).is_none());
+        assert_eq!(j.latest().unwrap().t, SimTime::from_secs(30));
+        assert!(j.verify(SimTime::from_secs(20), 20));
+        assert!(!j.verify(SimTime::from_secs(20), 21));
+        assert!(!j.verify(SimTime::from_secs(15), 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = RunJournal::new(SimDuration::ZERO);
+    }
+}

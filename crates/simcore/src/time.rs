@@ -43,8 +43,15 @@ impl SimTime {
     }
 
     /// Creates an instant from whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the microsecond count overflows `u64` (~584,000 years).
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * TICKS_PER_SEC)
+        match s.checked_mul(TICKS_PER_SEC) {
+            Some(us) => SimTime(us),
+            None => panic!("SimTime::from_secs overflows u64 microseconds"),
+        }
     }
 
     /// Creates an instant from fractional seconds.
@@ -107,13 +114,27 @@ impl SimDuration {
     }
 
     /// Creates a duration from whole milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the microsecond count overflows `u64`.
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000)
+        match ms.checked_mul(1_000) {
+            Some(us) => SimDuration(us),
+            None => panic!("SimDuration::from_millis overflows u64 microseconds"),
+        }
     }
 
     /// Creates a duration from whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the microsecond count overflows `u64` (~584,000 years).
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * TICKS_PER_SEC)
+        match s.checked_mul(TICKS_PER_SEC) {
+            Some(us) => SimDuration(us),
+            None => panic!("SimDuration::from_secs overflows u64 microseconds"),
+        }
     }
 
     /// Creates a duration from fractional seconds.
@@ -171,17 +192,29 @@ impl SimDuration {
     }
 }
 
+impl SimTime {
+    /// Addition that clamps at the end of representable time instead of
+    /// panicking — for horizon arithmetic on multi-month runs.
+    pub const fn saturating_add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
 
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime addition overflows u64 microseconds"),
+        )
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -205,17 +238,28 @@ impl Sub<SimTime> for SimTime {
     }
 }
 
+impl SimDuration {
+    /// Addition that clamps at the maximum representable duration.
+    pub const fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
 impl Add for SimDuration {
     type Output = SimDuration;
 
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimDuration addition overflows u64 microseconds"),
+        )
     }
 }
 
 impl AddAssign for SimDuration {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -241,7 +285,11 @@ impl Mul<u64> for SimDuration {
     type Output = SimDuration;
 
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0 * rhs)
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("SimDuration multiplication overflows u64 microseconds"),
+        )
     }
 }
 
@@ -321,6 +369,50 @@ mod tests {
         assert_eq!(x.max(y), y);
         assert_eq!(y.saturating_sub(x), x);
         assert_eq!(x.saturating_sub(y), SimDuration::ZERO);
+    }
+
+    /// Thirty-plus simulated days fit comfortably and arithmetic on them
+    /// stays exact: the audit target for very long runs.
+    #[test]
+    fn month_long_runs_do_not_wrap() {
+        let month = SimDuration::from_secs(45 * 24 * 3600);
+        let t = SimTime::ZERO + month + month;
+        assert_eq!(t.as_micros(), 2 * 45 * 24 * 3600 * TICKS_PER_SEC);
+        assert_eq!(t.since(SimTime::ZERO + month), month);
+        // A year of 1-second steps, accumulated, equals the year.
+        let year = SimDuration::from_secs(365 * 24 * 3600);
+        assert_eq!(SimDuration::from_secs(24 * 3600) * 365, year);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn from_secs_overflow_is_detected() {
+        let _ = SimTime::from_secs(u64::MAX / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn addition_overflow_is_detected() {
+        let _ = SimTime::from_micros(u64::MAX) + SimDuration::from_micros(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn multiplication_overflow_is_detected() {
+        let _ = SimDuration::from_secs(1) * u64::MAX;
+    }
+
+    #[test]
+    fn saturating_add_clamps_instead_of_wrapping() {
+        let top = SimTime::from_micros(u64::MAX);
+        assert_eq!(top.saturating_add(SimDuration::from_secs(1)), top);
+        let d = SimDuration::from_micros(u64::MAX);
+        assert_eq!(d.saturating_add(d), d);
+        // Far from the boundary it agrees with plain addition.
+        assert_eq!(
+            SimTime::from_secs(30 * 24 * 3600).saturating_add(SimDuration::from_secs(1)),
+            SimTime::from_secs(30 * 24 * 3600 + 1)
+        );
     }
 
     #[test]

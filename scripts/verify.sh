@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Offline verification: tier-1 build + tests, lint wall, and a chaos
-# determinism smoke check. No network access required.
+# Offline verification: tier-1 build + tests, lint wall, and fixed-seed
+# determinism smoke checks. No network access required.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,6 +9,9 @@ cargo build --release
 
 echo "== tier-1: workspace tests =="
 cargo test -q --workspace
+
+echo "== lint: rustfmt =="
+cargo fmt --check
 
 echo "== lint: clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -21,5 +24,14 @@ if [ "$out_a" != "$out_b" ]; then
     exit 1
 fi
 echo "$out_a" | head -4
+
+echo "== supervise: fixed-seed determinism smoke =="
+sup_a="$(cargo run --release -q -p experiments -- supervise --trials 1 --seed 7 2>/dev/null)"
+sup_b="$(cargo run --release -q -p experiments -- supervise --trials 1 --seed 7 2>/dev/null)"
+if [ "$sup_a" != "$sup_b" ]; then
+    echo "supervise sweep is not deterministic for a fixed seed" >&2
+    exit 1
+fi
+echo "$sup_a" | head -4
 
 echo "verify: OK"

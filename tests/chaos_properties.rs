@@ -11,7 +11,9 @@ use energy_adaptation::machine::{
     Workload,
 };
 use energy_adaptation::netsim::{LinkFaultPlan, RpcSpec, RPC_LATENCY, WAVELAN_CAPACITY_BPS};
-use energy_adaptation::odyssey::{GoalConfig, GoalController, GoalOutcome, Hardening, PriorityTable};
+use energy_adaptation::odyssey::{
+    GoalConfig, GoalController, GoalOutcome, Hardening, PriorityTable,
+};
 use energy_adaptation::powerscope::MeterFaultPlan;
 use energy_adaptation::simcore::fault::FaultPlan;
 use energy_adaptation::simcore::{SimDuration, SimTime};

@@ -1,0 +1,184 @@
+//! Crash-tolerant control plane: checkpoint/resume proof.
+//!
+//! The simulation is deterministic, so a checkpoint is a proof point —
+//! (simulated time, digest of live state) — and resume is replay: rebuild
+//! the identical rig, run to the journaled checkpoint, assert the digest
+//! matches, and continue. These tests exercise that end to end on the
+//! Section 5 goal workload: a run that "crashes" halfway leaves only its
+//! journal behind, and the resumed run reproduces the uninterrupted
+//! run's final state bit for bit.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use energy_adaptation::apps::composite::{composite_members, CompositeMode};
+use energy_adaptation::apps::datasets::VIDEO_CLIPS;
+use energy_adaptation::apps::{Misbehavior, VideoPlayer};
+use energy_adaptation::hw560x::EnergySource;
+use energy_adaptation::machine::{CheckpointHook, Machine, MachineConfig, Workload};
+use energy_adaptation::odyssey::goal::MONITOR_OVERHEAD_W;
+use energy_adaptation::odyssey::{
+    GoalConfig, GoalController, GoalOutcome, PriorityTable, Supervisor, SupervisorConfig,
+};
+use energy_adaptation::simcore::fault::{FaultSchedule, FaultWindow};
+use energy_adaptation::simcore::{RunJournal, SimDuration, SimRng, SimTime};
+
+const GOAL_S: u64 = 240;
+const ENERGY_J: f64 = 3000.0;
+const CKPT_EVERY: SimDuration = SimDuration::from_secs(30);
+
+/// Everything a run leaves behind: the journal survives a crash; the
+/// rest exists only if the run finished.
+struct Finished {
+    journal: RunJournal,
+    final_digest: u64,
+    end: SimTime,
+    total_bits: u64,
+    residual_bits: u64,
+    outcome: GoalOutcome,
+}
+
+/// Builds the Section 5 goal rig (composite loop + background video,
+/// optionally wedged and supervised) and runs it to `stop_at` (a crash)
+/// or to completion.
+fn run(seed: u64, wedged: bool, supervised: bool, stop_at: Option<SimTime>) -> Finished {
+    let mut rng = SimRng::new(seed);
+    let cfg = GoalConfig::paper(ENERGY_J, SimDuration::from_secs(GOAL_S));
+    let goal = cfg.goal;
+    let horizon = SimTime::ZERO + goal * 3 + SimDuration::from_secs(600);
+    let mut m = Machine::new(MachineConfig {
+        source: EnergySource::battery(cfg.initial_energy_j),
+        monitor_overhead_w: MONITOR_OVERHEAD_W,
+        ..Default::default()
+    });
+    // Members arrive as [speech, web, map].
+    let members = composite_members(
+        CompositeMode::Every {
+            period: SimDuration::from_secs(25),
+            horizon,
+        },
+        true,
+        &mut rng,
+    );
+    let mut pids = Vec::new();
+    for member in members {
+        pids.push(m.add_process(Box::new(member)));
+    }
+    let video: Box<dyn Workload> =
+        Box::new(VideoPlayer::adaptive(VIDEO_CLIPS[0], &mut rng).looping_until(horizon));
+    let video: Box<dyn Workload> = if wedged {
+        let wedge = FaultSchedule::new(vec![FaultWindow {
+            start: SimTime::from_secs(100),
+            end: horizon,
+        }]);
+        Box::new(Misbehavior::hang(video, wedge).restartable())
+    } else {
+        video
+    };
+    let video_pid = m.add_background_process(video);
+    // Lowest to highest priority: speech, video, map, web.
+    let priorities = PriorityTable::new(vec![pids[0], video_pid, pids[2], pids[1]]);
+    let sample_period = cfg.sample_period;
+    let (handle, controller) = GoalController::new(cfg, priorities);
+    m.add_hook(sample_period, controller);
+    if supervised {
+        let sup_cfg = SupervisorConfig::standard();
+        let period = sup_cfg.period;
+        let (_sup_handle, mut sup) = Supervisor::new(sup_cfg);
+        sup.watch(video_pid, vec![0.5, 0.8, 1.2, 2.0], 3);
+        sup.attach_goal(handle.clone());
+        m.add_hook(period, sup);
+    }
+    let journal = Rc::new(RefCell::new(RunJournal::new(CKPT_EVERY)));
+    m.add_hook(CKPT_EVERY, Box::new(CheckpointHook::new(journal.clone())));
+
+    let report = m.run_until(stop_at.unwrap_or(horizon));
+    let final_digest = m.state_digest();
+    drop(m);
+    Finished {
+        journal: Rc::try_unwrap(journal).expect("sole owner").into_inner(),
+        final_digest,
+        end: report.end,
+        total_bits: report.total_j.to_bits(),
+        residual_bits: report.residual_j.to_bits(),
+        outcome: handle.outcome(),
+    }
+}
+
+/// The tentpole proof: a run that crashes halfway leaves a journal; the
+/// resumed run (replay of the identical configuration) passes through the
+/// crashed run's last checkpoint with a matching digest and finishes in
+/// exactly the state the uninterrupted run reached — bit for bit.
+#[test]
+fn resume_after_crash_reproduces_uninterrupted_run() {
+    let uninterrupted = run(42, false, false, None);
+    assert!(
+        uninterrupted.journal.checkpoints().len() >= 4,
+        "expected several checkpoints, got {:?}",
+        uninterrupted.journal.checkpoints()
+    );
+
+    // Crash mid-run, off any checkpoint boundary. Only the journal
+    // survives the crash.
+    let crash_at = SimTime::from_secs(137);
+    let crashed = run(42, false, false, Some(crash_at));
+    let salvage = *crashed
+        .journal
+        .latest_at_or_before(crash_at)
+        .expect("a checkpoint before the crash");
+    assert_eq!(salvage.t, SimTime::from_secs(120));
+
+    // Resume = replay. The resumed run must pass through the salvaged
+    // checkpoint bit-identically (the resume-time digest assertion)...
+    let resumed = run(42, false, false, None);
+    assert!(
+        resumed.journal.verify(salvage.t, salvage.digest),
+        "resumed run diverged from the salvaged checkpoint {salvage:?}"
+    );
+    // ...and every checkpoint the crashed run recorded is a prefix of the
+    // resumed run's journal.
+    assert_eq!(
+        crashed.journal.checkpoints(),
+        &resumed.journal.checkpoints()[..crashed.journal.checkpoints().len()],
+    );
+
+    // Final state: bit-for-bit identical to the uninterrupted run.
+    assert_eq!(resumed.final_digest, uninterrupted.final_digest);
+    assert_eq!(resumed.end, uninterrupted.end);
+    assert_eq!(resumed.total_bits, uninterrupted.total_bits);
+    assert_eq!(resumed.residual_bits, uninterrupted.residual_bits);
+    assert_eq!(resumed.outcome, uninterrupted.outcome);
+    assert_eq!(
+        resumed.journal.checkpoints(),
+        uninterrupted.journal.checkpoints()
+    );
+}
+
+/// Negative control: the digest is not vacuous. A different seed is a
+/// different run, and its checkpoints fail verification.
+#[test]
+fn digest_rejects_a_divergent_run() {
+    let a = run(42, false, false, Some(SimTime::from_secs(100)));
+    let b = run(43, false, false, Some(SimTime::from_secs(100)));
+    let ck = a.journal.latest().expect("checkpoint recorded");
+    assert!(a.journal.verify(ck.t, ck.digest));
+    assert!(
+        !b.journal.verify(ck.t, ck.digest),
+        "different seeds digested equal at {:?}",
+        ck.t
+    );
+}
+
+/// The supervised control plane is as deterministic as the plain one:
+/// with a wedged app being quarantined and restarted mid-run, two
+/// identical runs still journal identical digests and end bit-identical.
+#[test]
+fn supervised_recovery_checkpoints_deterministically() {
+    let a = run(7, true, true, None);
+    let b = run(7, true, true, None);
+    assert!(a.journal.checkpoints().len() >= 4);
+    assert_eq!(a.journal.checkpoints(), b.journal.checkpoints());
+    assert_eq!(a.final_digest, b.final_digest);
+    assert_eq!(a.total_bits, b.total_bits);
+    assert_eq!(a.outcome, b.outcome);
+}
