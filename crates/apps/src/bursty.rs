@@ -74,6 +74,12 @@ pub struct BurstyMember {
     horizon: SimTime,
 }
 
+impl std::fmt::Debug for BurstyMember {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BurstyMember").finish_non_exhaustive()
+    }
+}
+
 impl BurstyMember {
     /// Creates a member; initial state is drawn from the member's stream
     /// (50/50), decisions land on minute boundaries, and the workload
@@ -263,9 +269,9 @@ mod tests {
     fn runs_to_horizon() {
         let report = run_bursty(1, 300);
         assert!(
-            (report.duration_secs() - 300.0).abs() < 70.0,
+            (report.duration_s() - 300.0).abs() < 70.0,
             "ended at {}",
-            report.duration_secs()
+            report.duration_s()
         );
     }
 

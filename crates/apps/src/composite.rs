@@ -112,6 +112,12 @@ pub struct CompositeMember {
     maps: Vec<MapObject>,
 }
 
+impl std::fmt::Debug for CompositeMember {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositeMember").finish_non_exhaustive()
+    }
+}
+
 impl CompositeMember {
     /// Creates one leg. All three legs must share the same `baton` and
     /// `mode`. Members start at full fidelity; `adaptive` controls whether
@@ -306,9 +312,9 @@ mod tests {
     fn six_iterations_duration_band() {
         let report = run_composite(6, false, false);
         assert!(
-            (80.0..=170.0).contains(&report.duration_secs()),
+            (80.0..=170.0).contains(&report.duration_s()),
             "composite took {}",
-            report.duration_secs()
+            report.duration_s()
         );
     }
 
@@ -352,9 +358,9 @@ mod tests {
         let report = m.run();
         // Four iterations (t=0,25,50,75) then the loop winds down past 100.
         assert!(
-            report.duration_secs() >= 100.0 && report.duration_secs() < 130.0,
+            report.duration_s() >= 100.0 && report.duration_s() < 130.0,
             "paced run took {}",
-            report.duration_secs()
+            report.duration_s()
         );
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Workload models of the paper's applications.
 //!
 //! Each application is a [`machine::Workload`]: a generator of CPU /

@@ -113,6 +113,12 @@ pub struct MapViewer {
     received_bytes: u64,
 }
 
+impl std::fmt::Debug for MapViewer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapViewer").finish_non_exhaustive()
+    }
+}
+
 impl MapViewer {
     /// A viewer pinned to one fidelity, for Figure 10.
     pub fn fixed(maps: Vec<MapObject>, fidelity: MapFidelity, rng: &mut SimRng) -> Self {
@@ -330,13 +336,13 @@ mod tests {
     fn zero_think_time_works() {
         let report = view(MapFidelity::full(), true, 0.0);
         assert!(report.total_j > 0.0);
-        assert!(report.duration_secs() < 12.0);
+        assert!(report.duration_s() < 12.0);
     }
 
     #[test]
     fn fetch_dominates_wall_time() {
         let report = view(MapFidelity::full(), false, 0.0);
         // 1.3 MB at 2 Mb/s → > 5 s of transfer.
-        assert!(report.duration_secs() > 5.0);
+        assert!(report.duration_s() > 5.0);
     }
 }

@@ -49,6 +49,12 @@ pub struct Misbehavior {
     restartable: bool,
 }
 
+impl std::fmt::Debug for Misbehavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Misbehavior").finish_non_exhaustive()
+    }
+}
+
 impl Misbehavior {
     /// Hangs during the windows of `schedule`.
     pub fn hang(inner: Box<dyn Workload>, schedule: FaultSchedule) -> Self {

@@ -70,6 +70,12 @@ pub struct SpeechApp {
     jitter: f64,
 }
 
+impl std::fmt::Debug for SpeechApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpeechApp").finish_non_exhaustive()
+    }
+}
+
 impl SpeechApp {
     /// A recognizer pinned to one configuration, for Figure 8.
     pub fn fixed(

@@ -101,6 +101,12 @@ pub struct VideoPlayer {
     horizon: Option<SimTime>,
 }
 
+impl std::fmt::Debug for VideoPlayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VideoPlayer").finish_non_exhaustive()
+    }
+}
+
 impl VideoPlayer {
     /// A player pinned to one variant, for the controlled measurements of
     /// Figure 6 ("we disabled Odyssey's dynamic adaptation capability").
@@ -261,9 +267,9 @@ mod tests {
     fn playback_takes_clip_duration() {
         let report = play(VideoVariant::Full, false);
         assert!(
-            (report.duration_secs() - 5.0).abs() < 0.3,
+            (report.duration_s() - 5.0).abs() < 0.3,
             "played for {}",
-            report.duration_secs()
+            report.duration_s()
         );
     }
 
@@ -271,7 +277,7 @@ mod tests {
     fn network_is_nearly_saturated_at_full_fidelity() {
         let report = play(VideoVariant::Full, false);
         let bits = report.bytes_carried as f64 * 8.0;
-        let util = bits / (2.0e6 * report.duration_secs());
+        let util = bits / (2.0e6 * report.duration_s());
         assert!((0.6..0.99).contains(&util), "utilization {util}");
     }
 
@@ -350,9 +356,9 @@ mod tests {
         m.add_process(Box::new(p));
         let report = m.run();
         assert!(
-            (report.duration_secs() - 12.0).abs() < 0.2,
+            (report.duration_s() - 12.0).abs() < 0.2,
             "looped for {}",
-            report.duration_secs()
+            report.duration_s()
         );
     }
 }

@@ -91,6 +91,12 @@ pub struct WebBrowser {
     received_bytes: u64,
 }
 
+impl std::fmt::Debug for WebBrowser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WebBrowser").finish_non_exhaustive()
+    }
+}
+
 impl WebBrowser {
     /// A browser pinned to one fidelity, for Figure 13.
     pub fn fixed(images: Vec<WebImage>, fidelity: WebFidelity, rng: &mut SimRng) -> Self {

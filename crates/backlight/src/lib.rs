@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Zoned backlighting (Section 4 of the paper).
 //!
 //! No display with independently-dimmable backlight zones existed, so the

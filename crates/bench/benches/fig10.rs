@@ -2,7 +2,7 @@
 //! reduced-trial run of the experiment per iteration.
 
 fn main() {
-    let trials = bench::bench_trials();
+    let trials = experiments::harness::Trials::single();
     bench::run_bench("fig10", 5, || {
         std::hint::black_box(experiments::fig10::run(&trials));
     });

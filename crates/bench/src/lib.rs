@@ -1,5 +1,7 @@
-//! Benchmark support: shared trial configuration and a dependency-free
-//! timing harness for the per-figure benches in `benches/`.
+#![forbid(unsafe_code)]
+//! Benchmark support: a dependency-free timing harness for the per-figure
+//! benches in `benches/`, and [`Stopwatch`] — the workspace's single
+//! sanctioned wall-clock source.
 //!
 //! Each bench target regenerates one table or figure of the paper with a
 //! reduced trial count, so `cargo bench` doubles as an end-to-end check
@@ -7,14 +9,40 @@
 //! simulator itself. The harness is deliberately minimal (no external
 //! crates): it warms up, runs a fixed number of timed iterations, and
 //! prints min/mean/max wall-clock times.
+//!
+//! Everything inside the simulation reads time from `simcore::SimTime`;
+//! simlint rule D1 forbids `std::time` there. Measuring how long the
+//! simulator itself takes is the one legitimate wall-clock use, so it is
+//! concentrated here, behind waivers that this doc comment justifies.
 
-use std::time::Instant;
+/// The workspace's single sanctioned wall-clock escape hatch (simlint
+/// D1): measures real elapsed time for benches and CLI progress lines.
+/// Simulation code must never touch it — simulated time is `SimTime`.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    // simlint: allow(D1) — this type IS the sanctioned wall-clock source
+    t0: std::time::Instant,
+}
 
-use experiments::harness::Trials;
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
 
-/// Trials used by benches: one repetition, fixed seed.
-pub fn bench_trials() -> Trials {
-    Trials { n: 1, seed: 42 }
+impl Stopwatch {
+    /// Starts timing now (in real time).
+    pub fn start() -> Self {
+        Stopwatch {
+            // simlint: allow(D1) — the one place the workspace reads the wall clock
+            t0: std::time::Instant::now(),
+        }
+    }
+
+    /// Seconds of real time since [`Stopwatch::start`].
+    pub fn elapsed_s(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
 }
 
 /// Times `f` over `iters` iterations (after one warm-up call) and prints
@@ -25,9 +53,9 @@ pub fn run_bench(name: &str, iters: usize, mut f: impl FnMut()) {
     f(); // warm-up
     let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
-        let t0 = Instant::now();
+        let sw = Stopwatch::start();
         f();
-        samples.push(t0.elapsed().as_secs_f64());
+        samples.push(sw.elapsed_s());
     }
     let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
     let max = samples.iter().copied().fold(0.0f64, f64::max);
@@ -40,16 +68,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bench_trials_is_single_seeded() {
-        let t = bench_trials();
-        assert_eq!(t.n, 1);
-        assert_eq!(t.seed, 42);
-    }
-
-    #[test]
     fn run_bench_executes_the_closure() {
         let mut n = 0usize;
         run_bench("noop", 3, || n += 1);
         assert_eq!(n, 4, "warm-up plus three timed iterations");
+    }
+
+    #[test]
+    fn stopwatch_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_s();
+        let b = sw.elapsed_s();
+        assert!(a >= 0.0 && b >= a);
     }
 }

@@ -76,7 +76,7 @@ impl BarChart {
     /// # Panics
     ///
     /// Panics if the bar is absent.
-    pub fn energy(&self, object: &str, condition: &str) -> f64 {
+    pub fn energy_j(&self, object: &str, condition: &str) -> f64 {
         self.bar(object, condition).stats.mean
     }
 
@@ -96,8 +96,8 @@ impl BarChart {
     /// object.
     pub fn saving_pct(&self, object: &str, condition: &str, reference: &str) -> f64 {
         crate::harness::saving_pct(
-            self.energy(object, reference),
-            self.energy(object, condition),
+            self.energy_j(object, reference),
+            self.energy_j(object, condition),
         )
     }
 
@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn lookups() {
         let c = chart();
-        assert!((c.energy("obj1", "Baseline") - 102.8).abs() < 0.1);
+        assert!((c.energy_j("obj1", "Baseline") - 102.8).abs() < 0.1);
         assert_eq!(c.objects(), vec!["obj1", "obj2"]);
         assert_eq!(c.conditions(), vec!["Baseline", "HW-Only"]);
     }
@@ -227,7 +227,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "no bar")]
     fn missing_bar_panics() {
-        chart().energy("nope", "Baseline");
+        chart().energy_j("nope", "Baseline");
     }
 
     #[test]

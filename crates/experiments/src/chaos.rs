@@ -84,6 +84,7 @@ impl Chaos {
         self.cells
             .iter()
             .find(|c| c.intensity == intensity && c.hardened == hardened)
+            // simlint: allow(D5) — run_sweep populates every (intensity, hardened) cell
             .expect("cell present")
     }
 }
@@ -137,7 +138,7 @@ pub fn run_sweep(
                     cfg = cfg.with_hardening(Hardening::standard());
                 }
                 let run = run_composite_goal_faulted(cfg, faults, &mut rng);
-                let dur = run.report.duration_secs();
+                let dur = run.report.duration_s();
                 if run.outcome.goal_met {
                     met += 1;
                 }

@@ -116,7 +116,7 @@ mod tests {
     fn jpeg_levels_monotone_for_large_image() {
         let c = chart();
         let levels = ["JPEG-75", "JPEG-50", "JPEG-25", "JPEG-5"];
-        let energies: Vec<f64> = levels.iter().map(|l| c.energy("Image 1", l)).collect();
+        let energies: Vec<f64> = levels.iter().map(|l| c.energy_j("Image 1", l)).collect();
         for w in energies.windows(2) {
             assert!(w[1] <= w[0] * 1.001, "not monotone: {energies:?}");
         }

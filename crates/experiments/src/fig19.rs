@@ -52,6 +52,7 @@ impl Fig19 {
         self.traces
             .iter()
             .find(|t| t.goal_s == goal_s)
+            // simlint: allow(D5) — documented # Panics accessor
             .expect("goal present")
     }
 }
@@ -148,10 +149,10 @@ mod tests {
                 residue_frac * 100.0
             );
             assert!(
-                (t.run.report.duration_secs() - t.goal_s as f64).abs() < 2.0,
+                (t.run.report.duration_s() - t.goal_s as f64).abs() < 2.0,
                 "goal {}s ended at {}",
                 t.goal_s,
-                t.run.report.duration_secs()
+                t.run.report.duration_s()
             );
         }
     }

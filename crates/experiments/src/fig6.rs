@@ -124,7 +124,7 @@ mod tests {
                 "Combined",
             ]
             .iter()
-            .map(|cond| c.energy(&object, cond))
+            .map(|cond| c.energy_j(&object, cond))
             .collect();
             for w in energies.windows(2) {
                 assert!(w[1] < w[0], "{object}: {energies:?}");

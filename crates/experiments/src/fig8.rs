@@ -107,7 +107,7 @@ mod tests {
         let c = chart();
         for o in c.objects() {
             assert!(
-                c.energy(&o, "Hybrid") < c.energy(&o, "Remote"),
+                c.energy_j(&o, "Hybrid") < c.energy_j(&o, "Remote"),
                 "hybrid not cheaper for {o}"
             );
         }

@@ -124,9 +124,11 @@ pub fn run_bursty_goal(cfg: GoalConfig, rng: &mut SimRng) -> GoalRun {
         }
         pids.push((role, pid));
     }
+    // simlint: allow(D5) — the loop above adds a pid for every BurstyRole
     let pid_of = |r: BurstyRole| pids.iter().find(|(x, _)| *x == r).unwrap().1;
     let priorities = PriorityTable::new(vec![
         pid_of(BurstyRole::Speech),
+        // simlint: allow(D5) — BurstyRole::all() includes Video
         video_pid.expect("video present"),
         pid_of(BurstyRole::Map),
         pid_of(BurstyRole::Web),
@@ -175,7 +177,7 @@ pub fn uncontrolled_power_w(lowest: bool, secs: u64, rng: &mut SimRng) -> f64 {
     }
     m.add_background_process(Box::new(video));
     let report = m.run_until(horizon);
-    report.total_j / report.duration_secs()
+    report.total_j / report.duration_s()
 }
 
 #[cfg(test)]
@@ -243,7 +245,7 @@ mod envelope_probe {
                 let report = m.run_until(horizon);
                 eprintln!(
                     "LONG seed={i} lowest={lowest} power={:.2} W",
-                    report.total_j / report.duration_secs()
+                    report.total_j / report.duration_s()
                 );
             }
         }
@@ -269,7 +271,7 @@ mod envelope_probe {
                 let report = m.run_until(horizon);
                 eprintln!(
                     "SEED {i} lowest={lowest} power={:.2} W ({:.0} J over 1560 s)",
-                    report.total_j / report.duration_secs(),
+                    report.total_j / report.duration_s(),
                     report.total_j
                 );
             }
@@ -294,7 +296,7 @@ mod envelope_probe {
             let report = m.run_until(horizon);
             eprintln!(
                 "BURSTY lowest={lowest} power={:.2} W",
-                report.total_j / report.duration_secs()
+                report.total_j / report.duration_s()
             );
         }
     }

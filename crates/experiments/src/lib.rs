@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Reproduction harness: one module per table/figure of the paper.
 //!
 //! Every module exposes `run(&Trials) -> <figure-specific result>` plus a

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `odyssey-experiments`: regenerate the paper's tables and figures.
 //!
 //! ```text
@@ -84,7 +85,7 @@ fn main() {
         ids = ALL.iter().map(|s| s.to_string()).collect();
     }
     for id in &ids {
-        let started = std::time::Instant::now();
+        let started = bench::Stopwatch::start();
         let output = match id.as_str() {
             "fig2" => fig2::render(&trials),
             "fig4" => fig4::render(),
@@ -119,9 +120,6 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        eprintln!(
-            "[{id} completed in {:.1}s]",
-            started.elapsed().as_secs_f64()
-        );
+        eprintln!("[{id} completed in {:.1}s]", started.elapsed_s());
     }
 }

@@ -106,7 +106,7 @@ pub fn run_config(
                 trial: i + 1,
                 goal_met: run.outcome.goal_met,
                 residual_j: run.report.residual_j,
-                duration_s: run.report.duration_secs(),
+                duration_s: run.report.duration_s(),
                 adaptations: APPS.iter().map(|a| run.adaptations_of(a)).collect(),
             }
         })

@@ -109,6 +109,7 @@ impl Supervise {
         self.cells
             .iter()
             .find(|c| c.k == k && c.supervised == supervised)
+            // simlint: allow(D5) — the sweep populates every (k, supervised) cell
             .expect("cell present")
     }
 }
@@ -233,7 +234,7 @@ pub fn run_sweep(trials: &Trials, ks: &[usize]) -> Supervise {
                 // applications — a paired comparison.
                 let mut rng = root.fork_indexed(&format!("supervise/{k}"), i as u64);
                 let run = run_one(k, supervised, &mut rng);
-                let dur = run.report.duration_secs();
+                let dur = run.report.duration_s();
                 if run.outcome.goal_met {
                     met += 1;
                 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Power-state model of the paper's mobile client.
 //!
 //! All measurements in the paper were taken on a 233 MHz Pentium IBM

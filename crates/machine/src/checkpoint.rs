@@ -20,6 +20,12 @@ pub struct CheckpointHook {
     journal: Rc<RefCell<RunJournal>>,
 }
 
+impl std::fmt::Debug for CheckpointHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointHook").finish_non_exhaustive()
+    }
+}
+
 impl CheckpointHook {
     /// Creates a hook feeding `journal`. Attach it with a period equal to
     /// (or dividing) the journal's checkpoint interval.

@@ -10,7 +10,7 @@
 //! - **procedure detail**: energy and CPU time per `(process, procedure)`
 //!   pair — the rows of a PowerScope profile (Figure 2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hw560x::platform::PowerBreakdown;
 use simcore::{SimTime, TimeSeries};
@@ -57,8 +57,10 @@ pub struct ProcDetail {
 #[derive(Debug, Default)]
 pub(crate) struct Ledger {
     total_j: f64,
-    buckets: HashMap<&'static str, f64>,
-    detail: HashMap<(&'static str, &'static str), (f64, f64)>,
+    // BTreeMaps, not hash maps: the ledger is replayed state, and its
+    // iteration order must not depend on the process's hash seed.
+    buckets: BTreeMap<&'static str, f64>,
+    detail: BTreeMap<(&'static str, &'static str), (f64, f64)>,
     components: ComponentTotals,
 }
 
@@ -183,7 +185,7 @@ impl RunReport {
     }
 
     /// Wall-clock duration of the run, seconds.
-    pub fn duration_secs(&self) -> f64 {
+    pub fn duration_s(&self) -> f64 {
         self.end.as_secs_f64()
     }
 }
@@ -253,6 +255,35 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_order_is_insertion_order_independent() {
+        // Regression test for the HashMap → BTreeMap conversion: report
+        // iteration order must depend only on the data, never on the
+        // order buckets were first touched (or, before the conversion, on
+        // the process's hash seed). The ties are deliberate — with every
+        // bucket at equal energy, ordering falls entirely to the
+        // name-based tie-break.
+        let names = ["janus", "Idle", "xanim", "WaveLAN", "netscape"];
+        let b = PowerBreakdown::default();
+        let mut forward = Ledger::default();
+        for n in names {
+            forward.add(1.0, 5.0, &b, &[share(n, 1.0)]);
+        }
+        let mut reversed = Ledger::default();
+        for n in names.iter().rev() {
+            reversed.add(1.0, 5.0, &b, &[share(n, 1.0)]);
+        }
+        assert_eq!(forward.snapshot_buckets(), reversed.snapshot_buckets());
+        assert_eq!(forward.snapshot_detail(), reversed.snapshot_detail());
+        let buckets = forward.snapshot_buckets();
+        let order: Vec<&str> = buckets.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            order,
+            ["Idle", "WaveLAN", "janus", "netscape", "xanim"],
+            "equal energies must fall back to name order"
+        );
+    }
+
+    #[test]
     fn report_lookup_helpers() {
         let report = RunReport {
             end: SimTime::from_secs(10),
@@ -270,6 +301,6 @@ mod tests {
         assert_eq!(report.bucket_j("xanim"), 20.0);
         assert_eq!(report.bucket_j("nope"), 0.0);
         assert_eq!(report.adaptations_of("xanim"), 0);
-        assert_eq!(report.duration_secs(), 10.0);
+        assert_eq!(report.duration_s(), 10.0);
     }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Event-driven simulator of the paper's mobile client.
 //!
 //! This crate binds the substrates together into a runnable machine: a

@@ -13,7 +13,7 @@
 //! (the paper's "Baseline"), every device idles at full readiness and the
 //! display stays bright.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use hw560x::cpu::intensity;
 use hw560x::{
@@ -144,6 +144,12 @@ pub trait ControlHook {
 /// Controller-facing view of a running machine.
 pub struct MachineView<'a> {
     m: &'a mut Machine,
+}
+
+impl std::fmt::Debug for MachineView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineView").finish_non_exhaustive()
+    }
 }
 
 impl MachineView<'_> {
@@ -428,7 +434,7 @@ pub struct Machine {
     radio: RadioModel,
     link: SharedLink,
     link_faults: LinkFaultTimeline,
-    flows: HashMap<FlowId, FlowCtx>,
+    flows: BTreeMap<FlowId, FlowCtx>,
     link_event: Option<EventId>,
     rpc_timeouts: u64,
     rpc_retries: u64,
@@ -445,6 +451,14 @@ pub struct Machine {
     stopped: bool,
     exhausted: bool,
     started: bool,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("clock", &self.clock)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Machine {
@@ -475,7 +489,7 @@ impl Machine {
             radio,
             link,
             link_faults,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             link_event: None,
             rpc_timeouts: 0,
             rpc_retries: 0,
@@ -615,6 +629,7 @@ impl Machine {
                     break;
                 }
             }
+            // simlint: allow(D5) — peek_time just returned Some; the queue cannot be empty here
             let (t, ev) = self.queue.pop().expect("peeked event vanished");
             self.advance_to(t);
             if self.stopped {
@@ -1164,6 +1179,7 @@ impl Machine {
     }
 
     fn on_cpu_done(&mut self) {
+        // simlint: allow(D5) — CpuDone is only scheduled while a slice is running
         let (src, slice) = self.current.take().expect("CpuDone without current");
         match src {
             Source::Proc(pid) => {
@@ -1187,6 +1203,7 @@ impl Machine {
                 let front = self
                     .x_queue
                     .front_mut()
+                    // simlint: allow(D5) — scheduler invariant: the X source only runs with queued jobs
                     .expect("X running with empty queue");
                 front.remaining = front.remaining.saturating_sub(slice);
                 if front.remaining.is_zero() {
@@ -1316,6 +1333,7 @@ impl Machine {
             }
         };
         self.rpc_timeouts += 1;
+        // simlint: allow(D5) — RpcTimeout events are only scheduled when a retry policy exists
         let policy = self.cfg.faults.rpc.expect("RpcTimeout without a policy");
         let backoff = policy.backoff_after(self.procs[pid.0].attempts);
         self.procs[pid.0].state = ProcState::NetBackoff(plan);
@@ -1340,6 +1358,7 @@ impl Machine {
         self.link_event = None;
         self.link.advance(self.clock);
         while let Some(flow) = self.link.take_completed() {
+            // simlint: allow(D5) — every completed flow was registered by start_flow
             let ctx = self.flows.remove(&flow).expect("completed unknown flow");
             let pid = ctx.pid;
             self.procs[pid.0].flow = None;
@@ -1398,6 +1417,7 @@ impl Machine {
     // ---- Hooks -------------------------------------------------------------
 
     fn on_hook_tick(&mut self, i: usize) {
+        // simlint: allow(D5) — hooks are leased out one tick at a time; re-entry is a bug worth crashing on
         let mut hook = self.hooks[i].hook.take().expect("hook re-entered");
         let now = self.clock;
         hook.on_tick(now, &mut MachineView { m: self });
@@ -1498,7 +1518,7 @@ mod tests {
         )));
         let report = m.run();
         assert!(
-            (report.duration_secs() - 5.0).abs() < 0.01,
+            (report.duration_s() - 5.0).abs() < 0.01,
             "end {}",
             report.end
         );
@@ -1536,7 +1556,7 @@ mod tests {
             )));
         }
         let report = m.run();
-        assert!((report.duration_secs() - 4.0).abs() < 0.05);
+        assert!((report.duration_s() - 4.0).abs() < 0.05);
         let a = report.bucket_j("a");
         let b = report.bucket_j("b");
         assert!((a - b).abs() < 0.5, "a={a} b={b}");
@@ -1567,11 +1587,11 @@ mod tests {
             .min_duration(WAVELAN_CAPACITY_BPS, RPC_LATENCY)
             .as_secs_f64();
         assert!(
-            report.duration_secs() >= min - 1e-6,
+            report.duration_s() >= min - 1e-6,
             "RPC faster than physics: {} < {min}",
-            report.duration_secs()
+            report.duration_s()
         );
-        assert!(report.duration_secs() < min + 0.1);
+        assert!(report.duration_s() < min + 0.1);
         // Energy was attributed to WaveLAN interrupts and Odyssey during
         // the transfer phases.
         assert!(report.bucket_j(BUCKET_WAVELAN) > 0.0);
@@ -1591,9 +1611,9 @@ mod tests {
         )));
         let report = m.run();
         assert!(
-            (report.duration_secs() - 2.0).abs() < 0.05,
+            (report.duration_s() - 2.0).abs() < 0.05,
             "{}",
-            report.duration_secs()
+            report.duration_s()
         );
         assert_eq!(report.bytes_carried, 500_000);
     }
@@ -1679,7 +1699,7 @@ mod tests {
             (d - expected).abs() < 1.0,
             "disk energy {d} vs expected {expected}"
         );
-        assert!((report.duration_secs() - 60.0).abs() < 0.01);
+        assert!((report.duration_s() - 60.0).abs() < 0.01);
     }
 
     /// XRender work is attributed to the X Server bucket and does not
@@ -1699,7 +1719,7 @@ mod tests {
             ],
         )));
         let report = m.run();
-        assert!((report.duration_secs() - 4.0).abs() < 0.01);
+        assert!((report.duration_s() - 4.0).abs() < 0.01);
         assert!(report.bucket_j(BUCKET_X) > 0.0);
         let x_detail = report
             .detail
@@ -1726,9 +1746,9 @@ mod tests {
         let report = m.run();
         assert!(report.exhausted);
         assert!(
-            (report.duration_secs() - 10.0).abs() < 0.05,
+            (report.duration_s() - 10.0).abs() < 0.05,
             "died at {}",
-            report.duration_secs()
+            report.duration_s()
         );
         // Exhaustion time is rounded to the microsecond grid, so a few
         // µJ may remain.
@@ -1752,7 +1772,7 @@ mod tests {
         let mut m = idle_machine(PmPolicy::disabled());
         m.add_hook(SimDuration::from_secs(1), Box::new(Stopper { ticks: 0 }));
         let report = m.run_until(SimTime::from_secs(100));
-        assert!((report.duration_secs() - 5.0).abs() < 1e-6);
+        assert!((report.duration_s() - 5.0).abs() < 1e-6);
     }
 
     /// Upcalls reach the workload and fidelity changes are recorded.
@@ -1897,7 +1917,7 @@ mod tests {
             }],
         )));
         let report = m.run_until(SimTime::from_secs(10));
-        assert!((report.duration_secs() - 10.0).abs() < 1e-6);
+        assert!((report.duration_s() - 10.0).abs() < 1e-6);
     }
 
     /// Monitoring overhead is booked as base power.
@@ -1978,7 +1998,7 @@ mod tests {
                     "retries must cost energy: {} vs clean {clean_j}",
                     report.total_j
                 );
-                assert!(report.duration_secs() > 1.0);
+                assert!(report.duration_s() > 1.0);
             }
         }
         assert!(saw_timeout, "no seed in 0..12 produced a timeout");

@@ -76,6 +76,14 @@ pub struct ScriptedWorkload {
     script: std::vec::IntoIter<Activity>,
 }
 
+impl std::fmt::Debug for ScriptedWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScriptedWorkload")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ScriptedWorkload {
     /// Creates a workload that emits `script` in order, requiring a bright
     /// display.

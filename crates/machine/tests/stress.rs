@@ -40,8 +40,8 @@ fn battery_dies_mid_transfer() {
     )));
     let report = m.run();
     assert!(report.exhausted);
-    assert!(report.duration_secs() < 4.0, "ran past the transfer");
-    assert!(report.duration_secs() > 2.0, "died implausibly early");
+    assert!(report.duration_s() < 4.0, "ran past the transfer");
+    assert!(report.duration_s() > 2.0, "died implausibly early");
     let sum: f64 = report.buckets.iter().map(|(_, j)| j).sum();
     assert!((sum - report.total_j).abs() < 1e-6);
     assert!((report.total_j - 40.0).abs() < 1e-3);
@@ -57,7 +57,7 @@ fn heavy_multiprogramming_is_fair() {
         m.add_process(Box::new(ScriptedWorkload::new(name, vec![cpu(2_000, 1.0)])));
     }
     let report = m.run();
-    assert!((report.duration_secs() - 16.0).abs() < 0.2);
+    assert!((report.duration_s() - 16.0).abs() < 0.2);
     let energies: Vec<f64> = NAMES.iter().map(|n| report.bucket_j(n)).collect();
     let mean = energies.iter().sum::<f64>() / energies.len() as f64;
     for (name, e) in NAMES.iter().zip(&energies) {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Wireless network model.
 //!
 //! The paper's client communicates with its servers over a 2 Mb/s WaveLAN

@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 use simcore::{SimDuration, SimTime};
 
 /// Identifies one flow on a link.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FlowId(u64);
 
 #[derive(Clone, Debug)]
@@ -201,8 +201,7 @@ impl SharedLink {
         let f = self
             .flows
             .iter()
-            .min_by(|a, b| a.remaining_bits.total_cmp(&b.remaining_bits))
-            .expect("non-empty");
+            .min_by(|a, b| a.remaining_bits.total_cmp(&b.remaining_bits))?;
         let dt = SimDuration::from_secs_f64((f.remaining_bits / share).max(0.0));
         Some((now + dt.max(SimDuration::from_micros(1)), f.id))
     }

@@ -49,6 +49,7 @@ impl FidelitySpace {
                 l.name
             );
         }
+        // simlint: allow(D5) — an empty fidelity ladder is a construction bug; this panic is the validation
         let top = levels.last().expect("non-empty");
         assert!(
             (top.data_ratio - 1.0).abs() < 1e-9,

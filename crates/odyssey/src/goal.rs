@@ -206,6 +206,12 @@ pub struct GoalHandle {
     shared: Rc<RefCell<Shared>>,
 }
 
+impl std::fmt::Debug for GoalHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GoalHandle").finish_non_exhaustive()
+    }
+}
+
 impl GoalHandle {
     /// Final outcome.
     pub fn outcome(&self) -> GoalOutcome {
@@ -277,7 +283,7 @@ impl GoalHandle {
 /// m.add_hook(period, controller);
 /// let report = m.run_until(SimTime::from_secs(60));
 /// assert!(handle.outcome().goal_met);
-/// assert!((report.duration_secs() - 20.0).abs() < 1.0);
+/// assert!((report.duration_s() - 20.0).abs() < 1.0);
 /// ```
 pub struct GoalController {
     cfg: GoalConfig,
@@ -299,6 +305,14 @@ pub struct GoalController {
     /// Consecutive deficit decisions (hardened degrade persistence).
     deficit_streak: usize,
     shared: Rc<RefCell<Shared>>,
+}
+
+impl std::fmt::Debug for GoalController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GoalController")
+            .field("deadline", &self.deadline)
+            .finish_non_exhaustive()
+    }
 }
 
 impl GoalController {
@@ -589,9 +603,9 @@ mod tests {
         assert!(!report.exhausted);
         assert!(outcome.degrades >= 1);
         assert!(
-            (report.duration_secs() - 300.0).abs() < 1.0,
+            (report.duration_s() - 300.0).abs() < 1.0,
             "stopped at {}",
-            report.duration_secs()
+            report.duration_s()
         );
     }
 
@@ -678,9 +692,9 @@ mod tests {
         let report = m.run();
         assert!(handle.outcome().goal_met);
         assert!(
-            (report.duration_secs() - 400.0).abs() < 1.0,
+            (report.duration_s() - 400.0).abs() < 1.0,
             "ended at {}",
-            report.duration_secs()
+            report.duration_s()
         );
     }
 
@@ -722,9 +736,9 @@ mod tests {
         assert!(
             naive_report.exhausted && !naive.goal_met,
             "naive should die early believing the gauge: {naive:?} ended at {}",
-            naive_report.duration_secs()
+            naive_report.duration_s()
         );
-        assert!(naive_report.duration_secs() < 295.0);
+        assert!(naive_report.duration_s() < 295.0);
     }
 
     /// Heavy meter dropout starves the demand predictor; the hardened
@@ -757,7 +771,7 @@ mod tests {
             outcome.stale_decisions > 0,
             "95% dropout must produce stale windows: {outcome:?}"
         );
-        assert!(report.duration_secs() > 290.0);
+        assert!(report.duration_s() > 290.0);
     }
 
     /// The controller leaves non-adaptive workloads alone.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Odyssey: energy-aware adaptation (the paper's primary contribution).
 //!
 //! Odyssey mediates between applications that can trade *data fidelity*

@@ -141,6 +141,12 @@ pub struct SupervisorHandle {
     inner: Rc<RefCell<Inner>>,
 }
 
+impl std::fmt::Debug for SupervisorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisorHandle").finish_non_exhaustive()
+    }
+}
+
 impl SupervisorHandle {
     /// Current counters.
     pub fn stats(&self) -> SupervisorStats {
@@ -195,6 +201,12 @@ pub struct Supervisor {
     feed: AttributionFeed,
     goal: Option<GoalHandle>,
     inner: Rc<RefCell<Inner>>,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor").finish_non_exhaustive()
+    }
 }
 
 impl Supervisor {

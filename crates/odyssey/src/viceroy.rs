@@ -27,6 +27,12 @@ pub struct Viceroy {
     expectations: ExpectationRegistry,
 }
 
+impl std::fmt::Debug for Viceroy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Viceroy").finish_non_exhaustive()
+    }
+}
+
 impl Viceroy {
     /// Creates an empty viceroy.
     pub fn new() -> Self {
@@ -99,6 +105,14 @@ pub struct BandwidthMonitor {
     upcall_min_interval: SimDuration,
     /// (time, pid index, event) log for tests and tracing.
     events: Vec<(SimTime, usize, WindowEvent)>,
+}
+
+impl std::fmt::Debug for BandwidthMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BandwidthMonitor")
+            .field("window", &self.window)
+            .finish_non_exhaustive()
+    }
 }
 
 impl BandwidthMonitor {

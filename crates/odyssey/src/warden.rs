@@ -30,6 +30,14 @@ pub struct WardenRegistry {
     wardens: BTreeMap<&'static str, Box<dyn Warden>>,
 }
 
+impl std::fmt::Debug for WardenRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WardenRegistry")
+            .field("len", &self.wardens.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl WardenRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {

@@ -8,7 +8,7 @@
 //! the PID monitor observed and the procedure its symbol table resolves
 //! the raw PC into.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::profile::{EnergyProfile, ProcedureRow, ProcessRow};
 use crate::sample::CollectedRun;
@@ -23,7 +23,7 @@ pub struct CorrelateOptions {
     /// the whole gap's energy and time, grossly over-attributing to
     /// whatever happened to be running at that instant. With a cap, a
     /// quantum longer than `max_quantum` is truncated: the profile then
-    /// covers only metered time, and `duration_secs` shrinks by the
+    /// covers only metered time, and `duration_s` shrinks by the
     /// uncovered gaps instead of lying about attribution.
     pub max_quantum: Option<simcore::SimDuration>,
 }
@@ -42,7 +42,10 @@ pub fn correlate(run: &CollectedRun) -> EnergyProfile {
 pub fn correlate_with(run: &CollectedRun, opts: CorrelateOptions) -> EnergyProfile {
     let trace = &run.trace;
     let cap_secs = opts.max_quantum.map(|q| q.as_secs_f64());
-    let mut by_proc: HashMap<&'static str, HashMap<&'static str, (f64, f64)>> = HashMap::new();
+    // Ordered maps: profile rows must come out in the same order on every
+    // run — the sort below breaks energy ties by name, but equal-energy
+    // equal-name rows would still float under a randomized hash order.
+    let mut by_proc: BTreeMap<&'static str, BTreeMap<&'static str, (f64, f64)>> = BTreeMap::new();
     let mut duration = 0.0;
     for (i, s) in trace.samples.iter().enumerate() {
         let next_at = trace
@@ -100,7 +103,7 @@ pub fn correlate_with(run: &CollectedRun, opts: CorrelateOptions) -> EnergyProfi
     });
     EnergyProfile {
         processes,
-        duration_secs: duration,
+        duration_s: duration,
     }
 }
 
@@ -138,9 +141,9 @@ mod tests {
             1000,
         );
         let p = correlate(&run);
-        assert!((p.energy_of("a") - 6.0).abs() < 1e-9);
-        assert!((p.energy_of("b") - 12.0).abs() < 1e-9);
-        assert!((p.duration_secs - 1.0).abs() < 1e-9);
+        assert!((p.process_energy_j("a") - 6.0).abs() < 1e-9);
+        assert!((p.process_energy_j("b") - 12.0).abs() < 1e-9);
+        assert!((p.duration_s - 1.0).abs() < 1e-9);
         assert_eq!(p.processes[0].process, "b", "sorted by energy");
     }
 
@@ -190,20 +193,47 @@ mod tests {
     }
 
     #[test]
+    fn profile_row_order_is_sample_order_independent() {
+        // Regression test for the HashMap → BTreeMap conversion: two
+        // traces with the same per-process totals must render identical
+        // profiles even when the samples arrive in a different process
+        // order. Every process gets equal energy, so row order rests
+        // entirely on the deterministic name tie-break.
+        let quanta = [(0, "c"), (100, "a"), (200, "b"), (300, "d")];
+        let forward: Vec<_> = quanta
+            .iter()
+            .enumerate()
+            .map(|(i, (_, p))| ((i as u64) * 100, 1.0, *p, "f"))
+            .collect();
+        let reversed: Vec<_> = quanta
+            .iter()
+            .rev()
+            .enumerate()
+            .map(|(i, (_, p))| ((i as u64) * 100, 1.0, *p, "f"))
+            .collect();
+        let pf = correlate(&run_with(forward, 400));
+        let pr = correlate(&run_with(reversed, 400));
+        let order_f: Vec<&str> = pf.processes.iter().map(|r| r.process.as_str()).collect();
+        let order_r: Vec<&str> = pr.processes.iter().map(|r| r.process.as_str()).collect();
+        assert_eq!(order_f, order_r);
+        assert_eq!(order_f, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
     fn max_quantum_caps_gap_attribution() {
         // A 2 s sampling gap after the first sample: uncapped, process
         // "a" absorbs all 2 s; capped at 100 ms, it absorbs only the
         // metered window and the profile duration shrinks by the gap.
         let run = run_with(vec![(0, 1.0, "a", "f"), (2000, 1.0, "b", "g")], 2100);
         let uncapped = correlate(&run);
-        assert!((uncapped.energy_of("a") - 12.0 * 2.0).abs() < 1e-9);
+        assert!((uncapped.process_energy_j("a") - 12.0 * 2.0).abs() < 1e-9);
         let capped = correlate_with(
             &run,
             CorrelateOptions {
                 max_quantum: Some(simcore::SimDuration::from_millis(100)),
             },
         );
-        assert!((capped.energy_of("a") - 12.0 * 0.1).abs() < 1e-9);
-        assert!((capped.duration_secs - 0.2).abs() < 1e-9);
+        assert!((capped.process_energy_j("a") - 12.0 * 0.1).abs() < 1e-9);
+        assert!((capped.duration_s - 0.2).abs() < 1e-9);
     }
 }

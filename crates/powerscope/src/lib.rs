@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! PowerScope: statistical energy profiling (Section 2.1 of the paper).
 //!
 //! The original PowerScope pairs a digital multimeter (sampling the current

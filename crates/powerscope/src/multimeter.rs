@@ -81,6 +81,12 @@ pub struct PowerScope {
     shared: Rc<RefCell<Collector>>,
 }
 
+impl std::fmt::Debug for PowerScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PowerScope").finish_non_exhaustive()
+    }
+}
+
 struct ScopeObserver(Rc<RefCell<Collector>>);
 
 impl IntervalObserver for ScopeObserver {

@@ -59,7 +59,7 @@ pub struct EnergyProfile {
     /// Per-process rows, sorted by descending energy.
     pub processes: Vec<ProcessRow>,
     /// Total profiled duration, seconds.
-    pub duration_secs: f64,
+    pub duration_s: f64,
 }
 
 impl EnergyProfile {
@@ -74,7 +74,7 @@ impl EnergyProfile {
     }
 
     /// Energy attributed to `process`, J (0 when absent).
-    pub fn energy_of(&self, process: &str) -> f64 {
+    pub fn process_energy_j(&self, process: &str) -> f64 {
         self.processes
             .iter()
             .find(|p| p.process == process)
@@ -168,8 +168,8 @@ impl EnergyProfile {
             .into_iter()
             .map(|n| DiffRow {
                 process: n.to_string(),
-                before_j: self.energy_of(n),
-                after_j: after.energy_of(n),
+                before_j: self.process_energy_j(n),
+                after_j: after.process_energy_j(n),
             })
             .collect();
         rows.sort_by(|a, b| {
@@ -243,7 +243,7 @@ mod tests {
                     procedures: vec![],
                 },
             ],
-            duration_secs: 120.0,
+            duration_s: 120.0,
         }
     }
 
@@ -252,8 +252,8 @@ mod tests {
         let p = sample_profile();
         assert!((p.total_energy_j() - 975.08).abs() < 1e-9);
         assert!((p.total_cpu_secs() - 101.85).abs() < 1e-9);
-        assert!((p.energy_of("Kernel") - 331.91).abs() < 1e-9);
-        assert_eq!(p.energy_of("missing"), 0.0);
+        assert!((p.process_energy_j("Kernel") - 331.91).abs() < 1e-9);
+        assert_eq!(p.process_energy_j("missing"), 0.0);
     }
 
     #[test]
@@ -306,7 +306,7 @@ mod tests {
                 energy_j: 5.0,
                 procedures: vec![],
             }],
-            duration_secs: 1.0,
+            duration_s: 1.0,
         };
         let rows = before.diff(&after);
         assert!(rows

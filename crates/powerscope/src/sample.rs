@@ -60,16 +60,10 @@ impl RawTrace {
 
     /// Mean sampling rate over the trace, Hz.
     pub fn mean_rate_hz(&self) -> f64 {
-        if self.samples.len() < 2 {
+        let [first, .., last] = self.samples.as_slice() else {
             return 0.0;
-        }
-        let span = self
-            .samples
-            .last()
-            .expect("non-empty")
-            .at
-            .since(self.samples[0].at)
-            .as_secs_f64();
+        };
+        let span = last.at.since(first.at).as_secs_f64();
         if span <= 0.0 {
             0.0
         } else {

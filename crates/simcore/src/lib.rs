@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Deterministic discrete-event simulation core.
 //!
 //! This crate provides the substrate shared by every other crate in the

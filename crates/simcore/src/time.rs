@@ -84,6 +84,7 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
+                // simlint: allow(D5) — overflow guard; panicking is since()'s documented contract
                 .expect("SimTime::since: earlier instant is in the future"),
         )
     }
@@ -207,6 +208,7 @@ impl Add<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_add(rhs.0)
+                // simlint: allow(D5) — overflow guard; Add's documented panic contract
                 .expect("SimTime addition overflows u64 microseconds"),
         )
     }
@@ -225,6 +227,7 @@ impl Sub<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_sub(rhs.0)
+                // simlint: allow(D5) — underflow guard; Sub's documented panic contract
                 .expect("SimTime subtraction underflow"),
         )
     }
@@ -252,6 +255,7 @@ impl Add for SimDuration {
         SimDuration(
             self.0
                 .checked_add(rhs.0)
+                // simlint: allow(D5) — overflow guard; Add's documented panic contract
                 .expect("SimDuration addition overflows u64 microseconds"),
         )
     }
@@ -270,6 +274,7 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // simlint: allow(D5) — underflow guard; Sub's documented panic contract
                 .expect("SimDuration subtraction underflow"),
         )
     }
@@ -288,6 +293,7 @@ impl Mul<u64> for SimDuration {
         SimDuration(
             self.0
                 .checked_mul(rhs)
+                // simlint: allow(D5) — overflow guard; Mul's documented panic contract
                 .expect("SimDuration multiplication overflows u64 microseconds"),
         )
     }

@@ -1,0 +1,1004 @@
+#![forbid(unsafe_code)]
+//! simlint: the workspace's determinism & energy-accounting lint pass.
+//!
+//! The reproduction's headline claim is bit-identical determinism: the
+//! figure sweeps, the chaos/supervise experiments, and the checkpoint
+//! digests all assume that a fixed seed replays the same bytes. Ecosystem
+//! tools (rustc lints, clippy) cannot express the project-specific rules
+//! that make that true, so this crate scans every workspace source file
+//! at the token/line level — no `syn`, the repo builds offline — and
+//! enforces five rules:
+//!
+//! - **D1** — no wall-clock, thread, or environment reads in simulation
+//!   code (`Instant`, `SystemTime`, `std::thread`, `env::var`). Simulated
+//!   time comes from `simcore::SimTime`; the only sanctioned wall-clock
+//!   escape hatch is `bench::Stopwatch`, which carries a waiver.
+//! - **D2** — no `HashMap`/`HashSet`: randomized iteration order is
+//!   exactly the nondeterminism the energy ledger must not inherit. Use
+//!   `BTreeMap`/`BTreeSet`, or waive with a proof of order-insensitivity.
+//! - **D3** — no `==`/`!=` against non-zero float literals and no
+//!   narrowing `as f32` casts in non-test code. Comparisons against
+//!   exactly-representable sentinels (`0.0`, `f64::INFINITY`) are
+//!   allowed, mirroring clippy's `float_cmp` carve-out.
+//! - **D4** — unit-suffix discipline: a public `f64` field or function
+//!   whose name says it carries energy/power/time must name its unit
+//!   (`_j`, `_w`, `_s`, `_mw`, …), aligned with `apps::units`.
+//! - **D5** — zero `unwrap()`/`expect()` in non-test code: a panic in
+//!   the middle of a sweep loses the whole run.
+//!
+//! Any site can be waived with a comment carrying a reason:
+//!
+//! ```text
+//! // simlint: allow(D1) — benches time real execution by design
+//! ```
+//!
+//! either trailing on the offending line or standing alone on the line
+//! above it. A waiver without a reason is itself a finding (**W0**).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers, in report order.
+pub const RULE_IDS: [&str; 6] = ["D1", "D2", "D3", "D4", "D5", "W0"];
+
+/// One diagnostic: a rule violated at a file:line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`D1`..`D5`, `W0`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl Finding {
+    /// The finding as one machine-readable JSON object (hand-rolled; the
+    /// scanner is dependency-free by construction).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.path),
+            self.line,
+            self.rule,
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Where a file sits in the workspace — decides which rules apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileCtx<'a> {
+    /// Workspace-relative display path.
+    pub path: &'a str,
+    /// True for `tests/`, `benches/`, and `examples/` trees: D3/D4/D5 do
+    /// not apply there (exact float asserts and unwraps are legitimate
+    /// test idiom), while the determinism rules D1/D2 still do.
+    pub is_test: bool,
+}
+
+/// Result of scanning a whole workspace.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Source stripping: split each line into code and comment text.
+// ---------------------------------------------------------------------------
+
+/// Per-line views of a source file with literals and comments separated.
+struct Stripped {
+    /// Line text with string/char literal contents and comments blanked.
+    code: Vec<String>,
+    /// Comment text of each line (line + block comments, `//` stripped).
+    comment: Vec<String>,
+}
+
+fn strip(source: &str) -> Stripped {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = Vec::new();
+    let mut comment = Vec::new();
+    let mut code_line = String::new();
+    let mut comment_line = String::new();
+    let mut i = 0usize;
+    // 0 = code, 1 = block comment (with depth), 2 = string, 3 = raw string.
+    let mut block_depth = 0usize;
+    let mut in_str = false;
+    let mut raw_hashes: Option<usize> = None;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            code.push(std::mem::take(&mut code_line));
+            comment.push(std::mem::take(&mut comment_line));
+            i += 1;
+            continue;
+        }
+        if block_depth > 0 {
+            if c == '/' && chars.get(i + 1) == Some(&'*') {
+                block_depth += 1;
+                i += 2;
+                continue;
+            }
+            if c == '*' && chars.get(i + 1) == Some(&'/') {
+                block_depth -= 1;
+                i += 2;
+                continue;
+            }
+            comment_line.push(c);
+            i += 1;
+            continue;
+        }
+        if let Some(n) = raw_hashes {
+            if c == '"' && chars[i + 1..].iter().take(n).filter(|h| **h == '#').count() == n {
+                raw_hashes = None;
+                i += 1 + n;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if in_str {
+            if c == '\\' {
+                i += 2;
+                continue;
+            }
+            if c == '"' {
+                in_str = false;
+            }
+            i += 1;
+            continue;
+        }
+        // Code state.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            // Line comment: rest of the physical line is comment text.
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\n' {
+                comment_line.push(chars[j]);
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            block_depth = 1;
+            i += 2;
+            continue;
+        }
+        if c == '"' {
+            in_str = true;
+            code_line.push_str("\"\"");
+            i += 1;
+            continue;
+        }
+        let prev_is_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+        if c == 'r' && !prev_is_ident {
+            // Possible raw string: r"..." or r#"..."#.
+            let mut j = i + 1;
+            let mut n = 0usize;
+            while chars.get(j) == Some(&'#') {
+                n += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                raw_hashes = Some(n);
+                code_line.push_str("\"\"");
+                i = j + 1;
+                continue;
+            }
+        }
+        if c == '\'' {
+            // Char literal vs lifetime.
+            if chars.get(i + 1) == Some(&'\\') {
+                let mut j = i + 2;
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                code_line.push_str("' '");
+                i = j + 1;
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') {
+                code_line.push_str("' '");
+                i += 3;
+                continue;
+            }
+            // Lifetime: keep the tick, it is harmless in code text.
+            code_line.push(c);
+            i += 1;
+            continue;
+        }
+        code_line.push(c);
+        i += 1;
+    }
+    code.push(code_line);
+    comment.push(comment_line);
+    Stripped { code, comment }
+}
+
+// ---------------------------------------------------------------------------
+// #[cfg(test)] region tracking.
+// ---------------------------------------------------------------------------
+
+/// Marks each line that sits inside a `#[cfg(test)]` item's braces.
+fn test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    // Depths at which an active test region's opening brace sits.
+    let mut regions: Vec<i64> = Vec::new();
+    for (idx, line) in code.iter().enumerate() {
+        let mut active = !regions.is_empty();
+        if line.contains("#[cfg(test)]") {
+            pending_attr = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_attr {
+                        regions.push(depth);
+                        pending_attr = false;
+                        active = true;
+                    }
+                }
+                '}' => {
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        active = active || !regions.is_empty();
+        in_test[idx] = active;
+    }
+    in_test
+}
+
+// ---------------------------------------------------------------------------
+// Waivers.
+// ---------------------------------------------------------------------------
+
+/// Per-line waived rules plus any malformed-waiver findings.
+fn parse_waivers(
+    ctx: FileCtx<'_>,
+    stripped: &Stripped,
+) -> (BTreeMap<usize, BTreeSet<&'static str>>, Vec<Finding>) {
+    let mut waived: BTreeMap<usize, BTreeSet<&'static str>> = BTreeMap::new();
+    let mut findings = Vec::new();
+    for (idx, comment) in stripped.comment.iter().enumerate() {
+        let Some(pos) = comment.find("simlint:") else {
+            continue;
+        };
+        let line_no = idx + 1;
+        let rest = comment[pos + "simlint:".len()..].trim_start();
+        // Prose that merely mentions simlint is not a waiver attempt.
+        if !rest.starts_with("allow") {
+            continue;
+        }
+        let Some(args) = rest.strip_prefix("allow(") else {
+            findings.push(Finding {
+                path: ctx.path.to_string(),
+                line: line_no,
+                rule: "W0",
+                message: "malformed waiver: expected `simlint: allow(<rule>) — <reason>`"
+                    .to_string(),
+            });
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            findings.push(Finding {
+                path: ctx.path.to_string(),
+                line: line_no,
+                rule: "W0",
+                message: "malformed waiver: missing `)`".to_string(),
+            });
+            continue;
+        };
+        let mut rules: BTreeSet<&'static str> = BTreeSet::new();
+        let mut bad_rule = false;
+        for raw in args[..close].split(',') {
+            let name = raw.trim();
+            match RULE_IDS.iter().find(|id| **id == name && **id != "W0") {
+                Some(id) => {
+                    rules.insert(id);
+                }
+                None => {
+                    findings.push(Finding {
+                        path: ctx.path.to_string(),
+                        line: line_no,
+                        rule: "W0",
+                        message: format!("waiver names unknown rule `{name}`"),
+                    });
+                    bad_rule = true;
+                }
+            }
+        }
+        // A reason is mandatory: `— why this site is sound`.
+        let after = args[close + 1..].trim_start();
+        let reason = ["—", "--", "-", ":"]
+            .iter()
+            .find_map(|sep| after.strip_prefix(sep))
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            findings.push(Finding {
+                path: ctx.path.to_string(),
+                line: line_no,
+                rule: "W0",
+                message: "waiver has no reason: write `simlint: allow(<rule>) — <why this site \
+                          is sound>`"
+                    .to_string(),
+            });
+            continue;
+        }
+        if bad_rule {
+            continue;
+        }
+        // Trailing waiver applies to its own line; a standalone comment
+        // line applies to the next line that has code on it.
+        let target = if stripped.code[idx].trim().is_empty() {
+            stripped.code[idx + 1..]
+                .iter()
+                .position(|l| !l.trim().is_empty())
+                .map(|off| idx + 1 + off + 1)
+        } else {
+            Some(line_no)
+        };
+        if let Some(t) = target {
+            waived.entry(t).or_default().extend(rules.iter().copied());
+        }
+    }
+    (waived, findings)
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers.
+// ---------------------------------------------------------------------------
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Byte offsets of whole-word occurrences of `word` in `line`.
+fn word_positions(line: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !line[..at].chars().next_back().is_some_and(is_ident_char);
+        let after_ok = !line[at + word.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        start = at + word.len();
+    }
+    out
+}
+
+fn contains_word(line: &str, word: &str) -> bool {
+    !word_positions(line, word).is_empty()
+}
+
+/// Last token of `s` over the charset used by paths and literals.
+fn trailing_token(s: &str) -> &str {
+    let trimmed = s.trim_end();
+    let start = trimmed
+        .rfind(|c: char| !(is_ident_char(c) || c == '.' || c == ':'))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    &trimmed[start..]
+}
+
+/// First token of `s` over the same charset (leading sign allowed).
+fn leading_token(s: &str) -> &str {
+    let trimmed = s.trim_start();
+    let body = trimmed.strip_prefix('-').unwrap_or(trimmed);
+    let end = body
+        .find(|c: char| !(is_ident_char(c) || c == '.' || c == ':'))
+        .unwrap_or(body.len());
+    &body[..end]
+}
+
+/// Is `tok` a float literal with a non-zero value? Comparisons against
+/// `0.0` (and any token that is a path, like `f64::INFINITY`) are exact
+/// and deterministic, so only true literals with magnitude are hazards.
+fn nonzero_float_literal(tok: &str) -> bool {
+    if tok.is_empty() || tok.starts_with("0x") || tok.starts_with("0b") {
+        return false;
+    }
+    if !tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    if !(tok.contains('.') || tok.contains('e') || tok.contains('E')) {
+        return false; // Integer literal.
+    }
+    let cleaned = tok
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('_')
+        .replace('_', "");
+    match cleaned.parse::<f64>() {
+        Ok(v) => v != 0.0,
+        Err(_) => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The rules.
+// ---------------------------------------------------------------------------
+
+const D1_TOKENS: [&str; 6] = [
+    "Instant",
+    "SystemTime",
+    "thread::sleep",
+    "thread::spawn",
+    "std::thread",
+    "env::var",
+];
+
+const D4_KEYWORDS: [&str; 6] = ["energy", "power", "watt", "joule", "time", "duration"];
+const D4_SUFFIXES: [&str; 13] = [
+    "_j", "_w", "_s", "_mw", "_mj", "_kj", "_wh", "_us", "_ms", "_ns", "_hz", "_bps", "_frac",
+];
+
+fn d4_name_violates(name: &str) -> bool {
+    let triggered = name
+        .split('_')
+        .any(|seg| D4_KEYWORDS.contains(&seg.to_ascii_lowercase().as_str()));
+    triggered && !D4_SUFFIXES.iter().any(|s| name.ends_with(s))
+}
+
+/// Scans one file's source text. `ctx.is_test` plus `#[cfg(test)]`
+/// regions decide which rules run on which lines.
+pub fn scan_str(ctx: FileCtx<'_>, source: &str) -> Vec<Finding> {
+    let stripped = strip(source);
+    let in_test_region = test_regions(&stripped.code);
+    let (waived, mut findings) = parse_waivers(ctx, &stripped);
+    let mut push = |findings: &mut Vec<Finding>, line: usize, rule: &'static str, msg: String| {
+        if waived.get(&line).is_some_and(|set| set.contains(rule)) {
+            return;
+        }
+        findings.push(Finding {
+            path: ctx.path.to_string(),
+            line,
+            rule,
+            message: msg,
+        });
+    };
+    for (idx, code) in stripped.code.iter().enumerate() {
+        let line_no = idx + 1;
+        let testish = ctx.is_test || in_test_region[idx];
+        // D1: wall-clock / thread / environment reads. One finding per
+        // line is enough to force the fix.
+        if let Some(tok) = D1_TOKENS.iter().find(|t| contains_word(code, t)) {
+            push(
+                &mut findings,
+                line_no,
+                "D1",
+                format!(
+                    "`{tok}` in simulation code: use simcore::SimTime, or route wall-clock \
+                     timing through bench::Stopwatch (the one waived escape hatch)"
+                ),
+            );
+        }
+        // D2: unordered collections.
+        if let Some(tok) = ["HashMap", "HashSet"]
+            .iter()
+            .find(|t| contains_word(code, t))
+        {
+            let ordered = tok.replace("Hash", "BTree");
+            push(
+                &mut findings,
+                line_no,
+                "D2",
+                format!(
+                    "`{tok}` has randomized iteration order; use `{ordered}` or waive with a \
+                     proof of order-insensitivity"
+                ),
+            );
+        }
+        if !testish {
+            scan_d3(code, line_no, &mut findings, &mut push);
+            // D5: panics in non-test code.
+            for needle in [".unwrap()", ".expect("] {
+                if code.contains(needle) {
+                    push(
+                        &mut findings,
+                        line_no,
+                        "D5",
+                        format!(
+                            "`{}` in non-test code: propagate the error, restructure, or waive \
+                             with the invariant that makes it unreachable",
+                            needle.trim_end_matches('(')
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    if !ctx.is_test {
+        scan_d4(&stripped.code, &in_test_region, &mut findings, &mut push);
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// D3: float-literal equality and narrowing casts.
+fn scan_d3(
+    code: &str,
+    line_no: usize,
+    findings: &mut Vec<Finding>,
+    push: &mut impl FnMut(&mut Vec<Finding>, usize, &'static str, String),
+) {
+    for op in ["==", "!="] {
+        let mut start = 0usize;
+        while let Some(pos) = code[start..].find(op) {
+            let at = start + pos;
+            start = at + op.len();
+            let before = &code[..at];
+            let after = &code[at + op.len()..];
+            // Skip `=>`, `<=`, `>=`, `+=`-family neighbours.
+            if before.ends_with(['=', '!', '<', '>']) || after.starts_with('=') {
+                continue;
+            }
+            let left = trailing_token(before);
+            let right = leading_token(after);
+            if nonzero_float_literal(left) || nonzero_float_literal(right) {
+                push(
+                    findings,
+                    line_no,
+                    "D3",
+                    format!(
+                        "float equality against a non-zero literal (`{}`): compare with an \
+                         explicit tolerance or total_cmp",
+                        if nonzero_float_literal(left) {
+                            left
+                        } else {
+                            right
+                        }
+                    ),
+                );
+            }
+        }
+    }
+    for pos in word_positions(code, "f32") {
+        let before = code[..pos].trim_end();
+        if before.ends_with("as") && !before[..before.len() - 2].ends_with(is_ident_char) {
+            push(
+                findings,
+                line_no,
+                "D3",
+                "narrowing `as f32` cast loses precision in an energy path: keep f64 end to end"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// D4: unit-suffix discipline for public f64 fields and functions.
+fn scan_d4(
+    code: &[String],
+    in_test_region: &[bool],
+    findings: &mut Vec<Finding>,
+    push: &mut impl FnMut(&mut Vec<Finding>, usize, &'static str, String),
+) {
+    for (idx, line) in code.iter().enumerate() {
+        if in_test_region[idx] {
+            continue;
+        }
+        let line_no = idx + 1;
+        let trimmed = line.trim_start();
+        // Public f64 field: `pub name: f64,`
+        if let Some(rest) = trimmed.strip_prefix("pub ") {
+            let name: String = rest.chars().take_while(|c| is_ident_char(*c)).collect();
+            let after = rest[name.len()..].trim_start();
+            if !name.is_empty()
+                && name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_')
+                && after.starts_with(':')
+            {
+                let ty = after[1..].trim().trim_end_matches(',').trim();
+                if ty == "f64" && d4_name_violates(&name) {
+                    push(
+                        findings,
+                        line_no,
+                        "D4",
+                        format!(
+                            "public f64 field `{name}` carries a unit but its name does not: end \
+                             it in _j/_w/_s/_mw (see apps::units)"
+                        ),
+                    );
+                }
+            }
+        }
+        // Public f64 function: `pub fn name(...) -> f64` (signature may
+        // span lines; collect until the body opens).
+        if let Some(fn_pos) = find_pub_fn(trimmed) {
+            let name: String = trimmed[fn_pos..]
+                .chars()
+                .take_while(|c| is_ident_char(*c))
+                .collect();
+            if name.is_empty() {
+                continue;
+            }
+            let mut sig = String::new();
+            for cont in &code[idx..code.len().min(idx + 12)] {
+                sig.push_str(cont);
+                sig.push(' ');
+                if cont.contains('{') || cont.trim_end().ends_with(';') {
+                    break;
+                }
+            }
+            let ret = sig.split("->").nth(1).map(str::trim_start).unwrap_or("");
+            if ret.starts_with("f64") && d4_name_violates(&name) {
+                push(
+                    findings,
+                    line_no,
+                    "D4",
+                    format!(
+                        "public fn `{name}` returns a unit-carrying f64 but its name does not \
+                         say the unit: end it in _j/_w/_s/_mw (see apps::units)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Offset of the fn name in `pub fn name` / `pub const fn name`, if the
+/// line declares a plainly-public function.
+fn find_pub_fn(trimmed: &str) -> Option<usize> {
+    let rest = trimmed.strip_prefix("pub ")?;
+    let rest2 = rest.strip_prefix("const ").unwrap_or(rest);
+    let body = rest2.strip_prefix("fn ")?;
+    Some(trimmed.len() - body.len())
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking.
+// ---------------------------------------------------------------------------
+
+/// Directories never scanned.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "results", ".github"];
+
+fn collect_rs(dir: &Path, out: &mut BTreeSet<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read entry in {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.insert(path);
+        }
+    }
+    Ok(())
+}
+
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// Scans every `.rs` file under `root` (a workspace checkout).
+pub fn scan_workspace(root: &Path) -> Result<Report, String> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+    let mut files = BTreeSet::new();
+    collect_rs(root, &mut files)?;
+    let mut report = Report::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let ctx = FileCtx {
+            path: &rel,
+            is_test: is_test_path(&rel),
+        };
+        report.findings.extend(scan_str(ctx, &source));
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIM: FileCtx<'static> = FileCtx {
+        path: "crates/x/src/lib.rs",
+        is_test: false,
+    };
+    const TEST: FileCtx<'static> = FileCtx {
+        path: "crates/x/tests/t.rs",
+        is_test: true,
+    };
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // ---- D1: wall-clock / thread / environment reads ----
+
+    #[test]
+    fn d1_flags_wall_clock_reads() {
+        let f = scan_str(SIM, "fn t() { let t0 = std::time::Instant::now(); }\n");
+        assert_eq!(rules(&f), ["D1"]);
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].message.contains("Stopwatch"));
+    }
+
+    #[test]
+    fn d1_flags_threads_and_env_reads() {
+        let src = "fn a() { std::thread::sleep(d); }\nfn b() { let v = env::var(\"X\"); }\n";
+        let f = scan_str(SIM, src);
+        assert_eq!(rules(&f), ["D1", "D1"]);
+        assert_eq!((f[0].line, f[1].line), (1, 2));
+    }
+
+    #[test]
+    fn d1_applies_even_in_test_code() {
+        // Determinism rules have no test exemption: a test that reads the
+        // wall clock is a flaky test.
+        let f = scan_str(TEST, "fn t() { let t0 = std::time::Instant::now(); }\n");
+        assert_eq!(rules(&f), ["D1"]);
+    }
+
+    #[test]
+    fn d1_ignores_literals_comments_and_substrings() {
+        let src = r#"// Instant is banned here, says the comment.
+fn t() {
+    let s = "Instant::now()";
+    let instantaneous_w = 3.0;
+}
+"#;
+        assert!(scan_str(SIM, src).is_empty());
+    }
+
+    // ---- D2: unordered collections ----
+
+    #[test]
+    fn d2_flags_hash_collections_once_per_line() {
+        let f = scan_str(SIM, "let m: HashMap<u32, u32> = HashMap::new();\n");
+        assert_eq!(rules(&f), ["D2"]);
+        assert!(f[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn d2_accepts_ordered_collections() {
+        let src = "use std::collections::{BTreeMap, BTreeSet};\n";
+        assert!(scan_str(SIM, src).is_empty());
+    }
+
+    // ---- D3: float equality and narrowing casts ----
+
+    #[test]
+    fn d3_flags_float_literal_equality() {
+        let f = scan_str(SIM, "fn f(x: f64) -> bool { x == 1.5 }\n");
+        assert_eq!(rules(&f), ["D3"]);
+        assert!(f[0].message.contains("1.5"));
+    }
+
+    #[test]
+    fn d3_allows_exact_sentinels() {
+        // 0.0 and f64::INFINITY are exactly representable; comparing
+        // against them is deterministic (clippy float_cmp carve-out).
+        let src = "fn f(x: f64) -> bool { x == 0.0 || x != f64::INFINITY }\n";
+        assert!(scan_str(SIM, src).is_empty());
+    }
+
+    #[test]
+    fn d3_flags_narrowing_casts() {
+        let f = scan_str(SIM, "fn f(x: f64) -> f32 { x as f32 }\n");
+        assert_eq!(rules(&f), ["D3"]);
+        assert!(f[0].message.contains("as f32"));
+    }
+
+    #[test]
+    fn d3_exempt_in_test_code() {
+        let src = "fn f(x: f64) -> bool { x == 1.5 }\n";
+        assert!(scan_str(TEST, src).is_empty());
+    }
+
+    // ---- D4: unit-suffix discipline ----
+
+    #[test]
+    fn d4_flags_unitless_public_energy_field() {
+        let f = scan_str(SIM, "pub struct S {\n    pub total_energy: f64,\n}\n");
+        assert_eq!(rules(&f), ["D4"]);
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("total_energy"));
+    }
+
+    #[test]
+    fn d4_flags_unitless_public_fn_with_multiline_signature() {
+        let src = "pub fn drain_power(\n    &self,\n    zone: usize,\n) -> f64 {\n    0.0\n}\n";
+        let f = scan_str(SIM, src);
+        assert_eq!(rules(&f), ["D4"]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn d4_accepts_suffixed_names_and_non_f64() {
+        let src = "pub struct S {\n    pub energy_j: f64,\n    pub power_w: f64,\n}\n\
+                   pub fn duration_s(&self) -> f64 { self.d }\n\
+                   pub fn energy_label(&self) -> String { String::new() }\n";
+        assert!(scan_str(SIM, src).is_empty());
+    }
+
+    // ---- D5: panics in non-test code ----
+
+    #[test]
+    fn d5_flags_unwrap_and_expect() {
+        let src = "fn f() { x.unwrap(); }\nfn g() { y.expect(\"msg\"); }\n";
+        let f = scan_str(SIM, src);
+        assert_eq!(rules(&f), ["D5", "D5"]);
+    }
+
+    #[test]
+    fn d5_accepts_unwrap_or_variants() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); }\n";
+        assert!(scan_str(SIM, src).is_empty());
+    }
+
+    #[test]
+    fn d5_exempt_inside_cfg_test_module() {
+        let src = "fn f() -> u32 { 1 }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { assert_eq!(super::f(), opt.unwrap()); }\n\
+                   }\n";
+        assert!(scan_str(SIM, src).is_empty());
+    }
+
+    // ---- Waivers ----
+
+    #[test]
+    fn trailing_waiver_with_reason_is_honored() {
+        let src = "fn f() { x.unwrap(); } // simlint: allow(D5) — x set two lines up\n";
+        assert!(scan_str(SIM, src).is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_applies_to_next_code_line() {
+        let src = "// simlint: allow(D1) — this bench times real execution by design\n\
+                   fn f() { let t0 = std::time::Instant::now(); }\n";
+        assert!(scan_str(SIM, src).is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_rejected_and_finding_stands() {
+        let src = "fn f() { x.unwrap(); } // simlint: allow(D5)\n";
+        let f = scan_str(SIM, src);
+        // Both the malformed waiver and the original violation surface.
+        assert_eq!(rules(&f), ["D5", "W0"]);
+        assert!(f[1].message.contains("no reason"));
+    }
+
+    #[test]
+    fn waiver_naming_unknown_rule_is_rejected() {
+        let src = "fn f() { x.unwrap(); } // simlint: allow(D9) — because\n";
+        let f = scan_str(SIM, src);
+        assert_eq!(rules(&f), ["D5", "W0"]);
+        assert!(f[1].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn waiver_covers_multiple_rules() {
+        let src = "// simlint: allow(D1, D5) — bench harness escape hatch\n\
+                   fn f() { let t = std::time::Instant::now().elapsed().as_secs_f64(); \
+                   x.unwrap(); }\n";
+        assert!(scan_str(SIM, src).is_empty());
+    }
+
+    #[test]
+    fn waiver_does_not_leak_to_other_lines() {
+        let src = "fn f() { x.unwrap(); } // simlint: allow(D5) — fine here\n\
+                   fn g() { y.unwrap(); }\n";
+        let f = scan_str(SIM, src);
+        assert_eq!(rules(&f), ["D5"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn prose_mentioning_simlint_is_not_a_waiver() {
+        let src = "// simlint: the scanner that enforces these rules.\nfn f() -> u32 { 1 }\n";
+        assert!(scan_str(SIM, src).is_empty());
+    }
+
+    // ---- Source stripping corner cases ----
+
+    #[test]
+    fn raw_strings_and_block_comments_are_invisible() {
+        let src = "fn f() -> &'static str {\n\
+                       /* HashMap in a block comment,\n\
+                       spanning lines */\n\
+                       r#\"Instant::now() and x.unwrap()\"#\n\
+                   }\n";
+        assert!(scan_str(SIM, src).is_empty());
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        // If '\"' were mis-lexed as a string opener, the unwrap after it
+        // would be hidden inside a phantom literal.
+        let src = "fn f(c: char) { if c == '\"' { x.unwrap(); } }\n";
+        let f = scan_str(SIM, src);
+        assert_eq!(rules(&f), ["D5"]);
+    }
+
+    // ---- Output formats ----
+
+    #[test]
+    fn display_and_json_forms() {
+        let f = Finding {
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            rule: "D2",
+            message: "say \"no\"".to_string(),
+        };
+        assert_eq!(f.to_string(), "crates/x/src/lib.rs:7: D2: say \"no\"");
+        assert_eq!(
+            f.to_json(),
+            "{\"path\":\"crates/x/src/lib.rs\",\"line\":7,\"rule\":\"D2\",\
+             \"message\":\"say \\\"no\\\"\"}"
+        );
+    }
+}

@@ -50,7 +50,7 @@ fn main() {
     let report = machine.run();
     println!(
         "Played {:.0} s; total energy {:.1} J; {} fidelity changes\n",
-        report.duration_secs(),
+        report.duration_s(),
         report.total_j,
         report.adaptations_of("xanim"),
     );

@@ -58,7 +58,7 @@ fn main() {
 
     println!(
         "Ran {:.0} s; goal met: {}; residual energy {:.0} J ({:.1}% of supply)",
-        report.duration_secs(),
+        report.duration_s(),
         outcome.goal_met,
         report.residual_j,
         report.residual_j / INITIAL_ENERGY_J * 100.0

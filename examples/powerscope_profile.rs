@@ -37,7 +37,7 @@ fn main() {
     println!(
         "Collected {} samples over {:.1} s (≈{:.0} Hz), {} symbol tables\n",
         run.trace.len(),
-        report.duration_secs(),
+        report.duration_s(),
         run.trace.mean_rate_hz(),
         run.symbols.len()
     );

@@ -36,8 +36,8 @@ fn describe(label: &str, report: &RunReport) {
     println!(
         "{label:<42} {:7.1} J over {:5.1} s ({:.2} W)",
         report.total_j,
-        report.duration_secs(),
-        report.total_j / report.duration_secs()
+        report.duration_s(),
+        report.total_j / report.duration_s()
     );
     for (bucket, joules) in &report.buckets {
         println!("    {bucket:<12} {joules:8.1} J");

@@ -16,6 +16,9 @@ cargo fmt --check
 echo "== lint: clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== lint: simlint (determinism & unit-suffix rules) =="
+cargo run --release -q -p simlint
+
 echo "== chaos: fixed-seed determinism smoke =="
 out_a="$(cargo run --release -q -p experiments -- chaos --trials 1 --seed 7 2>/dev/null)"
 out_b="$(cargo run --release -q -p experiments -- chaos --trials 1 --seed 7 2>/dev/null)"

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Energy-aware adaptation for mobile applications — a Rust reproduction
 //! of Flinn & Satyanarayanan (SOSP '99).
 //!

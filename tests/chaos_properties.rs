@@ -143,7 +143,7 @@ fn controllers_survive_full_intensity_sweep() {
                     run.report.total_j
                 );
                 assert!(
-                    run.report.duration_secs() > 0.0,
+                    run.report.duration_s() > 0.0,
                     "empty run at intensity {intensity}"
                 );
                 // The controller ran: it either met the goal, exhausted

@@ -41,7 +41,7 @@ fn sampled_profile_matches_exact_ledger() {
     assert!(err < 0.02, "sampling error {:.3}", err);
     // Each significant bucket's share should match within a few percent.
     for (bucket, exact) in report.buckets.iter().filter(|(_, j)| *j > 10.0) {
-        let sampled = profile.energy_of(bucket);
+        let sampled = profile.process_energy_j(bucket);
         let rel = (sampled - exact).abs() / exact;
         assert!(rel < 0.15, "{bucket}: sampled {sampled} vs exact {exact}");
     }
@@ -155,7 +155,7 @@ fn goal_controller_end_to_end() {
     // 4300 J budget demands degradation.
     assert!(handle.outcome().goal_met, "goal missed: {report:?}");
     assert!(handle.outcome().degrades > 0);
-    assert!((report.duration_secs() - 360.0).abs() < 2.0);
+    assert!((report.duration_s() - 360.0).abs() < 2.0);
     assert!(report.residual_j < initial * 0.12);
 }
 

@@ -151,8 +151,8 @@ fn ledger_balances_for_random_scripts() {
         let bucket_sum: f64 = report.buckets.iter().map(|(_, j)| j).sum();
         assert!((bucket_sum - report.total_j).abs() < 1e-6);
         assert!((report.components.total_j() - report.total_j).abs() < 1e-6);
-        if report.duration_secs() > 0.0 {
-            let avg = report.total_j / report.duration_secs();
+        if report.duration_s() > 0.0 {
+            let avg = report.total_j / report.duration_s();
             assert!((3.0..25.0).contains(&avg), "implausible power {avg}");
         }
     });
