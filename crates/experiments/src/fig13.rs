@@ -24,8 +24,11 @@ pub const CONDITIONS: [(&str, WebFidelity, bool); 6] = [
     ("JPEG-5", WebFidelity::Jpeg5, true),
 ];
 
-fn build(
-    image: WebImage,
+/// Builds one experimental cell: a machine browsing `images` at the given
+/// fidelity and think time, with or without hardware power management.
+/// Public so the trace recorder can replay a canonical condition.
+pub fn build(
+    images: Vec<WebImage>,
     fidelity: WebFidelity,
     pm: bool,
     think_s: f64,
@@ -38,7 +41,7 @@ fn build(
     };
     let mut m = Machine::new(cfg);
     m.add_process(Box::new(
-        WebBrowser::fixed(vec![image], fidelity, rng)
+        WebBrowser::fixed(images, fidelity, rng)
             .with_think_time(SimDuration::from_secs_f64(think_s)),
     ));
     m
@@ -59,7 +62,7 @@ pub fn run_at_think(trials: &Trials, think_s: f64) -> BarChart {
         for (name, fidelity, pm) in CONDITIONS {
             let label = format!("fig13/{}/{}", image.name, name);
             let reports = run_trials(trials, &label, |rng| {
-                build(*image, fidelity, pm, think_s, rng)
+                build(vec![*image], fidelity, pm, think_s, rng)
             });
             chart.push(image.name, name, &reports);
         }

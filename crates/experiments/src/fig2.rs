@@ -17,14 +17,16 @@ use crate::harness::Trials;
 /// Profiled playback length, seconds (long enough for ~18k samples).
 const PROFILE_SECS: f64 = 30.0;
 
-/// Runs the profiling session and returns the correlated profile.
-pub fn run(trials: &Trials) -> EnergyProfile {
-    let mut rng = SimRng::new(trials.seed).fork("fig2");
+/// Builds the profiling rig: the baseline machine playing 30 s of
+/// full-fidelity video with a PowerScope session attached. The trace
+/// recorder uses this too, so the rng draw order here defines the run.
+pub fn build(seed: u64) -> (PowerScope, Machine) {
+    let mut rng = SimRng::new(seed).fork("fig2");
     let clip = VideoClip {
         duration_s: PROFILE_SECS,
         ..VIDEO_CLIPS[0]
     };
-    let (scope, observer) = PowerScope::new(trials.seed);
+    let (scope, observer) = PowerScope::new(seed);
     let mut m = Machine::new(MachineConfig::baseline());
     m.add_observer(observer);
     m.add_process(Box::new(VideoPlayer::fixed(
@@ -32,6 +34,12 @@ pub fn run(trials: &Trials) -> EnergyProfile {
         VideoVariant::Full,
         &mut rng,
     )));
+    (scope, m)
+}
+
+/// Runs the profiling session and returns the correlated profile.
+pub fn run(trials: &Trials) -> EnergyProfile {
+    let (scope, mut m) = build(trials.seed);
     let _ = m.run();
     drop(m);
     correlate(&scope.into_run())

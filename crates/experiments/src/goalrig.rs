@@ -69,14 +69,28 @@ pub fn run_composite_goal_faulted(
     run_composite_goal_full(cfg, false, faults, rng)
 }
 
-fn run_composite_goal_full(
-    cfg: GoalConfig,
+/// A composite goal rig built but not yet run: the machine with all
+/// workloads added, the priority order for the controller, and the
+/// safety-net horizon. [`finish`] attaches the controller and runs; the
+/// trace recorder attaches a `TraceHandle` in between.
+#[derive(Debug)]
+pub struct GoalRig {
+    /// Machine with the composite members and background video added.
+    pub machine: Machine,
+    /// Controller priority order, lowest first.
+    pub priorities: PriorityTable,
+    /// Safety-net horizon against runaway workloads.
+    pub horizon: SimTime,
+}
+
+/// Builds the Section 5.2 composite + video rig for a goal config.
+pub fn build_composite_goal(
+    cfg: &GoalConfig,
     reverse_priorities: bool,
     faults: FaultConfig,
     rng: &mut SimRng,
-) -> GoalRun {
-    let goal = cfg.goal;
-    let horizon = composite_horizon(goal);
+) -> GoalRig {
+    let horizon = composite_horizon(cfg.goal);
     let mut m = Machine::new(MachineConfig {
         source: EnergySource::battery(cfg.initial_energy_j),
         monitor_overhead_w: MONITOR_OVERHEAD_W,
@@ -103,7 +117,21 @@ fn run_composite_goal_full(
     if reverse_priorities {
         order.reverse();
     }
-    finish(m, cfg, PriorityTable::new(order), horizon)
+    GoalRig {
+        machine: m,
+        priorities: PriorityTable::new(order),
+        horizon,
+    }
+}
+
+fn run_composite_goal_full(
+    cfg: GoalConfig,
+    reverse_priorities: bool,
+    faults: FaultConfig,
+    rng: &mut SimRng,
+) -> GoalRun {
+    let rig = build_composite_goal(&cfg, reverse_priorities, faults, rng);
+    finish(rig.machine, cfg, rig.priorities, rig.horizon)
 }
 
 /// Runs the Section 5.4 bursty workload under a goal controller.
@@ -136,7 +164,14 @@ pub fn run_bursty_goal(cfg: GoalConfig, rng: &mut SimRng) -> GoalRun {
     finish(m, cfg, priorities, horizon)
 }
 
-fn finish(mut m: Machine, cfg: GoalConfig, priorities: PriorityTable, horizon: SimTime) -> GoalRun {
+/// Attaches a [`GoalController`] with the given priorities and runs the
+/// machine to the goal (or the safety-net horizon).
+pub fn finish(
+    mut m: Machine,
+    cfg: GoalConfig,
+    priorities: PriorityTable,
+    horizon: SimTime,
+) -> GoalRun {
     let sample_period = cfg.sample_period;
     let (handle, hook) = GoalController::new(cfg, priorities);
     m.add_hook(sample_period, hook);

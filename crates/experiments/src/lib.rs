@@ -53,6 +53,7 @@ pub mod headline;
 pub mod sec54;
 pub mod supervise;
 pub mod table;
+pub mod tracerec;
 
 pub use harness::Trials;
 pub use table::Table;

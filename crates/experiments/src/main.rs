@@ -12,6 +12,11 @@
 //! fig14 fig15 fig16 fig18 fig19 fig20 fig21 fig22 sec54 headline`) or
 //! `all` (the default). `--quick` runs two trials per data point instead
 //! of five.
+//!
+//! Two extra verbs (not part of `all`) manage the simtrace goldens:
+//! `tracediff` replays each canonical scenario and reports the first
+//! event diverging from `tests/golden/`; `tracerec` rewrites the goldens
+//! after an intentional behavior change.
 
 use experiments::{harness::Trials, *};
 
@@ -40,7 +45,7 @@ const ALL: [&str; 20] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: odyssey-experiments [--trials N] [--seed S] [--quick] [--out DIR] [IDS...]\n  IDS: {} | all",
+        "usage: odyssey-experiments [--trials N] [--seed S] [--quick] [--out DIR] [IDS...]\n  IDS: {} | all\n  golden traces: tracediff (compare against tests/golden/) | tracerec (regenerate)",
         ALL.join(" ")
     );
     std::process::exit(2)
@@ -107,6 +112,20 @@ fn main() {
             "ablate" => ablate::render(&trials),
             "chaos" => chaos::render(&trials),
             "supervise" => supervise::render(&trials),
+            "tracerec" => match tracerec::regenerate() {
+                Ok(summary) => summary,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            },
+            "tracediff" => match tracerec::check_all() {
+                Ok(summary) => summary,
+                Err(report) => {
+                    eprintln!("{report}");
+                    std::process::exit(1);
+                }
+            },
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage()

@@ -120,10 +120,24 @@ struct SuperRun {
     stats: SupervisorStats,
 }
 
-/// Runs one trial: the Figure 20 rig with `k` misbehaving apps,
+/// A supervision-cell rig built but not yet run. The trace recorder
+/// attaches a `TraceHandle` to the machine before running it.
+#[derive(Debug)]
+pub struct SuperRig {
+    /// Machine with the k-misbehaving composite workload and hooks added.
+    pub machine: Machine,
+    /// Goal-controller handle for the outcome after the run.
+    pub goal: odyssey::GoalHandle,
+    /// Supervisor handle when the cell is supervised.
+    pub supervisor: Option<odyssey::SupervisorHandle>,
+    /// Safety-net horizon to run until.
+    pub horizon: SimTime,
+}
+
+/// Builds one trial cell: the Figure 20 rig with `k` misbehaving apps,
 /// optionally supervised. Both arms of a pair consume the rng
 /// identically, so they face the same workload.
-fn run_one(k: usize, supervised: bool, rng: &mut SimRng) -> SuperRun {
+pub fn build_one(k: usize, supervised: bool, rng: &mut SimRng) -> SuperRig {
     let goal = SimDuration::from_secs(GOAL_S);
     let horizon = composite_horizon(goal);
     let mut m = Machine::new(MachineConfig {
@@ -196,11 +210,21 @@ fn run_one(k: usize, supervised: bool, rng: &mut SimRng) -> SuperRun {
         None
     };
 
-    let report = m.run_until(horizon);
+    SuperRig {
+        machine: m,
+        goal: goal_handle,
+        supervisor: sup_handle,
+        horizon,
+    }
+}
+
+fn run_one(k: usize, supervised: bool, rng: &mut SimRng) -> SuperRun {
+    let mut rig = build_one(k, supervised, rng);
+    let report = rig.machine.run_until(rig.horizon);
     SuperRun {
-        outcome: goal_handle.outcome(),
+        outcome: rig.goal.outcome(),
         report,
-        stats: sup_handle.map(|h| h.stats()).unwrap_or_default(),
+        stats: rig.supervisor.map(|h| h.stats()).unwrap_or_default(),
     }
 }
 

@@ -22,7 +22,9 @@ use hw560x::{
 };
 use netsim::{FlowId, LinkFaultTimeline, SharedLink, RPC_LATENCY, WAVELAN_CAPACITY_BPS};
 use simcore::event::EventId;
-use simcore::{EventQueue, SimDuration, SimRng, SimTime, TimeSeries};
+use simcore::{
+    EventQueue, SimDuration, SimRng, SimTime, TimeSeries, TraceCategory, TraceEvent, TraceHandle,
+};
 
 use crate::activity::{Activity, AdaptDirection, FidelityView, Step};
 use crate::energy::{Ledger, RunReport};
@@ -204,8 +206,18 @@ impl MachineView<'_> {
         let p = &mut self.m.procs[pid.0];
         let changed = p.workload.on_upcall(dir, now);
         if changed {
-            let level = p.workload.fidelity().level as f64;
-            self.m.fidelity_series[pid.0].record(now, level);
+            let level = p.workload.fidelity().level;
+            let name = p.workload.name();
+            self.m.fidelity_series[pid.0].record(now, level as f64);
+            self.m.trace_emit(TraceEvent::FidelityChange {
+                pid: pid.0 as u64,
+                name,
+                direction: match dir {
+                    AdaptDirection::Degrade => "down",
+                    AdaptDirection::Upgrade => "up",
+                },
+                level: level as u64,
+            });
         }
         changed
     }
@@ -266,6 +278,10 @@ impl MachineView<'_> {
             "invalid datapath clamp: {factor}"
         );
         self.m.procs[pid.0].clamp = factor;
+        self.m.trace_emit(TraceEvent::DatapathClamp {
+            pid: pid.0 as u64,
+            factor,
+        });
     }
 
     /// 64-bit digest of the machine's live state: the clock, supply,
@@ -279,6 +295,18 @@ impl MachineView<'_> {
     /// Requests that the run stop after the current event.
     pub fn request_stop(&mut self) {
         self.m.stopped = true;
+    }
+
+    /// Emits a trace event at the current clock (no-op when no trace is
+    /// attached) — how control-plane hooks report their decisions into
+    /// the machine's shared event stream.
+    pub fn emit_trace(&mut self, event: TraceEvent) {
+        self.m.trace_emit(event);
+    }
+
+    /// Whether a trace is attached and records `cat`.
+    pub fn trace_enabled(&self, cat: TraceCategory) -> bool {
+        self.m.trace_enabled(cat)
     }
 }
 
@@ -448,6 +476,7 @@ pub struct Machine {
     observers: Vec<Box<dyn IntervalObserver>>,
     hooks: Vec<HookSlot>,
     share_buf: Vec<ShareEntry>,
+    trace: Option<TraceHandle>,
     stopped: bool,
     exhausted: bool,
     started: bool,
@@ -501,10 +530,34 @@ impl Machine {
             observers: Vec::new(),
             hooks: Vec::new(),
             share_buf: Vec::new(),
+            trace: None,
             stopped: false,
             exhausted: false,
             started: false,
         }
+    }
+
+    /// Attaches a simtrace handle: every load-bearing transition — CPU
+    /// dispatch, ledger delta, RPC timeout/retry, link fault, fidelity
+    /// change, suspend/restart — is emitted as a typed event from now on.
+    /// The handle is shared with the link and exposed to control hooks
+    /// through [`MachineView::trace`].
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.link.set_trace(trace.clone());
+        self.trace = Some(trace);
+    }
+
+    /// Emits `event` at the current clock if a trace is attached.
+    fn trace_emit(&self, event: TraceEvent) {
+        if let Some(tr) = &self.trace {
+            tr.emit(self.clock, event);
+        }
+    }
+
+    /// Whether a trace is attached and records `cat` (lets hot paths skip
+    /// building high-frequency payloads).
+    fn trace_enabled(&self, cat: TraceCategory) -> bool {
+        self.trace.as_ref().is_some_and(|tr| tr.enabled(cat))
     }
 
     /// Adds a workload; must be called before the run starts.
@@ -794,6 +847,7 @@ impl Machine {
         let mut t1 = t;
         let dt = t.since(self.clock).as_secs_f64();
         let needed = power_w * dt;
+        let mut ran_dry = false;
         if self.source.remaining_j() < needed {
             // The supply runs out mid-interval; integrate only to the
             // exhaustion instant and stop the run.
@@ -801,11 +855,29 @@ impl Machine {
             t1 = self.clock + SimDuration::from_secs_f64(live);
             self.exhausted = true;
             self.stopped = true;
+            ran_dry = true;
         }
         let dt1 = t1.since(self.clock).as_secs_f64();
         if dt1 > 0.0 {
             self.source.drain(power_w * dt1);
             self.ledger.add(dt1, power_w, &breakdown, &self.share_buf);
+            if self.trace_enabled(TraceCategory::Energy) {
+                if let Some(tr) = &self.trace {
+                    // Mirror the ledger's per-share arithmetic exactly, so
+                    // summing a run's deltas reproduces its bucket totals
+                    // bit for bit.
+                    let energy = power_w * dt1;
+                    for s in &self.share_buf {
+                        tr.emit(
+                            t1,
+                            TraceEvent::EnergyDelta {
+                                bucket: s.bucket,
+                                energy_j: energy * s.fraction,
+                            },
+                        );
+                    }
+                }
+            }
             let rec = IntervalRecord {
                 t0: self.clock,
                 t1,
@@ -819,6 +891,11 @@ impl Machine {
             }
         }
         self.clock = t1;
+        if ran_dry {
+            self.trace_emit(TraceEvent::SupplyExhausted {
+                residual_j: self.source.remaining_j(),
+            });
+        }
     }
 
     // ---- Event handling ------------------------------------------------
@@ -1082,6 +1159,10 @@ impl Machine {
             ProcState::Suspended | ProcState::Done => unreachable!("filtered above"),
         }
         self.release_alive(pid);
+        self.trace_emit(TraceEvent::Suspend {
+            pid: pid.0 as u64,
+            name: self.procs[pid.0].workload.name(),
+        });
         true
     }
 
@@ -1102,6 +1183,10 @@ impl Machine {
         self.acquire_alive(pid);
         let level = self.procs[pid.0].workload.fidelity().level as f64;
         self.fidelity_series[pid.0].record(now, level);
+        self.trace_emit(TraceEvent::Restart {
+            pid: pid.0 as u64,
+            name: self.procs[pid.0].workload.name(),
+        });
         true
     }
 
@@ -1172,6 +1257,17 @@ impl Machine {
                 },
             };
             let slice = remaining.min(QUANTUM);
+            if self.trace_enabled(TraceCategory::Sched) {
+                if let Source::Proc(pid) = src {
+                    if let ProcState::ReadyCpu(job) = &self.procs[pid.0].state {
+                        let procedure = job.procedure;
+                        self.trace_emit(TraceEvent::SchedDispatch {
+                            pid: pid.0 as u64,
+                            procedure,
+                        });
+                    }
+                }
+            }
             self.current = Some((src, slice));
             self.queue.push(self.clock + slice, Event::CpuDone);
             return;
@@ -1333,6 +1429,11 @@ impl Machine {
             }
         };
         self.rpc_timeouts += 1;
+        self.trace_emit(TraceEvent::RpcTimeout {
+            pid: pid.0 as u64,
+            name: self.procs[pid.0].workload.name(),
+            attempt: self.procs[pid.0].attempts as u64 + 1,
+        });
         // simlint: allow(D5) — RpcTimeout events are only scheduled when a retry policy exists
         let policy = self.cfg.faults.rpc.expect("RpcTimeout without a policy");
         let backoff = policy.backoff_after(self.procs[pid.0].attempts);
@@ -1351,6 +1452,11 @@ impl Machine {
         };
         self.rpc_retries += 1;
         self.procs[pid.0].attempts += 1;
+        self.trace_emit(TraceEvent::RpcRetry {
+            pid: pid.0 as u64,
+            name: self.procs[pid.0].workload.name(),
+            attempt: self.procs[pid.0].attempts as u64 + 1,
+        });
         self.begin_attempt(pid, plan);
     }
 

@@ -12,7 +12,7 @@
 
 use std::collections::VecDeque;
 
-use simcore::{SimDuration, SimTime};
+use simcore::{SimDuration, SimTime, TraceEvent, TraceHandle};
 
 /// Identifies one flow on a link.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -51,6 +51,7 @@ pub struct SharedLink {
     last_advance: SimTime,
     next_id: u64,
     total_bytes_carried: u64,
+    trace: Option<TraceHandle>,
 }
 
 impl SharedLink {
@@ -72,7 +73,14 @@ impl SharedLink {
             last_advance: SimTime::ZERO,
             next_id: 0,
             total_bytes_carried: 0,
+            trace: None,
         }
+    }
+
+    /// Attaches a simtrace handle: flow admissions/departures and rate
+    /// transitions are emitted as typed events from now on.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
     }
 
     /// Link capacity, bits per second.
@@ -112,6 +120,15 @@ impl SharedLink {
         );
         self.advance(now);
         self.rate_factor = factor;
+        if let Some(tr) = &self.trace {
+            tr.emit(
+                now,
+                TraceEvent::LinkRate {
+                    factor,
+                    active: self.flows.len() as u64,
+                },
+            );
+        }
     }
 
     /// Advances the fluid model to `now`, draining every active flow at its
@@ -157,6 +174,9 @@ impl SharedLink {
             while i < self.flows.len() {
                 if self.flows[i].remaining_bits <= 1e-6 {
                     let f = self.flows.remove(i);
+                    if let Some(tr) = &self.trace {
+                        tr.emit(self.last_advance, TraceEvent::FlowDone { flow: f.id.0 });
+                    }
                     self.completed.push_back(f.id);
                 } else {
                     i += 1;
@@ -172,7 +192,13 @@ impl SharedLink {
         let id = FlowId(self.next_id);
         self.next_id += 1;
         self.total_bytes_carried += bytes;
+        if let Some(tr) = &self.trace {
+            tr.emit(now, TraceEvent::FlowStart { flow: id.0, bytes });
+        }
         if bytes == 0 {
+            if let Some(tr) = &self.trace {
+                tr.emit(now, TraceEvent::FlowDone { flow: id.0 });
+            }
             self.completed.push_back(id);
         } else {
             self.flows.push(Flow {
@@ -378,5 +404,23 @@ mod tests {
     fn rate_factor_above_one_rejected() {
         let mut link = SharedLink::new(CAP);
         link.set_rate_factor(SimTime::ZERO, 1.5);
+    }
+
+    #[test]
+    fn trace_records_flow_lifecycle_and_rate_changes() {
+        use simcore::{TraceHandle, TraceSink};
+        let trace = TraceHandle::new(TraceSink::new());
+        let mut link = SharedLink::new(CAP);
+        link.set_trace(trace.clone());
+        let t0 = SimTime::ZERO;
+        link.start_flow(t0, 250_000); // 2 Mbit → 1 s alone.
+        link.set_rate_factor(SimTime::from_secs_f64(0.5), 0.5);
+        link.advance(SimTime::from_secs_f64(5.0));
+        let tags: Vec<&str> = trace.records().iter().map(|r| r.event.tag()).collect();
+        assert_eq!(tags, ["flow_start", "link_rate", "flow_done"]);
+        // The departure is timestamped at the fluid-model instant, not
+        // the advance() call instant.
+        let done = trace.records()[2].at;
+        assert!((done.as_secs_f64() - 1.5).abs() < 1e-5, "departed {done}");
     }
 }

@@ -49,7 +49,11 @@ impl Smoother {
     /// collapses to 0 at the goal boundary.
     pub fn alpha(&self, remaining_s: f64) -> f64 {
         let half_life = (self.half_life_frac * remaining_s.max(0.0)).max(self.period_s);
-        0.5f64.powf(self.period_s / half_life)
+        // exp2, not 0.5.powf: LLVM rewrites constant-base pow into exp2
+        // in optimized builds only, and the two differ in the last ulp
+        // for some arguments — calling exp2 directly keeps debug and
+        // release runs bit-identical (the golden traces depend on it).
+        f64::exp2(-(self.period_s / half_life))
     }
 
     /// Folds in a power sample taken with `remaining_s` seconds to the

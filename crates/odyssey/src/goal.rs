@@ -22,7 +22,7 @@ use std::rc::Rc;
 
 use machine::{AdaptDirection, ControlHook, MachineView};
 use powerscope::{FaultyEnergySensor, MeterFaultPlan, OnlinePowerMeter};
-use simcore::{SimDuration, SimTime, TimeSeries};
+use simcore::{SimDuration, SimTime, TimeSeries, TraceEvent};
 
 use crate::demand::{predicted_demand_j, Smoother};
 use crate::priority::PriorityTable;
@@ -405,6 +405,10 @@ impl GoalController {
             s.supply.record(now, supply);
             s.demand.record(now, demand);
         }
+        view.emit_trace(TraceEvent::GoalBudget {
+            supply_j: supply,
+            demand_j: demand,
+        });
         let procs = view.processes();
         if demand > supply {
             self.deficit_streak += 1;
@@ -434,6 +438,7 @@ impl GoalController {
             }
             // Every application is already at lowest fidelity: the goal is
             // infeasible; alert the user.
+            view.emit_trace(TraceEvent::GoalInfeasible);
             let mut s = self.shared.borrow_mut();
             s.infeasible_signals += 1;
             s.first_infeasible_at.get_or_insert(now);
@@ -470,16 +475,26 @@ impl ControlHook for GoalController {
         // The controller never reads the ledger directly: its cumulative
         // energy passes through the (possibly faulty) instrument, which
         // may drop the sample entirely.
-        if let Some(metered) = self.sensor.observe(view.energy_consumed_j()) {
-            self.last_metered_j = metered;
-            if let Some(mut p) = self.meter.update(now, metered) {
-                if let Some(h) = self.cfg.hardening {
-                    p = p.clamp(h.power_clamp_w.0, h.power_clamp_w.1);
+        match self.sensor.observe(view.energy_consumed_j()) {
+            Some(metered) => {
+                self.last_metered_j = metered;
+                if let Some(mut p) = self.meter.update(now, metered) {
+                    if let Some(h) = self.cfg.hardening {
+                        let raw = p;
+                        p = p.clamp(h.power_clamp_w.0, h.power_clamp_w.1);
+                        if p != raw {
+                            view.emit_trace(TraceEvent::GoalClamp {
+                                raw_power_w: raw,
+                                power_w: p,
+                            });
+                        }
+                    }
+                    let remaining = self.deadline.saturating_since(now).as_secs_f64();
+                    self.smoother.update(p, remaining);
+                    self.last_sample_at = Some(now);
                 }
-                let remaining = self.deadline.saturating_since(now).as_secs_f64();
-                self.smoother.update(p, remaining);
-                self.last_sample_at = Some(now);
             }
+            None => view.emit_trace(TraceEvent::MeterFault { kind: "dropout" }),
         }
         if now >= self.deadline {
             self.shared.borrow_mut().goal_met = true;

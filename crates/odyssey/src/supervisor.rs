@@ -36,7 +36,7 @@ use std::rc::Rc;
 
 use machine::{AdaptDirection, ControlHook, MachineView, Pid};
 use powerscope::AttributionFeed;
-use simcore::{SimDuration, SimTime};
+use simcore::{SimDuration, SimTime, TraceEvent};
 
 use crate::demand::DemandLedger;
 use crate::goal::GoalHandle;
@@ -256,19 +256,33 @@ impl Supervisor {
         self.goal = Some(goal);
     }
 
-    fn collect_crash(&mut self, app_i: usize, now: SimTime) {
+    fn collect_crash(&mut self, app_i: usize, now: SimTime, view: &mut MachineView<'_>) {
         let app = &mut self.apps[app_i];
         app.collected = true;
+        let pid = app.pid;
         let mut inner = self.inner.borrow_mut();
         if let Some(freed) = inner.ledger.release(app.pid.index()) {
             inner.stats.crash_releases += 1;
             inner.stats.redistributed_w += freed;
         }
-        if app.restarts < self.cfg.max_restarts {
+        let retired = if app.restarts < self.cfg.max_restarts {
             app.phase = Phase::Quarantined { since: now };
+            false
         } else {
             app.phase = Phase::Retired;
             inner.stats.retired += 1;
+            true
+        };
+        drop(inner);
+        view.emit_trace(TraceEvent::SupervisorEscalate {
+            pid: pid.index() as u64,
+            rung: "crash_collect",
+        });
+        if retired {
+            view.emit_trace(TraceEvent::SupervisorEscalate {
+                pid: pid.index() as u64,
+                rung: "retire",
+            });
         }
     }
 
@@ -281,6 +295,11 @@ impl Supervisor {
             let mut inner = self.inner.borrow_mut();
             inner.stats.retired += 1;
             self.apps[app_i].phase = Phase::Retired;
+            drop(inner);
+            view.emit_trace(TraceEvent::SupervisorEscalate {
+                pid: pid.index() as u64,
+                rung: "retire",
+            });
             return;
         }
         {
@@ -288,6 +307,10 @@ impl Supervisor {
             inner.stats.restarts += 1;
             inner.ledger.reinstate(pid.index(), recovery_level);
         }
+        view.emit_trace(TraceEvent::SupervisorEscalate {
+            pid: pid.index() as u64,
+            rung: "restart",
+        });
         // Warden state recovery: walk the revived app back down to its
         // last known-good fidelity level before it runs again.
         let mut level = view.processes()[pid.index()].fidelity.level;
@@ -314,10 +337,18 @@ impl Supervisor {
         if strikes == 1 {
             inner.stats.reissued_upcalls += 1;
             drop(inner);
+            view.emit_trace(TraceEvent::SupervisorEscalate {
+                pid: pid.index() as u64,
+                rung: "reissue",
+            });
             view.upcall(pid, AdaptDirection::Degrade);
         } else if strikes == 2 {
             inner.stats.clamps += 1;
             drop(inner);
+            view.emit_trace(TraceEvent::SupervisorEscalate {
+                pid: pid.index() as u64,
+                rung: "clamp",
+            });
             view.set_datapath_clamp(pid, self.cfg.clamp_factor);
             self.apps[app_i].phase = Phase::Clamped;
         } else if strikes >= self.cfg.quarantine_after && view.suspend(pid) {
@@ -326,6 +357,11 @@ impl Supervisor {
                 inner.stats.redistributed_w += freed;
             }
             self.apps[app_i].phase = Phase::Quarantined { since: now };
+            drop(inner);
+            view.emit_trace(TraceEvent::SupervisorEscalate {
+                pid: pid.index() as u64,
+                rung: "quarantine",
+            });
         }
     }
 }
@@ -343,7 +379,7 @@ impl ControlHook for Supervisor {
             let power = self.feed.observe(pid.index(), now, cum_j).unwrap_or(0.0);
 
             if info.done && !self.apps[i].collected {
-                self.collect_crash(i, now);
+                self.collect_crash(i, now, view);
                 continue;
             }
 
@@ -364,6 +400,7 @@ impl ControlHook for Supervisor {
             }
 
             let mut strike = false;
+            let next_strikes = self.apps[i].strikes as u64 + 1;
             {
                 let mut inner = self.inner.borrow_mut();
 
@@ -372,6 +409,11 @@ impl ControlHook for Supervisor {
                 if since_poll > self.cfg.watchdog && power > self.cfg.hang_power_w {
                     inner.stats.hang_strikes += 1;
                     strike = true;
+                    view.emit_trace(TraceEvent::SupervisorStrike {
+                        pid: pid.index() as u64,
+                        detector: "hang",
+                        strikes: next_strikes,
+                    });
                 }
 
                 // Ignore: the goal controller's upcalls bounce off.
@@ -381,6 +423,11 @@ impl ControlHook for Supervisor {
                         self.apps[i].seen_rejections = rejections;
                         inner.stats.ignore_strikes += 1;
                         strike = true;
+                        view.emit_trace(TraceEvent::SupervisorStrike {
+                            pid: pid.index() as u64,
+                            detector: "ignore",
+                            strikes: next_strikes,
+                        });
                     }
                 }
 
@@ -405,6 +452,11 @@ impl ControlHook for Supervisor {
                     {
                         inner.stats.overdraw_strikes += 1;
                         strike = true;
+                        view.emit_trace(TraceEvent::SupervisorStrike {
+                            pid: pid.index() as u64,
+                            detector: "overdraw",
+                            strikes: next_strikes,
+                        });
                     }
                 }
             }

@@ -15,7 +15,7 @@
 //!   controller on the same upcall mechanism.
 
 use machine::{AdaptDirection, ControlHook, MachineView, Pid};
-use simcore::{SimDuration, SimTime};
+use simcore::{SimDuration, SimTime, TraceEvent};
 
 use crate::expectation::{Expectation, ExpectationRegistry, Resource, WindowEvent};
 use crate::warden::{Warden, WardenRegistry};
@@ -182,7 +182,16 @@ impl ControlHook for BandwidthMonitor {
                 WindowEvent::BelowWindow => AdaptDirection::Degrade,
                 WindowEvent::AboveWindow => AdaptDirection::Upgrade,
             };
-            if view.upcall(self.regs[i].pid, dir) {
+            let changed = view.upcall(self.regs[i].pid, dir);
+            view.emit_trace(TraceEvent::WardenUpcall {
+                pid: self.regs[i].pid.index() as u64,
+                event: match event {
+                    WindowEvent::BelowWindow => "below",
+                    WindowEvent::AboveWindow => "above",
+                },
+                changed,
+            });
+            if changed {
                 self.regs[i].last_upcall = Some(now);
                 self.events.push((now, self.regs[i].pid.index(), event));
             }

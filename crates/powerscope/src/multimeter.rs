@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use machine::{IntervalObserver, IntervalRecord};
-use simcore::{SimDuration, SimRng, SimTime};
+use simcore::{SimDuration, SimRng, SimTime, TraceEvent, TraceHandle};
 
 use crate::sample::{CollectedRun, Sample};
 use crate::{SAMPLE_HZ, SUPPLY_VOLTS};
@@ -22,6 +22,7 @@ struct Collector {
     period: SimDuration,
     next_at: SimTime,
     run: CollectedRun,
+    trace: Option<TraceHandle>,
 }
 
 impl Collector {
@@ -37,6 +38,15 @@ impl Collector {
                 table.intern(pick.procedure);
                 let skew = self.rng.uniform_u64(0, u32::MAX as u64) as u32;
                 let pc = table.pc_within(pick.procedure, skew);
+                if let Some(tr) = &self.trace {
+                    tr.emit(
+                        self.next_at,
+                        TraceEvent::MeterSample {
+                            current_a,
+                            process: pick.bucket,
+                        },
+                    );
+                }
                 self.run.trace.samples.push(Sample {
                     at: self.next_at,
                     current_a,
@@ -120,6 +130,7 @@ impl PowerScope {
                 symbols: BTreeMap::new(),
                 ..Default::default()
             },
+            trace: None,
         }));
         (
             PowerScope {
@@ -127,6 +138,12 @@ impl PowerScope {
             },
             Box::new(ScopeObserver(shared)),
         )
+    }
+
+    /// Attaches a simtrace handle: every captured sample is also emitted
+    /// as a `meter_sample` event (high-frequency — the `Meter` category).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.shared.borrow_mut().trace = Some(trace);
     }
 
     /// Consumes the session, returning the collected streams and symbol
@@ -226,6 +243,39 @@ mod tests {
         let a = record(0, 2, 10.0, &shares);
         let b = record(0, 2, 10.0, &shares);
         assert_eq!(a.trace.samples, b.trace.samples);
+    }
+
+    #[test]
+    fn trace_mirrors_captured_samples() {
+        use simcore::{TraceHandle, TraceSink};
+        let (mut scope, mut obs) = PowerScope::new(7);
+        let trace = TraceHandle::new(TraceSink::new());
+        scope.set_trace(trace.clone());
+        let shares = [ShareEntry {
+            bucket: "Idle",
+            procedure: "idle_hlt",
+            fraction: 1.0,
+        }];
+        let rec = IntervalRecord {
+            t0: SimTime::ZERO,
+            t1: SimTime::from_secs(1),
+            power_w: 24.0,
+            breakdown: PowerBreakdown::default(),
+            states: DeviceStates::full_on_idle(),
+            shares: &shares,
+        };
+        obs.on_interval(&rec);
+        drop(obs);
+        let run = scope.into_run();
+        let recs = trace.records();
+        assert_eq!(recs.len() + trace.evicted() as usize, run.trace.len());
+        match recs[0].event {
+            TraceEvent::MeterSample { current_a, process } => {
+                assert!((current_a - 2.0).abs() < 1e-12);
+                assert_eq!(process, "Idle");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod series;
 pub mod snapshot;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use event::EventQueue;
 pub use fault::{FaultPlan, FaultSchedule, FaultWindow};
@@ -27,3 +28,4 @@ pub use series::TimeSeries;
 pub use snapshot::{Checkpoint, RunJournal, Snapshot, SnapshotHasher};
 pub use stats::{LinearFit, TrialStats};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceCategory, TraceEvent, TraceHandle, TraceRecord, TraceSink};

@@ -882,6 +882,36 @@ fn t() {
         assert!(scan_str(SIM, src).is_empty());
     }
 
+    /// Fixture mirroring the simtrace payload schema: the unit-suffixed
+    /// field names the trace events use (`energy_j`, `supply_j`,
+    /// `raw_power_w`, …) pass D4, and stripping the suffix from any of
+    /// them is flagged. Guards the trace schema's unit discipline.
+    #[test]
+    fn d4_trace_payload_schema_fixture() {
+        let clean = "pub struct GoalBudget {\n\
+                     \x20   pub supply_j: f64,\n\
+                     \x20   pub demand_j: f64,\n\
+                     }\n\
+                     pub struct EnergyDelta {\n\
+                     \x20   pub energy_j: f64,\n\
+                     }\n\
+                     pub struct GoalClamp {\n\
+                     \x20   pub raw_power_w: f64,\n\
+                     \x20   pub power_w: f64,\n\
+                     }\n\
+                     pub fn residual_energy_j(&self) -> f64 { 0.0 }\n";
+        assert!(scan_str(SIM, clean).is_empty());
+
+        let dirty = "pub struct GoalBudget {\n\
+                     \x20   pub supply_energy: f64,\n\
+                     }\n\
+                     pub fn raw_power(&self) -> f64 { 0.0 }\n";
+        let f = scan_str(SIM, dirty);
+        assert_eq!(rules(&f), ["D4", "D4"]);
+        assert!(f[0].message.contains("supply_energy"));
+        assert!(f[1].message.contains("raw_power"));
+    }
+
     // ---- D5: panics in non-test code ----
 
     #[test]

@@ -28,6 +28,9 @@ if [ "$out_a" != "$out_b" ]; then
 fi
 echo "$out_a" | head -4
 
+echo "== simtrace: golden-trace conformance =="
+cargo run --release -q -p experiments -- tracediff
+
 echo "== supervise: fixed-seed determinism smoke =="
 sup_a="$(cargo run --release -q -p experiments -- supervise --trials 1 --seed 7 2>/dev/null)"
 sup_b="$(cargo run --release -q -p experiments -- supervise --trials 1 --seed 7 2>/dev/null)"

@@ -1,0 +1,48 @@
+//! Golden-trace conformance: every canonical scenario must replay
+//! byte-identically against the JSONL pinned under `tests/golden/`, and
+//! recording the same scenario twice at one seed must be byte-identical.
+//!
+//! On failure the panic message is the tracediff first-divergence report;
+//! see `tests/golden/README.md` for the regeneration workflow.
+
+use experiments::tracerec;
+
+fn assert_golden(scenario: &str) {
+    match tracerec::check(scenario) {
+        Ok(n) => assert!(n > 0, "{scenario}: golden trace is empty"),
+        Err((report, _fresh)) => panic!("{report}"),
+    }
+}
+
+#[test]
+fn fig2_trace_matches_golden() {
+    assert_golden("fig2");
+}
+
+#[test]
+fn fig13_trace_matches_golden() {
+    assert_golden("fig13");
+}
+
+#[test]
+fn goal_trace_matches_golden() {
+    assert_golden("goal");
+}
+
+#[test]
+fn supervise_trace_matches_golden() {
+    assert_golden("supervise");
+}
+
+/// Same seed, same scenario — byte-identical JSONL, for every scenario,
+/// at a seed different from the golden one (determinism is a property of
+/// the recorder, not of one lucky seed).
+#[test]
+fn recording_is_deterministic_at_any_seed() {
+    for scenario in tracerec::SCENARIOS {
+        let a = tracerec::record(scenario, 0xD1CE).unwrap();
+        let b = tracerec::record(scenario, 0xD1CE).unwrap();
+        assert!(!a.is_empty(), "{scenario}: empty trace");
+        assert_eq!(a, b, "{scenario}: same-seed reruns diverge");
+    }
+}

@@ -15,7 +15,8 @@ use energy_adaptation::machine::{Activity, Machine, MachineConfig};
 use energy_adaptation::netsim::SharedLink;
 use energy_adaptation::odyssey::Smoother;
 use energy_adaptation::simcore::{
-    EventQueue, SimDuration, SimRng, SimTime, TimeSeries, TrialStats,
+    EventQueue, SimDuration, SimRng, SimTime, TimeSeries, TraceCategory, TraceEvent, TraceHandle,
+    TraceSink, TrialStats,
 };
 
 /// Runs `body` over `n` independently seeded cases.
@@ -105,48 +106,56 @@ fn link_conserves_bytes() {
     });
 }
 
+/// Builds a machine running a random workload script — shared by the
+/// ledger-balance and simtrace property tests (fixed rng draw order:
+/// step count, pm coin, then per-step kind/amount pairs).
+fn random_fuzz_machine(rng: &mut SimRng) -> Machine {
+    let steps = rng.uniform_u64(1, 9) as usize;
+    let pm = rng.bernoulli(0.5);
+    let mut activities = Vec::new();
+    let mut wait_at = 0u64;
+    for _ in 0..steps {
+        let kind = rng.uniform_u64(0, 3);
+        let amount = rng.uniform_u64(1, 799);
+        let a = match kind {
+            0 => Activity::Cpu {
+                duration: SimDuration::from_millis(amount),
+                intensity: (amount % 100) as f64 / 100.0,
+                procedure: "work",
+            },
+            1 => Activity::BulkFetch {
+                bytes: amount * 200,
+                procedure: "fetch",
+            },
+            2 => Activity::XRender {
+                cost: SimDuration::from_millis(amount / 2 + 1),
+            },
+            _ => {
+                wait_at += amount;
+                Activity::Wait {
+                    until: SimTime::from_micros(wait_at * 1000),
+                }
+            }
+        };
+        activities.push(a);
+    }
+    let cfg = if pm {
+        MachineConfig::default()
+    } else {
+        MachineConfig::baseline()
+    };
+    let mut m = Machine::new(cfg);
+    m.add_process(Box::new(ScriptedWorkload::new("fuzz", activities)));
+    m
+}
+
 /// Machine energy accounting balances for random workload scripts:
 /// bucket totals and component totals both equal total energy, and
 /// average power stays within the platform's physical envelope.
 #[test]
 fn ledger_balances_for_random_scripts() {
     cases("ledger", 48, |rng| {
-        let steps = rng.uniform_u64(1, 9) as usize;
-        let pm = rng.bernoulli(0.5);
-        let mut activities = Vec::new();
-        let mut wait_at = 0u64;
-        for _ in 0..steps {
-            let kind = rng.uniform_u64(0, 3);
-            let amount = rng.uniform_u64(1, 799);
-            let a = match kind {
-                0 => Activity::Cpu {
-                    duration: SimDuration::from_millis(amount),
-                    intensity: (amount % 100) as f64 / 100.0,
-                    procedure: "work",
-                },
-                1 => Activity::BulkFetch {
-                    bytes: amount * 200,
-                    procedure: "fetch",
-                },
-                2 => Activity::XRender {
-                    cost: SimDuration::from_millis(amount / 2 + 1),
-                },
-                _ => {
-                    wait_at += amount;
-                    Activity::Wait {
-                        until: SimTime::from_micros(wait_at * 1000),
-                    }
-                }
-            };
-            activities.push(a);
-        }
-        let cfg = if pm {
-            MachineConfig::default()
-        } else {
-            MachineConfig::baseline()
-        };
-        let mut m = Machine::new(cfg);
-        m.add_process(Box::new(ScriptedWorkload::new("fuzz", activities)));
+        let mut m = random_fuzz_machine(rng);
         let report = m.run();
         let bucket_sum: f64 = report.buckets.iter().map(|(_, j)| j).sum();
         assert!((bucket_sum - report.total_j).abs() < 1e-6);
@@ -155,6 +164,63 @@ fn ledger_balances_for_random_scripts() {
             let avg = report.total_j / report.duration_s();
             assert!((3.0..25.0).contains(&avg), "implausible power {avg}");
         }
+    });
+}
+
+/// simtrace invariants over random scripts: records are strictly ordered
+/// by (sim time, seq) with seq dense from zero, every traced energy
+/// delta is non-negative, and the per-bucket delta sums reproduce the
+/// final report's bucket totals — the trace carries the full energy
+/// attribution, not an approximation of it.
+#[test]
+fn trace_orders_events_and_reconciles_energy() {
+    cases("trace", 48, |rng| {
+        let mut m = random_fuzz_machine(rng);
+        let trace = TraceHandle::new(
+            TraceSink::new()
+                .with_capacity(1 << 20)
+                .with_categories(&TraceCategory::ALL),
+        );
+        m.set_trace(trace.clone());
+        let report = m.run();
+        assert_eq!(trace.evicted(), 0, "ring too small for this fuzz case");
+        let recs = trace.records();
+        // A script of pure XRender activities completes in zero simulated
+        // time and legitimately traces nothing; every case that consumed
+        // time must have traced something.
+        if report.duration_s() == 0.0 {
+            assert!(recs.is_empty(), "events traced in a zero-length run");
+            return;
+        }
+        assert!(!recs.is_empty(), "no events traced");
+        for (i, w) in recs.windows(2).enumerate() {
+            assert!(w[1].at >= w[0].at, "time regressed at record {i}");
+        }
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "seq not dense from zero");
+        }
+        let mut sums: std::collections::BTreeMap<&str, f64> = Default::default();
+        for r in &recs {
+            if let TraceEvent::EnergyDelta { bucket, energy_j } = r.event {
+                assert!(energy_j >= 0.0, "negative delta {energy_j} for {bucket}");
+                *sums.entry(bucket).or_insert(0.0) += energy_j;
+            }
+        }
+        assert!(!sums.is_empty(), "no energy deltas traced");
+        for (bucket, sum) in &sums {
+            let reported = report.bucket_j(bucket);
+            let tol = 1e-9 * reported.abs().max(1.0);
+            assert!(
+                (sum - reported).abs() <= tol,
+                "bucket {bucket}: trace sum {sum} vs report {reported}"
+            );
+        }
+        let total: f64 = sums.values().sum();
+        assert!(
+            (total - report.total_j).abs() <= 1e-9 * report.total_j.max(1.0),
+            "trace total {total} vs report {}",
+            report.total_j
+        );
     });
 }
 
