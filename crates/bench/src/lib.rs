@@ -63,6 +63,8 @@ pub fn run_bench(name: &str, iters: usize, mut f: impl FnMut()) {
     println!("{name}: mean {mean:.4} s, min {min:.4} s, max {max:.4} s ({iters} iters)");
 }
 
+pub mod sweep;
+
 #[cfg(test)]
 mod tests {
     use super::*;

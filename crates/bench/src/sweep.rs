@@ -1,0 +1,159 @@
+//! The thread-scaling benchmark sweep behind the `bench` CLI verb.
+//!
+//! A sweep times each canonical scenario at several worker-thread counts
+//! and reports wall-clock medians plus the speedup relative to the serial
+//! (`threads = 1`) run of the same scenario. Results serialize to the
+//! `bench_sweep/v1` JSON document (`BENCH_sweep.json`) that CI archives
+//! as the performance baseline.
+//!
+//! Only the *measurement* lives here; the scenarios themselves are
+//! defined by the caller (the experiments crate) so this crate stays
+//! dependency-free. Timing uses [`Stopwatch`](crate::Stopwatch), the
+//! workspace's sanctioned wall-clock source.
+
+use crate::Stopwatch;
+
+/// One measurement: a scenario at a worker-thread count.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Scenario identifier (e.g. `fig2`, `goal`).
+    pub scenario: String,
+    /// Worker threads the scenario ran with.
+    pub threads: usize,
+    /// Timed repetitions behind the median (after one warm-up).
+    pub reps: usize,
+    /// Median wall-clock time across the repetitions, milliseconds.
+    pub median_wall_ms: f64,
+    /// Fastest repetition, milliseconds.
+    pub min_wall_ms: f64,
+    /// Serial median divided by this median (1.0 for the serial row).
+    pub speedup_vs_serial: f64,
+}
+
+/// Median of `samples` (mean of the middle pair for even counts).
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Times `f` over `reps` iterations (after one untimed warm-up) and
+/// returns `(median_ms, min_ms)`.
+pub fn time_reps(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    assert!(reps > 0, "bench needs at least one repetition");
+    f(); // warm-up: fault in code and allocator state
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let sw = Stopwatch::start();
+        f();
+        samples.push(sw.elapsed_s() * 1e3);
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    (median(&samples), min)
+}
+
+/// Renders records as the `bench_sweep/v1` JSON document.
+///
+/// Hand-rolled so the bench crate stays dependency-free; scenario names
+/// are CLI identifiers (no quotes or backslashes to escape).
+pub fn render_sweep_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"bench_sweep/v1\",\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"threads\": {}, \"reps\": {}, \
+             \"median_wall_ms\": {:.3}, \"min_wall_ms\": {:.3}, \
+             \"speedup_vs_serial\": {:.3}}}{sep}\n",
+            r.scenario, r.threads, r.reps, r.median_wall_ms, r.min_wall_ms, r.speedup_vs_serial,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders records as a human-readable table (stdout companion to the
+/// JSON artifact).
+pub fn render_sweep_table(records: &[BenchRecord]) -> String {
+    let mut out = String::from(
+        "Benchmark sweep (wall-clock, median over reps)\n\
+         scenario     threads  median_ms      min_ms  speedup\n",
+    );
+    for r in records {
+        out.push_str(&format!(
+            "{:<12} {:>7}  {:>9.1}  {:>10.1}  {:>6.2}x\n",
+            r.scenario, r.threads, r.median_wall_ms, r.min_wall_ms, r.speedup_vs_serial,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn time_reps_runs_warmup_plus_reps() {
+        let mut n = 0usize;
+        let (med, min) = time_reps(3, || n += 1);
+        assert_eq!(n, 4);
+        assert!(min >= 0.0 && med >= min);
+    }
+
+    #[test]
+    fn sweep_json_is_well_formed() {
+        let records = vec![
+            BenchRecord {
+                scenario: "fig2".into(),
+                threads: 1,
+                reps: 3,
+                median_wall_ms: 12.5,
+                min_wall_ms: 11.0,
+                speedup_vs_serial: 1.0,
+            },
+            BenchRecord {
+                scenario: "fig2".into(),
+                threads: 4,
+                reps: 3,
+                median_wall_ms: 4.0,
+                min_wall_ms: 3.5,
+                speedup_vs_serial: 3.125,
+            },
+        ];
+        let json = render_sweep_json(&records);
+        assert!(json.contains("\"schema\": \"bench_sweep/v1\""));
+        assert!(json.contains("\"scenario\": \"fig2\""));
+        assert!(json.contains("\"speedup_vs_serial\": 3.125"));
+        // Exactly one trailing comma between the two records.
+        assert_eq!(json.matches("},\n").count(), 1);
+        // Balanced braces make it parseable by any JSON reader.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn sweep_table_lists_every_record() {
+        let records = vec![BenchRecord {
+            scenario: "goal".into(),
+            threads: 2,
+            reps: 5,
+            median_wall_ms: 100.0,
+            min_wall_ms: 90.0,
+            speedup_vs_serial: 1.9,
+        }];
+        let table = render_sweep_table(&records);
+        assert!(table.contains("goal"));
+        assert!(table.contains("1.90x"));
+    }
+}

@@ -95,90 +95,105 @@ pub fn run(trials: &Trials) -> Chaos {
 }
 
 /// Runs an arbitrary intensity sweep.
+///
+/// Cells are independent — every trial stream is keyed purely by
+/// `(seed, intensity, trial)` — so they fan out across `trials.threads`
+/// workers and merge in sweep order, byte-identical to the serial run.
 pub fn run_sweep(
     trials: &Trials,
     intensities: &[f64],
     goal_s: u64,
     initial_energy_j: f64,
 ) -> Chaos {
-    let root = SimRng::new(trials.seed);
-    let goal = SimDuration::from_secs(goal_s);
-    let mut cells = Vec::new();
-    for &intensity in intensities {
-        for hardened in [false, true] {
-            let mut met = 0usize;
-            let mut hit95 = 0usize;
-            let mut infeasible = Vec::new();
-            let mut shortfall = Vec::new();
-            let mut residual = Vec::new();
-            let mut energy = Vec::new();
-            let mut adaptations = Vec::new();
-            let mut timeouts = Vec::new();
-            let mut retries = Vec::new();
-            let mut stale = Vec::new();
-            for i in 0..trials.n {
-                // Workload and fault streams are keyed by intensity and
-                // trial only, so the naive and hardened controllers face
-                // the identical substrate — a paired comparison.
-                let label = format!("chaos/{intensity:.2}");
-                let mut rng = root.fork_indexed(&label, i as u64);
-                let fault_seed = root.fork_indexed(&label, i as u64).fork("faults").seed();
-                let mut faults =
-                    FaultConfig::hostile(fault_seed, intensity, composite_horizon(goal));
-                // The composite workload multiplexes several transfers
-                // over the shared link; a timeout sized for a lone RPC
-                // would fire on legitimately slow concurrent ones.
-                faults.rpc = Some(RpcPolicy {
-                    timeout: SimDuration::from_secs(12),
-                    ..RpcPolicy::standard()
-                });
-                let mut cfg = GoalConfig::paper(initial_energy_j, goal)
-                    .with_meter_faults(MeterFaultPlan::degraded(fault_seed, intensity));
-                if hardened {
-                    cfg = cfg.with_hardening(Hardening::standard());
-                }
-                let run = run_composite_goal_faulted(cfg, faults, &mut rng);
-                let dur = run.report.duration_s();
-                if run.outcome.goal_met {
-                    met += 1;
-                }
-                if run.outcome.goal_met || dur >= 0.95 * goal_s as f64 {
-                    hit95 += 1;
-                }
-                infeasible.push(run.outcome.infeasible_signals as f64);
-                let short = if run.outcome.goal_met {
-                    0.0
-                } else {
-                    (goal_s as f64 - dur.min(goal_s as f64)) / goal_s as f64 * 100.0
-                };
-                shortfall.push(short);
-                residual.push(run.report.residual_j);
-                energy.push(run.report.total_j);
-                adaptations.push((run.outcome.degrades + run.outcome.upgrades) as f64);
-                timeouts.push(run.report.rpc_timeouts as f64);
-                retries.push(run.report.rpc_retries as f64);
-                stale.push(run.outcome.stale_decisions as f64);
-            }
-            cells.push(ChaosCell {
-                intensity,
-                hardened,
-                met_fraction: met as f64 / trials.n as f64,
-                hit95_fraction: hit95 as f64 / trials.n as f64,
-                shortfall_pct: TrialStats::from_values(&shortfall),
-                residual: TrialStats::from_values(&residual),
-                energy: TrialStats::from_values(&energy),
-                adaptations: TrialStats::from_values(&adaptations),
-                rpc_timeouts: TrialStats::from_values(&timeouts),
-                rpc_retries: TrialStats::from_values(&retries),
-                stale_decisions: TrialStats::from_values(&stale),
-                infeasible_signals: TrialStats::from_values(&infeasible),
-            });
-        }
-    }
+    let specs: Vec<(f64, bool)> = intensities
+        .iter()
+        .flat_map(|&intensity| [(intensity, false), (intensity, true)])
+        .collect();
+    let cells = simcore::par::map(trials.threads, &specs, |_, &(intensity, hardened)| {
+        run_cell(trials, intensity, hardened, goal_s, initial_energy_j)
+    });
     Chaos {
         cells,
         initial_energy_j,
         goal_s,
+    }
+}
+
+/// Runs one (intensity, controller) cell: `trials.n` paired trials.
+fn run_cell(
+    trials: &Trials,
+    intensity: f64,
+    hardened: bool,
+    goal_s: u64,
+    initial_energy_j: f64,
+) -> ChaosCell {
+    let root = SimRng::new(trials.seed);
+    let goal = SimDuration::from_secs(goal_s);
+    let mut met = 0usize;
+    let mut hit95 = 0usize;
+    let mut infeasible = Vec::new();
+    let mut shortfall = Vec::new();
+    let mut residual = Vec::new();
+    let mut energy = Vec::new();
+    let mut adaptations = Vec::new();
+    let mut timeouts = Vec::new();
+    let mut retries = Vec::new();
+    let mut stale = Vec::new();
+    for i in 0..trials.n {
+        // Workload and fault streams are keyed by intensity and
+        // trial only, so the naive and hardened controllers face
+        // the identical substrate — a paired comparison.
+        let label = format!("chaos/{intensity:.2}");
+        let mut rng = root.fork_indexed(&label, i as u64);
+        let fault_seed = root.fork_indexed(&label, i as u64).fork("faults").seed();
+        let mut faults = FaultConfig::hostile(fault_seed, intensity, composite_horizon(goal));
+        // The composite workload multiplexes several transfers
+        // over the shared link; a timeout sized for a lone RPC
+        // would fire on legitimately slow concurrent ones.
+        faults.rpc = Some(RpcPolicy {
+            timeout: SimDuration::from_secs(12),
+            ..RpcPolicy::standard()
+        });
+        let mut cfg = GoalConfig::paper(initial_energy_j, goal)
+            .with_meter_faults(MeterFaultPlan::degraded(fault_seed, intensity));
+        if hardened {
+            cfg = cfg.with_hardening(Hardening::standard());
+        }
+        let run = run_composite_goal_faulted(cfg, faults, &mut rng);
+        let dur = run.report.duration_s();
+        if run.outcome.goal_met {
+            met += 1;
+        }
+        if run.outcome.goal_met || dur >= 0.95 * goal_s as f64 {
+            hit95 += 1;
+        }
+        infeasible.push(run.outcome.infeasible_signals as f64);
+        let short = if run.outcome.goal_met {
+            0.0
+        } else {
+            (goal_s as f64 - dur.min(goal_s as f64)) / goal_s as f64 * 100.0
+        };
+        shortfall.push(short);
+        residual.push(run.report.residual_j);
+        energy.push(run.report.total_j);
+        adaptations.push((run.outcome.degrades + run.outcome.upgrades) as f64);
+        timeouts.push(run.report.rpc_timeouts as f64);
+        retries.push(run.report.rpc_retries as f64);
+        stale.push(run.outcome.stale_decisions as f64);
+    }
+    ChaosCell {
+        intensity,
+        hardened,
+        met_fraction: met as f64 / trials.n as f64,
+        hit95_fraction: hit95 as f64 / trials.n as f64,
+        shortfall_pct: TrialStats::from_values(&shortfall),
+        residual: TrialStats::from_values(&residual),
+        energy: TrialStats::from_values(&energy),
+        adaptations: TrialStats::from_values(&adaptations),
+        rpc_timeouts: TrialStats::from_values(&timeouts),
+        rpc_retries: TrialStats::from_values(&retries),
+        stale_decisions: TrialStats::from_values(&stale),
+        infeasible_signals: TrialStats::from_values(&infeasible),
     }
 }
 
@@ -272,7 +287,11 @@ mod tests {
     /// Same seed, same sweep — byte-identical rendering.
     #[test]
     fn sweep_is_deterministic() {
-        let t = Trials { n: 1, seed: 7 };
+        let t = Trials {
+            n: 1,
+            seed: 7,
+            threads: 1,
+        };
         let a = render_cells(&run_sweep(&t, &[0.5], GOAL_S, CHAOS_ENERGY_J));
         let b = render_cells(&run_sweep(&t, &[0.5], GOAL_S, CHAOS_ENERGY_J));
         assert_eq!(a, b);

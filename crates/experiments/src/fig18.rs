@@ -51,7 +51,11 @@ fn project(m: &Measured, grid: ZoneGrid, window: backlight::WindowRect) -> f64 {
     m.total_j - m.display_j * (1.0 - factor)
 }
 
-fn measure(trials: &Trials, label: &str, build: impl FnMut(&mut SimRng) -> Machine) -> Measured {
+fn measure(
+    trials: &Trials,
+    label: &str,
+    build: impl Fn(&mut SimRng) -> Machine + Sync,
+) -> Measured {
     let reports = run_trials(trials, label, build);
     Measured {
         total_j: crate::harness::energy_stats(&reports).mean,

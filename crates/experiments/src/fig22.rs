@@ -113,7 +113,15 @@ mod tests {
 
     #[test]
     fn bursty_goals_are_met() {
-        let f = run_config(&Trials { n: 3, seed: 42 }, GOAL_S, INITIAL_ENERGY_J);
+        let f = run_config(
+            &Trials {
+                n: 3,
+                seed: 42,
+                threads: 1,
+            },
+            GOAL_S,
+            INITIAL_ENERGY_J,
+        );
         assert!(
             f.met_fraction() >= 2.0 / 3.0,
             "met only {:.0}%",
@@ -133,7 +141,15 @@ mod tests {
 
     #[test]
     fn trials_differ() {
-        let f = run_config(&Trials { n: 2, seed: 42 }, 900, INITIAL_ENERGY_J);
+        let f = run_config(
+            &Trials {
+                n: 2,
+                seed: 42,
+                threads: 1,
+            },
+            900,
+            INITIAL_ENERGY_J,
+        );
         assert_ne!(
             f.trials[0].residual_j, f.trials[1].residual_j,
             "different seeds must give different workloads"

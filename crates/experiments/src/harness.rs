@@ -2,9 +2,16 @@
 //!
 //! The paper reports each bar as "the mean of five trials" (ten for the
 //! map and web applications) with 90% confidence intervals. A [`Trials`]
-//! carries the trial count and master seed; [`run_trials`] executes a
-//! machine-builder closure once per trial with a trial-specific random
-//! stream and reduces the reports.
+//! carries the trial count, master seed, and worker-thread count;
+//! [`run_trials`] executes a machine-builder closure once per trial with
+//! a trial-specific random stream and reduces the reports.
+//!
+//! Trials are independent by construction — trial `i`'s stream is a pure
+//! function of `(seed, label, i)`, forked *before* any trial runs — so
+//! [`run_trials`] fans them out through the [`simcore::par`] work pool
+//! and merges reports in trial order. The parallel run is byte-identical
+//! to the serial one at any thread count (`tests/parallel_equivalence.rs`
+//! pins this).
 
 use machine::{Machine, RunReport};
 use simcore::{SimRng, TrialStats};
@@ -16,43 +23,69 @@ pub struct Trials {
     pub n: usize,
     /// Master seed; trial `i` runs with stream `fork_indexed(label, i)`.
     pub seed: u64,
+    /// Worker threads for trial/cell fan-out (1 = serial; results are
+    /// byte-identical at any value).
+    pub threads: usize,
 }
 
 impl Default for Trials {
     fn default() -> Self {
-        Trials { n: 5, seed: 42 }
+        Trials {
+            n: 5,
+            seed: 42,
+            threads: 1,
+        }
     }
 }
 
 impl Trials {
     /// A quick configuration for tests and benches: two trials.
     pub fn quick() -> Self {
-        Trials { n: 2, seed: 42 }
+        Trials {
+            n: 2,
+            ..Trials::default()
+        }
     }
 
     /// A single deterministic trial (traces, profiles).
     pub fn single() -> Self {
-        Trials { n: 1, seed: 42 }
+        Trials {
+            n: 1,
+            ..Trials::default()
+        }
+    }
+
+    /// The same configuration fanned out over `threads` workers.
+    pub fn with_threads(self, threads: usize) -> Self {
+        Trials {
+            threads: threads.max(1),
+            ..self
+        }
     }
 }
 
-/// Runs `build` once per trial and returns all reports.
+/// Runs `build` once per trial and returns all reports, in trial order.
 ///
 /// `label` isolates this experiment's random streams from others sharing
-/// the master seed.
+/// the master seed. Every trial stream is forked *up front* from the
+/// master — a pure function of `(seed, label, i)` — so neither the trial
+/// count nor the execution order (serial or parallel) can perturb the
+/// draws any trial sees.
 pub fn run_trials(
     trials: &Trials,
     label: &str,
-    mut build: impl FnMut(&mut SimRng) -> Machine,
+    build: impl Fn(&mut SimRng) -> Machine + Sync,
 ) -> Vec<RunReport> {
     let root = SimRng::new(trials.seed);
-    (0..trials.n)
-        .map(|i| {
-            let mut rng = root.fork_indexed(label, i as u64);
-            let mut machine = build(&mut rng);
-            machine.run()
-        })
-        .collect()
+    // Hoisted fork: all per-trial streams exist before any trial runs.
+    let streams: Vec<SimRng> = (0..trials.n)
+        .map(|i| root.fork_indexed(label, i as u64))
+        .collect();
+    simcore::par::map(trials.threads, &streams, |_, stream| {
+        let mut rng = stream.clone();
+        let mut machine = build(&mut rng);
+        machine.run()
+    })
 }
 
 /// Total-energy statistics over a set of reports.
@@ -110,6 +143,60 @@ mod tests {
         let a = energy_stats(&run_trials(&Trials::default(), "x", build_idle));
         let b = energy_stats(&run_trials(&Trials::default(), "x", build_idle));
         assert_eq!(a.mean, b.mean);
+    }
+
+    /// Regression (fork hoist): trial `i` sees the same random stream no
+    /// matter how many trials run alongside it — adding trials (or
+    /// parallelism) must never shift an existing trial's draws.
+    #[test]
+    fn trial_streams_independent_of_trial_count() {
+        let few = run_trials(
+            &Trials {
+                n: 2,
+                ..Trials::default()
+            },
+            "ind",
+            build_idle,
+        );
+        let many = run_trials(
+            &Trials {
+                n: 5,
+                ..Trials::default()
+            },
+            "ind",
+            build_idle,
+        );
+        for (i, (a, b)) in few.iter().zip(many.iter()).enumerate() {
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "trial {i} drifted when n grew from 2 to 5"
+            );
+        }
+    }
+
+    /// The parallel fan-out merges in trial order: reports are
+    /// byte-identical to the serial run at every thread count.
+    #[test]
+    fn parallel_reports_match_serial() {
+        let serial = run_trials(&Trials::default(), "par", build_idle);
+        for threads in [2, 4, 8] {
+            let par = run_trials(&Trials::default().with_threads(threads), "par", build_idle);
+            assert_eq!(serial.len(), par.len());
+            for (i, (a, b)) in serial.iter().zip(par.iter()).enumerate() {
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "trial {i} differs at threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(Trials::default().with_threads(0).threads, 1);
+        assert_eq!(Trials::default().with_threads(6).threads, 6);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 pub mod ablate;
 pub mod barchart;
+pub mod benchcli;
 pub mod chaos;
 pub mod fig10;
 pub mod fig11;

@@ -2,7 +2,8 @@
 //! `odyssey-experiments`: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! odyssey-experiments [--trials N] [--seed S] [--quick] [--out DIR] [IDS...]
+//! odyssey-experiments [--trials N] [--seed S] [--quick] [--threads T[,T...]]
+//!                     [--reps R] [--out DIR] [IDS...]
 //! ```
 //!
 //! With `--out DIR`, each figure's rendering is also written to
@@ -13,12 +14,19 @@
 //! `all` (the default). `--quick` runs two trials per data point instead
 //! of five.
 //!
-//! Two extra verbs (not part of `all`) manage the simtrace goldens:
+//! `--threads` sets the worker-thread count for the deterministic fan-out
+//! (default: all available cores). Output is byte-identical at any value;
+//! use `--threads 1` to bisect a suspected parallelism bug. For the
+//! `bench` verb it may be a comma list of counts to sweep.
+//!
+//! Three extra verbs (not part of `all`):
 //! `tracediff` replays each canonical scenario and reports the first
 //! event diverging from `tests/golden/`; `tracerec` rewrites the goldens
-//! after an intentional behavior change.
+//! after an intentional behavior change; `bench` times the canonical
+//! scenarios across thread counts (`--reps` repetitions each), verifies
+//! parallel output digests match serial, and writes `BENCH_sweep.json`.
 
-use experiments::{harness::Trials, *};
+use experiments::{benchcli, harness::Trials, *};
 
 const ALL: [&str; 20] = [
     "fig2",
@@ -43,16 +51,84 @@ const ALL: [&str; 20] = [
     "supervise",
 ];
 
+/// Default thread counts the `bench` verb sweeps.
+const BENCH_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Default timed repetitions per `bench` cell.
+const BENCH_REPS: usize = 3;
+
 fn usage() -> ! {
     eprintln!(
-        "usage: odyssey-experiments [--trials N] [--seed S] [--quick] [--out DIR] [IDS...]\n  IDS: {} | all\n  golden traces: tracediff (compare against tests/golden/) | tracerec (regenerate)",
+        "usage: odyssey-experiments [--trials N] [--seed S] [--quick] [--threads T[,T...]] [--reps R] [--out DIR] [IDS...]\n  IDS: {} | all\n  golden traces: tracediff (compare against tests/golden/) | tracerec (regenerate)\n  benchmarks: bench (time scenarios across --threads counts, write BENCH_sweep.json)",
         ALL.join(" ")
     );
     std::process::exit(2)
 }
 
+fn render(id: &str, trials: &Trials) -> String {
+    match id {
+        "fig2" => fig2::render(trials),
+        "fig4" => fig4::render(),
+        "fig6" => fig6::render(trials),
+        "fig8" => fig8::render(trials),
+        "fig10" => fig10::render(trials),
+        "fig11" => fig11::render(trials),
+        "fig13" => fig13::render(trials),
+        "fig14" => fig14::render(trials),
+        "fig15" => fig15::render(trials),
+        "fig16" => fig16::render(trials),
+        "fig18" => fig18::render(trials),
+        "fig19" => fig19::render(trials),
+        "fig20" => fig20::render(trials),
+        "fig21" => fig21::render(trials),
+        "fig22" => fig22::render(trials),
+        "sec54" => sec54::render(trials),
+        "headline" => headline::render(trials),
+        "ablate" => ablate::render(trials),
+        "chaos" => chaos::render(trials),
+        "supervise" => supervise::render(trials),
+        other => {
+            eprintln!("unknown experiment: {other}");
+            usage()
+        }
+    }
+}
+
+fn run_bench_verb(
+    trials: &Trials,
+    thread_counts: &[usize],
+    reps: usize,
+    out: Option<&std::path::Path>,
+) {
+    let sw = bench::Stopwatch::start();
+    let outcome = benchcli::run_sweep(trials, thread_counts, reps);
+    print!("{}", bench::sweep::render_sweep_table(&outcome.records));
+    let json = bench::sweep::render_sweep_json(&outcome.records);
+    let path = out
+        .map(|d| d.join("BENCH_sweep.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_sweep.json"));
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    eprintln!(
+        "[bench completed in {:.1}s, wrote {}]",
+        sw.elapsed_s(),
+        path.display()
+    );
+    if !outcome.divergent.is_empty() {
+        eprintln!(
+            "DETERMINISM FAILURE: parallel output diverged from serial: {}",
+            outcome.divergent.join(", ")
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let mut trials = Trials::default();
+    let mut trials = Trials::default().with_threads(simcore::par::available_threads());
+    let mut thread_counts: Option<Vec<usize>> = None;
+    let mut reps = BENCH_REPS;
     let mut ids: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -70,6 +146,26 @@ fn main() {
                 let s = args.next().unwrap_or_else(|| usage());
                 trials.seed = s.parse().unwrap_or_else(|_| usage());
             }
+            "--threads" => {
+                let t = args.next().unwrap_or_else(|| usage());
+                let counts: Vec<usize> = t
+                    .split(',')
+                    .map(|p| p.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if counts.is_empty() || counts.contains(&0) {
+                    eprintln!("--threads wants positive counts (e.g. 4 or 1,2,4,8)");
+                    std::process::exit(2);
+                }
+                thread_counts = Some(counts);
+            }
+            "--reps" => {
+                let r = args.next().unwrap_or_else(|| usage());
+                reps = r.parse().unwrap_or_else(|_| usage());
+                if reps == 0 {
+                    eprintln!("--reps must be at least 1");
+                    std::process::exit(2);
+                }
+            }
             "--out" => {
                 let d = args.next().unwrap_or_else(|| usage());
                 out_dir = Some(std::path::PathBuf::from(d));
@@ -80,6 +176,10 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
+    // Regular runs use one thread count; `bench` sweeps the whole list.
+    if let Some(counts) = &thread_counts {
+        trials = trials.with_threads(*counts.iter().max().unwrap_or(&1));
+    }
     if let Some(dir) = &out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create --out directory {}: {e}", dir.display());
@@ -89,56 +189,66 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = ALL.iter().map(|s| s.to_string()).collect();
     }
-    for id in &ids {
-        let started = bench::Stopwatch::start();
-        let output = match id.as_str() {
-            "fig2" => fig2::render(&trials),
-            "fig4" => fig4::render(),
-            "fig6" => fig6::render(&trials),
-            "fig8" => fig8::render(&trials),
-            "fig10" => fig10::render(&trials),
-            "fig11" => fig11::render(&trials),
-            "fig13" => fig13::render(&trials),
-            "fig14" => fig14::render(&trials),
-            "fig15" => fig15::render(&trials),
-            "fig16" => fig16::render(&trials),
-            "fig18" => fig18::render(&trials),
-            "fig19" => fig19::render(&trials),
-            "fig20" => fig20::render(&trials),
-            "fig21" => fig21::render(&trials),
-            "fig22" => fig22::render(&trials),
-            "sec54" => sec54::render(&trials),
-            "headline" => headline::render(&trials),
-            "ablate" => ablate::render(&trials),
-            "chaos" => chaos::render(&trials),
-            "supervise" => supervise::render(&trials),
-            "tracerec" => match tracerec::regenerate() {
-                Ok(summary) => summary,
+
+    // Special verbs run serially, outside the figure fan-out.
+    ids.retain(|id| match id.as_str() {
+        "tracerec" => {
+            match tracerec::regenerate() {
+                Ok(summary) => println!("{summary}"),
                 Err(e) => {
                     eprintln!("{e}");
                     std::process::exit(1);
                 }
-            },
-            "tracediff" => match tracerec::check_all() {
-                Ok(summary) => summary,
+            }
+            false
+        }
+        "tracediff" => {
+            match tracerec::check_all() {
+                Ok(summary) => println!("{summary}"),
                 Err(report) => {
                     eprintln!("{report}");
                     std::process::exit(1);
                 }
-            },
-            other => {
-                eprintln!("unknown experiment: {other}");
-                usage()
             }
-        };
+            false
+        }
+        "bench" => {
+            run_bench_verb(
+                &trials,
+                thread_counts.as_deref().unwrap_or(&BENCH_THREADS),
+                reps,
+                out_dir.as_deref(),
+            );
+            false
+        }
+        _ => true,
+    });
+
+    // Validate before spending any simulation time.
+    for id in &ids {
+        if !ALL.contains(&id.as_str()) {
+            eprintln!("unknown experiment: {id}");
+            usage();
+        }
+    }
+
+    // Fan the figures out across workers; print in request order. Each
+    // figure's own trial fan-out shares the same thread budget, so the
+    // pool is never oversubscribed by more than one scope level.
+    let outputs = simcore::par::map(trials.threads, &ids, |_, id| {
+        let sw = bench::Stopwatch::start();
+        let output = render(id, &trials);
+        (output, sw.elapsed_s())
+    });
+    for (id, (output, elapsed_s)) in ids.iter().zip(&outputs) {
         println!("{output}");
         if let Some(dir) = &out_dir {
             let path = dir.join(format!("{id}.txt"));
-            if let Err(e) = std::fs::write(&path, &output) {
+            if let Err(e) = std::fs::write(&path, output) {
                 eprintln!("cannot write {}: {e}", path.display());
                 std::process::exit(2);
             }
         }
-        eprintln!("[{id} completed in {:.1}s]", started.elapsed_s());
+        eprintln!("[{id} completed in {elapsed_s:.1}s]");
     }
 }

@@ -159,7 +159,17 @@ mod tests {
     /// the supply) keeps the test fast while exercising the extension.
     #[test]
     fn scaled_long_goal_with_extension_is_met() {
-        let f = run_config(&Trials { n: 2, seed: 42 }, 18_500.0, 1_650, 600, 1_950);
+        let f = run_config(
+            &Trials {
+                n: 2,
+                seed: 42,
+                threads: 1,
+            },
+            18_500.0,
+            1_650,
+            600,
+            1_950,
+        );
         for t in &f.trials {
             assert!(
                 t.goal_met,

@@ -234,76 +234,83 @@ pub fn run(trials: &Trials) -> Supervise {
 }
 
 /// Runs an arbitrary sweep over misbehaving-app counts.
+///
+/// Cells are independent — every trial stream is keyed purely by
+/// `(seed, k, trial)` — so they fan out across `trials.threads` workers
+/// and merge in sweep order, byte-identical to the serial run.
 pub fn run_sweep(trials: &Trials, ks: &[usize]) -> Supervise {
-    let root = SimRng::new(trials.seed);
-    let mut cells = Vec::new();
-    for &k in ks {
-        for supervised in [false, true] {
-            let mut met = 0usize;
-            let mut hit95 = 0usize;
-            let mut shortfall = Vec::new();
-            let mut residual = Vec::new();
-            let mut energy = Vec::new();
-            let mut hangs = Vec::new();
-            let mut ignores = Vec::new();
-            let mut overdraws = Vec::new();
-            let mut clamps = Vec::new();
-            let mut quarantines = Vec::new();
-            let mut restarts = Vec::new();
-            let mut crash_releases = Vec::new();
-            let mut redistributed = Vec::new();
-            for i in 0..trials.n {
-                // Workload streams are keyed by k and trial only, so the
-                // unsupervised and supervised cells face the identical
-                // applications — a paired comparison.
-                let mut rng = root.fork_indexed(&format!("supervise/{k}"), i as u64);
-                let run = run_one(k, supervised, &mut rng);
-                let dur = run.report.duration_s();
-                if run.outcome.goal_met {
-                    met += 1;
-                }
-                if run.outcome.goal_met || dur >= 0.95 * GOAL_S as f64 {
-                    hit95 += 1;
-                }
-                shortfall.push(if run.outcome.goal_met {
-                    0.0
-                } else {
-                    (GOAL_S as f64 - dur.min(GOAL_S as f64)) / GOAL_S as f64 * 100.0
-                });
-                residual.push(run.report.residual_j);
-                energy.push(run.report.total_j);
-                hangs.push(run.stats.hang_strikes as f64);
-                ignores.push(run.stats.ignore_strikes as f64);
-                overdraws.push(run.stats.overdraw_strikes as f64);
-                clamps.push(run.stats.clamps as f64);
-                quarantines.push(run.stats.quarantines as f64);
-                restarts.push(run.stats.restarts as f64);
-                crash_releases.push(run.stats.crash_releases as f64);
-                redistributed.push(run.stats.redistributed_w);
-            }
-            cells.push(SuperviseCell {
-                k,
-                supervised,
-                met_fraction: met as f64 / trials.n as f64,
-                hit95_fraction: hit95 as f64 / trials.n as f64,
-                shortfall_pct: TrialStats::from_values(&shortfall),
-                residual: TrialStats::from_values(&residual),
-                energy: TrialStats::from_values(&energy),
-                hangs: TrialStats::from_values(&hangs),
-                ignores: TrialStats::from_values(&ignores),
-                overdraws: TrialStats::from_values(&overdraws),
-                clamps: TrialStats::from_values(&clamps),
-                quarantines: TrialStats::from_values(&quarantines),
-                restarts: TrialStats::from_values(&restarts),
-                crash_releases: TrialStats::from_values(&crash_releases),
-                redistributed_w: TrialStats::from_values(&redistributed),
-            });
-        }
-    }
+    let specs: Vec<(usize, bool)> = ks.iter().flat_map(|&k| [(k, false), (k, true)]).collect();
+    let cells = simcore::par::map(trials.threads, &specs, |_, &(k, supervised)| {
+        run_cell(trials, k, supervised)
+    });
     Supervise {
         cells,
         initial_energy_j: CHAOS_ENERGY_J,
         goal_s: GOAL_S,
+    }
+}
+
+/// Runs one (k, supervised) cell: `trials.n` paired trials.
+fn run_cell(trials: &Trials, k: usize, supervised: bool) -> SuperviseCell {
+    let root = SimRng::new(trials.seed);
+    let mut met = 0usize;
+    let mut hit95 = 0usize;
+    let mut shortfall = Vec::new();
+    let mut residual = Vec::new();
+    let mut energy = Vec::new();
+    let mut hangs = Vec::new();
+    let mut ignores = Vec::new();
+    let mut overdraws = Vec::new();
+    let mut clamps = Vec::new();
+    let mut quarantines = Vec::new();
+    let mut restarts = Vec::new();
+    let mut crash_releases = Vec::new();
+    let mut redistributed = Vec::new();
+    for i in 0..trials.n {
+        // Workload streams are keyed by k and trial only, so the
+        // unsupervised and supervised cells face the identical
+        // applications — a paired comparison.
+        let mut rng = root.fork_indexed(&format!("supervise/{k}"), i as u64);
+        let run = run_one(k, supervised, &mut rng);
+        let dur = run.report.duration_s();
+        if run.outcome.goal_met {
+            met += 1;
+        }
+        if run.outcome.goal_met || dur >= 0.95 * GOAL_S as f64 {
+            hit95 += 1;
+        }
+        shortfall.push(if run.outcome.goal_met {
+            0.0
+        } else {
+            (GOAL_S as f64 - dur.min(GOAL_S as f64)) / GOAL_S as f64 * 100.0
+        });
+        residual.push(run.report.residual_j);
+        energy.push(run.report.total_j);
+        hangs.push(run.stats.hang_strikes as f64);
+        ignores.push(run.stats.ignore_strikes as f64);
+        overdraws.push(run.stats.overdraw_strikes as f64);
+        clamps.push(run.stats.clamps as f64);
+        quarantines.push(run.stats.quarantines as f64);
+        restarts.push(run.stats.restarts as f64);
+        crash_releases.push(run.stats.crash_releases as f64);
+        redistributed.push(run.stats.redistributed_w);
+    }
+    SuperviseCell {
+        k,
+        supervised,
+        met_fraction: met as f64 / trials.n as f64,
+        hit95_fraction: hit95 as f64 / trials.n as f64,
+        shortfall_pct: TrialStats::from_values(&shortfall),
+        residual: TrialStats::from_values(&residual),
+        energy: TrialStats::from_values(&energy),
+        hangs: TrialStats::from_values(&hangs),
+        ignores: TrialStats::from_values(&ignores),
+        overdraws: TrialStats::from_values(&overdraws),
+        clamps: TrialStats::from_values(&clamps),
+        quarantines: TrialStats::from_values(&quarantines),
+        restarts: TrialStats::from_values(&restarts),
+        crash_releases: TrialStats::from_values(&crash_releases),
+        redistributed_w: TrialStats::from_values(&redistributed),
     }
 }
 
@@ -421,7 +428,11 @@ mod tests {
     /// Same seed, same sweep — byte-identical cells.
     #[test]
     fn sweep_is_deterministic() {
-        let t = Trials { n: 1, seed: 7 };
+        let t = Trials {
+            n: 1,
+            seed: 7,
+            threads: 1,
+        };
         let a = format!("{:?}", run_sweep(&t, &[1]).cells);
         let b = format!("{:?}", run_sweep(&t, &[1]).cells);
         assert_eq!(a, b);

@@ -11,6 +11,13 @@
 //!
 //! Nothing in this crate knows about power, hardware, or Odyssey; it is a
 //! generic, allocation-light simulation kernel.
+//!
+//! With the **`par`** feature the crate additionally re-exports the
+//! [`simpar`] work pool as `simcore::par` — the seam through which the
+//! experiment runner and bench suite fan seeded trials out across
+//! threads. Simulation crates build without the feature: simulated code
+//! stays single-threaded by construction, and simlint rule D1 confines
+//! raw `std::thread` use to the simpar crate.
 
 pub mod event;
 pub mod fault;
@@ -29,3 +36,7 @@ pub use snapshot::{Checkpoint, RunJournal, Snapshot, SnapshotHasher};
 pub use stats::{LinearFit, TrialStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceCategory, TraceEvent, TraceHandle, TraceRecord, TraceSink};
+
+/// The deterministic work pool, behind the `par` feature seam.
+#[cfg(feature = "par")]
+pub use simpar as par;

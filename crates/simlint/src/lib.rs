@@ -12,7 +12,10 @@
 //! - **D1** — no wall-clock, thread, or environment reads in simulation
 //!   code (`Instant`, `SystemTime`, `std::thread`, `env::var`). Simulated
 //!   time comes from `simcore::SimTime`; the only sanctioned wall-clock
-//!   escape hatch is `bench::Stopwatch`, which carries a waiver.
+//!   escape hatch is `bench::Stopwatch`, which carries a waiver. Thread
+//!   *spawning* (as opposed to sleeping) is confined to the one crate
+//!   whose job it is — `crates/simpar/`, the deterministic work pool —
+//!   where the thread-token half of the rule is switched off.
 //! - **D2** — no `HashMap`/`HashSet`: randomized iteration order is
 //!   exactly the nondeterminism the energy ledger must not inherit. Use
 //!   `BTreeMap`/`BTreeSet`, or waive with a proof of order-insensitivity.
@@ -103,6 +106,11 @@ pub struct FileCtx<'a> {
     /// not apply there (exact float asserts and unwraps are legitimate
     /// test idiom), while the determinism rules D1/D2 still do.
     pub is_test: bool,
+    /// True only for `crates/simpar/` — the deterministic work pool, the
+    /// one crate allowed to spawn threads. Wall-clock and environment
+    /// reads (`Instant`, `thread::sleep`, `env::var`, …) stay banned
+    /// there too; only the thread-spawning tokens are exempt.
+    pub thread_ok: bool,
 }
 
 /// Result of scanning a whole workspace.
@@ -464,13 +472,17 @@ fn nonzero_float_literal(tok: &str) -> bool {
 // The rules.
 // ---------------------------------------------------------------------------
 
-const D1_TOKENS: [&str; 6] = [
-    "Instant",
-    "SystemTime",
-    "thread::sleep",
+/// D1 tokens banned everywhere, including `crates/simpar/`: wall-clock
+/// and environment reads, plus `thread::sleep` (a wall-clock wait).
+const D1_CLOCK_TOKENS: [&str; 4] = ["Instant", "SystemTime", "thread::sleep", "env::var"];
+
+/// D1 tokens banned outside `crates/simpar/`: thread spawning and
+/// anything that reaches the `std::thread` module to do it.
+const D1_THREAD_TOKENS: [&str; 4] = [
     "thread::spawn",
+    "thread::scope",
+    "available_parallelism",
     "std::thread",
-    "env::var",
 ];
 
 const D4_KEYWORDS: [&str; 6] = ["energy", "power", "watt", "joule", "time", "duration"];
@@ -506,15 +518,27 @@ pub fn scan_str(ctx: FileCtx<'_>, source: &str) -> Vec<Finding> {
         let line_no = idx + 1;
         let testish = ctx.is_test || in_test_region[idx];
         // D1: wall-clock / thread / environment reads. One finding per
-        // line is enough to force the fix.
-        if let Some(tok) = D1_TOKENS.iter().find(|t| contains_word(code, t)) {
+        // line is enough to force the fix. Clock tokens apply everywhere;
+        // thread tokens are switched off inside the simpar work pool.
+        let d1_hit = D1_CLOCK_TOKENS
+            .iter()
+            .find(|t| contains_word(code, t))
+            .or_else(|| {
+                if ctx.thread_ok {
+                    None
+                } else {
+                    D1_THREAD_TOKENS.iter().find(|t| contains_word(code, t))
+                }
+            });
+        if let Some(tok) = d1_hit {
             push(
                 &mut findings,
                 line_no,
                 "D1",
                 format!(
-                    "`{tok}` in simulation code: use simcore::SimTime, or route wall-clock \
-                     timing through bench::Stopwatch (the one waived escape hatch)"
+                    "`{tok}` in simulation code: use simcore::SimTime, route wall-clock timing \
+                     through bench::Stopwatch, or fan work out via the simpar pool (the only \
+                     crate allowed to touch std::thread)"
                 ),
             );
         }
@@ -725,6 +749,12 @@ fn is_test_path(rel: &str) -> bool {
         .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
 }
 
+/// True for files inside the simpar work pool — the one crate whose job
+/// is spawning threads, so D1's thread tokens do not apply there.
+fn is_par_path(rel: &str) -> bool {
+    rel.starts_with("crates/simpar/")
+}
+
 /// Scans every `.rs` file under `root` (a workspace checkout).
 pub fn scan_workspace(root: &Path) -> Result<Report, String> {
     if !root.join("Cargo.toml").is_file() {
@@ -747,6 +777,7 @@ pub fn scan_workspace(root: &Path) -> Result<Report, String> {
         let ctx = FileCtx {
             path: &rel,
             is_test: is_test_path(&rel),
+            thread_ok: is_par_path(&rel),
         };
         report.findings.extend(scan_str(ctx, &source));
         report.files_scanned += 1;
@@ -764,10 +795,17 @@ mod tests {
     const SIM: FileCtx<'static> = FileCtx {
         path: "crates/x/src/lib.rs",
         is_test: false,
+        thread_ok: false,
     };
     const TEST: FileCtx<'static> = FileCtx {
         path: "crates/x/tests/t.rs",
         is_test: true,
+        thread_ok: false,
+    };
+    const PAR: FileCtx<'static> = FileCtx {
+        path: "crates/simpar/src/lib.rs",
+        is_test: false,
+        thread_ok: true,
     };
 
     fn rules(findings: &[Finding]) -> Vec<&'static str> {
@@ -798,6 +836,28 @@ mod tests {
         // wall clock is a flaky test.
         let f = scan_str(TEST, "fn t() { let t0 = std::time::Instant::now(); }\n");
         assert_eq!(rules(&f), ["D1"]);
+    }
+
+    /// The tentpole seam: the simpar work pool may scope/spawn threads
+    /// and size itself off `available_parallelism`, but the wall clock
+    /// and the environment stay off-limits even there.
+    #[test]
+    fn d1_thread_tokens_exempt_inside_simpar_only() {
+        let spawns = "fn p() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n\
+                      fn q() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }\n";
+        assert!(scan_str(PAR, spawns).is_empty());
+        // The same source outside simpar is a violation per line.
+        assert_eq!(rules(&scan_str(SIM, spawns)), ["D1", "D1"]);
+        // Clock reads and sleeps are banned even in the pool crate.
+        let clocky = "fn r() { std::thread::sleep(d); }\nfn s() { let t = Instant::now(); }\n";
+        assert_eq!(rules(&scan_str(PAR, clocky)), ["D1", "D1"]);
+    }
+
+    #[test]
+    fn is_par_path_covers_only_simpar() {
+        assert!(is_par_path("crates/simpar/src/lib.rs"));
+        assert!(!is_par_path("crates/simcore/src/lib.rs"));
+        assert!(!is_par_path("src/simpar.rs"));
     }
 
     #[test]

@@ -1,0 +1,208 @@
+#![forbid(unsafe_code)]
+//! simpar: a deterministic scoped-thread work pool.
+//!
+//! The evaluation sweeps are embarrassingly parallel: every trial runs
+//! with a random stream forked purely from `(seed, label, index)`, so
+//! trials share no state and their results depend only on their index.
+//! This crate fans such work out over `std::thread::scope` workers and
+//! merges results **in index order**, making the parallel run
+//! byte-identical to the serial one (`tests/parallel_equivalence.rs`
+//! enforces this against the golden traces).
+//!
+//! # The determinism contract (DESIGN.md §13)
+//!
+//! - **Pure jobs.** `f(i)` must be a pure function of its index and of
+//!   immutable captured state. Jobs must not communicate, touch shared
+//!   mutable state, read the wall clock, or draw from a shared RNG.
+//! - **Index-ordered merge.** Results land in a slot vector indexed by
+//!   job number; the merge is a plain in-order collection. Nothing in the
+//!   merge path reads the wall clock or depends on completion order.
+//! - **Serial fallback.** With one worker (or one job) the pool runs
+//!   inline on the caller's thread — `threads: 1` is *identical* to a
+//!   plain loop, which is what makes `--threads 1` useful for bisecting.
+//!
+//! The work queue is channel-free: a single `AtomicUsize` cursor hands
+//! out the next unclaimed index, so workers self-balance across jobs of
+//! uneven cost without any ordering side-effects.
+//!
+//! This is the one crate in the workspace allowed to touch
+//! `std::thread` (simlint rule D1 confines thread use here; everything
+//! else goes through this API).
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = simpar::map_indexed(4, 8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! let words = ["a", "bb", "ccc"];
+//! let lens = simpar::map(2, &words, |_, w| w.len());
+//! assert_eq!(lens, vec![1, 2, 3]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker threads to use by default: the machine's available parallelism
+/// (1 when it cannot be determined).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Clamps a requested worker count to something sane for `jobs` jobs:
+/// at least 1, at most one worker per job.
+fn worker_count(threads: usize, jobs: usize) -> usize {
+    threads.max(1).min(jobs.max(1))
+}
+
+/// Runs `f(0..n)` across `threads` scoped workers and returns the
+/// results in index order.
+///
+/// `f` must satisfy the crate-level determinism contract: the output is
+/// then byte-identical to `(0..n).map(f).collect()` for every thread
+/// count. With `threads <= 1` (or `n <= 1`) no thread is spawned and the
+/// jobs run inline in index order on the caller's thread.
+///
+/// # Panics
+///
+/// If a job panics, the panic is propagated to the caller after the
+/// scope joins (no result is silently dropped).
+pub fn map_indexed<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = worker_count(threads, n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Channel-free work queue: one shared cursor hands out indices;
+    // per-index slots collect results for the in-order merge.
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                // A slot is locked exactly once, by the worker that
+                // claimed its index; poisoning is impossible because the
+                // critical section is a plain store.
+                match slots[i].lock() {
+                    Ok(mut guard) => *guard = Some(result),
+                    Err(poisoned) => *poisoned.into_inner() = Some(result),
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            let value = match slot.into_inner() {
+                Ok(v) => v,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match value {
+                Some(r) => r,
+                // Unreachable: the cursor hands out every index below `n`
+                // exactly once and the scope joins all workers.
+                None => panic!("simpar: job {i} produced no result"),
+            }
+        })
+        .collect()
+}
+
+/// Runs `f(i, &items[i])` for every item across `threads` scoped workers
+/// and returns the results in item order.
+///
+/// Same contract as [`map_indexed`]; the index argument lets jobs label
+/// their work (trial number, scenario id) without shared counters.
+pub fn map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_indexed(threads, items.len(), |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        // Jobs of wildly uneven cost: later indices finish first under
+        // any scheduler, yet the merge is by index.
+        let out = map_indexed(8, 64, |i| {
+            let mut acc = 0u64;
+            for k in 0..((64 - i) * 1000) as u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (i, pair) in out.iter().enumerate() {
+            assert_eq!(pair.0, i);
+        }
+    }
+
+    #[test]
+    fn every_thread_count_matches_serial() {
+        let serial: Vec<u64> = (0..33).map(|i| (i as u64) * 17 + 3).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = map_indexed(threads, 33, |i| (i as u64) * 17 + 3);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_threads_are_fine() {
+        let empty: Vec<u8> = map_indexed(4, 0, |_| 0u8);
+        assert!(empty.is_empty());
+        // threads=0 is clamped to 1 (serial).
+        assert_eq!(map_indexed(0, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn map_passes_item_and_index() {
+        let items = ["x", "yy", "zzz", "ww"];
+        let out = map(3, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:x", "1:yy", "2:zzz", "3:ww"]);
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let out = map_indexed(8, 1, |i| i + 41);
+        assert_eq!(out, vec![41]);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(worker_count(0, 10), 1);
+        assert_eq!(worker_count(16, 3), 3);
+        assert_eq!(worker_count(4, 0), 1);
+        assert_eq!(worker_count(2, 10), 2);
+    }
+
+    #[test]
+    fn available_threads_is_at_least_one() {
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let _ = map_indexed(4, 8, |i| {
+            if i == 3 {
+                panic!("job 3 panicked");
+            }
+            i
+        });
+    }
+}

@@ -40,4 +40,12 @@ if [ "$sup_a" != "$sup_b" ]; then
 fi
 echo "$sup_a" | head -4
 
+echo "== simpar: serial/parallel byte-equality smoke =="
+par_1="$(cargo run --release -q -p experiments -- chaos fig18 --quick --threads 1 2>/dev/null)"
+par_8="$(cargo run --release -q -p experiments -- chaos fig18 --quick --threads 8 2>/dev/null)"
+if [ "$par_1" != "$par_8" ]; then
+    echo "parallel fan-out diverges from serial (simpar merge bug)" >&2
+    exit 1
+fi
+
 echo "verify: OK"

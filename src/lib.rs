@@ -5,6 +5,8 @@
 //! This umbrella crate re-exports the workspace's public API:
 //!
 //! - [`simcore`] — deterministic discrete-event simulation core;
+//! - [`simpar`] — the deterministic scoped-thread work pool behind the
+//!   experiment runner's `--threads` fan-out;
 //! - [`hw560x`] — the calibrated IBM ThinkPad 560X power model;
 //! - [`netsim`] — the shared 2 Mb/s WaveLAN link;
 //! - [`machine`] — the client-machine simulator (scheduler, devices,
@@ -53,3 +55,4 @@ pub use odyssey;
 pub use odyssey_apps as apps;
 pub use powerscope;
 pub use simcore;
+pub use simpar;
