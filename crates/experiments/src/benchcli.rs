@@ -1,6 +1,6 @@
 //! The `bench` CLI verb: thread-scaling sweep over canonical scenarios.
 //!
-//! Four scenarios spanning the workload spectrum are timed at each
+//! Five scenarios spanning the workload spectrum are timed at each
 //! requested worker-thread count:
 //!
 //! | id        | workload                                                |
@@ -9,6 +9,7 @@
 //! | fig16     | web sweep at one think time (trial fan-out per cell)    |
 //! | goal      | one hardened composite goal run (inherently serial)     |
 //! | supervise | supervised/unsupervised k=2 pair (cell fan-out)         |
+//! | serve     | always-on session replaying the supervise golden trace (sustained directive throughput, inherently serial) |
 //!
 //! Besides timing, every parallel run's output digest is checked against
 //! the serial digest of the same scenario — the bench doubles as the
@@ -19,10 +20,10 @@ use bench::sweep::{time_reps, BenchRecord};
 use simcore::SnapshotHasher;
 
 use crate::harness::Trials;
-use crate::{fig16, fig2, supervise, tracerec};
+use crate::{fig16, fig2, serve, supervise, tracerec};
 
 /// Scenario identifiers the sweep times, in run order.
-pub const SCENARIOS: [&str; 4] = ["fig2", "fig16", "goal", "supervise"];
+pub const SCENARIOS: [&str; 5] = ["fig2", "fig16", "goal", "supervise", "serve"];
 
 /// Runs one scenario at the given trial configuration and returns a
 /// digest of its complete output. Byte-identical output ⇒ equal digest.
@@ -46,6 +47,21 @@ pub fn digest(scenario: &str, trials: &Trials) -> u64 {
         "supervise" => {
             let s = supervise::run_sweep(trials, &[2]);
             h.write_bytes(format!("{:?}", s.cells).as_bytes());
+        }
+        "serve" => {
+            // Sustained stepping through the service API: one session
+            // replaying the supervise golden schedule. Inherently
+            // serial, like `goal` — the sweep shows the step API adds
+            // no scaling artifact.
+            let samples =
+                serve::schedule(1).unwrap_or_else(|e| panic!("bench serve scenario: {e}"));
+            let run = serve::replay(trials.seed, &samples, None)
+                .unwrap_or_else(|e| panic!("bench serve scenario: {e}"));
+            h.write_u64(run.final_digest);
+            h.write_u64(run.directives as u64);
+            for line in &run.trace {
+                h.write_bytes(line.as_bytes());
+            }
         }
         other => panic!("unknown bench scenario: {other} (have {SCENARIOS:?})"),
     }

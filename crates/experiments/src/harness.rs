@@ -12,9 +12,14 @@
 //! and merges reports in trial order. The parallel run is byte-identical
 //! to the serial one at any thread count (`tests/parallel_equivalence.rs`
 //! pins this).
+//!
+//! Every trial executes through the [`simserve::Session`] batch API
+//! ([`Session::adopt`]), so the harness and the always-on `serve` mode
+//! share one engine: a batch trial is just a session nobody reconfigures.
 
 use machine::{Machine, RunReport};
 use simcore::{SimRng, TrialStats};
+use simserve::Session;
 
 /// Trial configuration for an experiment.
 #[derive(Clone, Copy, Debug)]
@@ -83,8 +88,11 @@ pub fn run_trials(
         .collect();
     simcore::par::map(trials.threads, &streams, |_, stream| {
         let mut rng = stream.clone();
-        let mut machine = build(&mut rng);
-        machine.run()
+        let machine = build(&mut rng);
+        // simlint: allow(D5) — adopt/run on a fresh session cannot fail
+        let mut session = Session::adopt(machine).expect("adopt fresh machine");
+        // simlint: allow(D5) — first run of a fresh session cannot fail
+        session.run_to_completion().expect("run adopted session")
     })
 }
 

@@ -28,6 +28,7 @@
 //! | [`ablate`]| Controller design-choice ablations (beyond the paper)|
 //! | [`chaos`] | Fault-intensity sweep: paper vs hardened controller   |
 //! | [`supervise`] | Misbehaving apps: unsupervised vs supervised viceroy |
+//! | [`serve`] | Always-on serving session: golden-trace replay with kill/resume proof |
 
 pub mod ablate;
 pub mod barchart;
@@ -52,6 +53,7 @@ pub mod goalrig;
 pub mod harness;
 pub mod headline;
 pub mod sec54;
+pub mod serve;
 pub mod supervise;
 pub mod table;
 pub mod tracerec;

@@ -19,12 +19,16 @@
 //! use `--threads 1` to bisect a suspected parallelism bug. For the
 //! `bench` verb it may be a comma list of counts to sweep.
 //!
-//! Three extra verbs (not part of `all`):
+//! Four extra verbs (not part of `all`):
 //! `tracediff` replays each canonical scenario and reports the first
 //! event diverging from `tests/golden/`; `tracerec` rewrites the goldens
 //! after an intentional behavior change; `bench` times the canonical
 //! scenarios across thread counts (`--reps` repetitions each), verifies
-//! parallel output digests match serial, and writes `BENCH_sweep.json`.
+//! parallel output digests match serial, and writes `BENCH_sweep.json`;
+//! `serve` replays the longest golden trace through an always-on
+//! session at `--multiple` density, kills it at a mid-run checkpoint,
+//! resumes, and exits non-zero on any digest or trace divergence
+//! (writing the report to `target/serve/divergence.txt`).
 
 use experiments::{benchcli, harness::Trials, *};
 
@@ -57,12 +61,36 @@ const BENCH_THREADS: [usize; 4] = [1, 2, 4, 8];
 /// Default timed repetitions per `bench` cell.
 const BENCH_REPS: usize = 3;
 
+/// Default replay multiple for the `serve` verb (the CI soak passes 100).
+const SERVE_MULTIPLE: u32 = 1;
+
 fn usage() -> ! {
     eprintln!(
-        "usage: odyssey-experiments [--trials N] [--seed S] [--quick] [--threads T[,T...]] [--reps R] [--out DIR] [IDS...]\n  IDS: {} | all\n  golden traces: tracediff (compare against tests/golden/) | tracerec (regenerate)\n  benchmarks: bench (time scenarios across --threads counts, write BENCH_sweep.json)",
+        "usage: odyssey-experiments [--trials N] [--seed S] [--quick] [--threads T[,T...]] [--reps R] [--multiple M] [--out DIR] [IDS...]\n  IDS: {} | all\n  golden traces: tracediff (compare against tests/golden/) | tracerec (regenerate)\n  benchmarks: bench (time scenarios across --threads counts, write BENCH_sweep.json)\n  serving: serve (replay golden trace at --multiple density; kill, resume, fail on divergence)",
         ALL.join(" ")
     );
     std::process::exit(2)
+}
+
+fn run_serve_verb(seed: u64, multiple: u32) {
+    let sw = bench::Stopwatch::start();
+    match serve::run_verb(seed, multiple) {
+        Ok(summary) => {
+            print!("{summary}");
+            eprintln!("[serve completed in {:.1}s]", sw.elapsed_s());
+        }
+        Err(report) => {
+            eprintln!("{report}");
+            let dir = std::path::PathBuf::from("target/serve");
+            if std::fs::create_dir_all(&dir).is_ok() {
+                let path = dir.join("divergence.txt");
+                if std::fs::write(&path, format!("{report}\n")).is_ok() {
+                    eprintln!("serve: divergence report saved to {}", path.display());
+                }
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn render(id: &str, trials: &Trials) -> String {
@@ -129,6 +157,7 @@ fn main() {
     let mut trials = Trials::default().with_threads(simcore::par::available_threads());
     let mut thread_counts: Option<Vec<usize>> = None;
     let mut reps = BENCH_REPS;
+    let mut multiple = SERVE_MULTIPLE;
     let mut ids: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -163,6 +192,14 @@ fn main() {
                 reps = r.parse().unwrap_or_else(|_| usage());
                 if reps == 0 {
                     eprintln!("--reps must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--multiple" => {
+                let m = args.next().unwrap_or_else(|| usage());
+                multiple = m.parse().unwrap_or_else(|_| usage());
+                if multiple == 0 {
+                    eprintln!("--multiple must be at least 1");
                     std::process::exit(2);
                 }
             }
@@ -219,6 +256,10 @@ fn main() {
                 reps,
                 out_dir.as_deref(),
             );
+            false
+        }
+        "serve" => {
+            run_serve_verb(trials.seed, multiple);
             false
         }
         _ => true,

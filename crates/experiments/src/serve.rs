@@ -1,0 +1,316 @@
+//! The `serve` verb: always-on session replay and kill/resume proof.
+//!
+//! Drives a [`simserve::Session`] over the supervised k=2 golden scenario
+//! (the longest golden trace) with a sample schedule derived from the
+//! recorded `tests/golden/supervise.jsonl` timestamps, optionally
+//! subdivided by a replay multiple — at 100× the session steps ~70 000
+//! times, the soak CI runs. The verb then kills the session at a mid-run
+//! checkpoint, resumes by replaying the identical stream, and fails on
+//! any divergence: journal digest at the salvage point, final state
+//! digest, or a single trace byte.
+//!
+//! [`torture_sweep`] extends the single mid-run kill to *every*
+//! checkpoint boundary, fanned out over the deterministic work pool —
+//! the acceptance gate `tests/checkpoint_resume.rs` pins at 1 and 4
+//! threads.
+
+use std::fs;
+
+use simcore::{Checkpoint, SimDuration, SimRng, TraceCategory, TraceHandle, TraceSink};
+use simserve::{Sample, ServeError, Session, SessionConfig};
+
+use crate::supervise;
+use crate::tracerec;
+
+/// The golden scenario the serve session replays (the longest trace).
+pub const REPLAY_SCENARIO: &str = "supervise";
+
+/// Checkpoint cadence of the serve session, sim-seconds. 180 s over the
+/// ~1560 s goal run yields eight torture boundaries.
+pub const CKPT_EVERY_S: u64 = 180;
+
+/// Everything one serve run leaves behind. For a killed run only the
+/// journal (`checkpoints`) survives by contract; the rest is what the
+/// uninterrupted twin is compared over.
+#[derive(Clone, Debug)]
+pub struct ServeRun {
+    /// Samples fed before the run ended (or was killed).
+    pub samples_fed: usize,
+    /// Directives the session issued.
+    pub directives: usize,
+    /// Journal checkpoints recorded.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Dead letters recorded.
+    pub dead_letters: u64,
+    /// Final state digest (meaningless for a killed run).
+    pub final_digest: u64,
+    /// Serving trace, JSONL.
+    pub trace: Vec<String>,
+}
+
+/// Builds the serving session for the supervised k=2 golden rig at
+/// `seed` — identical construction on every call, which is what makes
+/// resume-by-replay sound.
+pub fn build_session(seed: u64) -> Result<Session, ServeError> {
+    let mut rng = SimRng::new(seed).fork_indexed("supervise/2", 0);
+    let rig = supervise::build_one(2, true, &mut rng);
+    // The supervise golden categories plus the service layer's own
+    // events (reconfig verdicts, dead letters).
+    let trace = TraceHandle::new(
+        TraceSink::new()
+            .with_categories(&[
+                TraceCategory::Net,
+                TraceCategory::Fault,
+                TraceCategory::Control,
+                TraceCategory::Supervisor,
+                TraceCategory::Service,
+            ])
+            .with_jsonl(),
+    );
+    let cfg = SessionConfig {
+        checkpoint_every: SimDuration::from_secs(CKPT_EVERY_S),
+        ..SessionConfig::standard(rig.horizon)
+    };
+    Session::serve(rig.machine, Some(rig.goal), rig.supervisor, trace, cfg)
+}
+
+/// Sim time of a golden JSONL line (every line starts `{"time_s":…,`).
+fn time_of(line: &str) -> Result<f64, String> {
+    let rest = line
+        .strip_prefix("{\"time_s\":")
+        .ok_or_else(|| format!("golden line without time_s prefix: {line}"))?;
+    let end = rest
+        .find(',')
+        .ok_or_else(|| format!("golden line without field separator: {line}"))?;
+    rest[..end]
+        .parse()
+        .map_err(|e| format!("unparsable time_s in golden line ({e}): {line}"))
+}
+
+/// Derives the session's sample schedule from the recorded golden
+/// trace: one tick per golden event time, each inter-event gap
+/// subdivided `multiple`-fold. The stream is a pure function of the
+/// checked-in file, so every replay feeds identical input.
+pub fn schedule(multiple: u32) -> Result<Vec<Sample>, String> {
+    let multiple = multiple.max(1);
+    let path = tracerec::golden_path(REPLAY_SCENARIO);
+    let body = fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "serve: cannot read golden trace {}: {e}\n\
+             regenerate with: cargo run --release -p experiments -- tracerec",
+            path.display()
+        )
+    })?;
+    let mut out = Vec::new();
+    let mut prev = 0.0f64;
+    for line in body.lines() {
+        let t = time_of(line)?;
+        if t > prev {
+            for k in 1..=multiple {
+                let frac = k as f64 / multiple as f64;
+                out.push(Sample::tick(prev + (t - prev) * frac));
+            }
+        } else {
+            out.push(Sample::tick(t));
+        }
+        prev = t.max(prev);
+    }
+    Ok(out)
+}
+
+/// Replays `samples` through a fresh session at `seed`. With
+/// `kill_after_ckpt = Some(k)` the run is killed (dropped mid-stream)
+/// as soon as checkpoint `k` has been recorded — modelling a crash
+/// whose journal is the only survivor.
+pub fn replay(
+    seed: u64,
+    samples: &[Sample],
+    kill_after_ckpt: Option<usize>,
+) -> Result<ServeRun, String> {
+    let mut session = build_session(seed).map_err(|e| format!("serve: {e}"))?;
+    let mut directives = 0usize;
+    let mut fed = 0usize;
+    let mut killed = false;
+    for chunk in samples.chunks(64) {
+        directives += session
+            .ingest(chunk)
+            .map_err(|e| format!("serve: ingest failed at sample {fed}: {e}"))?
+            .len();
+        fed += chunk.len();
+        if let Some(k) = kill_after_ckpt {
+            if session.checkpoints().len() > k {
+                killed = true;
+                break;
+            }
+        }
+    }
+    if !killed {
+        session
+            .finish()
+            .map_err(|e| format!("serve: finish: {e}"))?;
+    }
+    Ok(ServeRun {
+        samples_fed: fed,
+        directives,
+        checkpoints: session.checkpoints(),
+        dead_letters: session.dead_letters().map(|d| d.total()).unwrap_or(0),
+        final_digest: session.digest(),
+        trace: session.trace_jsonl(),
+    })
+}
+
+/// Verifies one crash boundary: kill after checkpoint `k`, salvage the
+/// journal, resume by replaying the identical stream, and demand the
+/// resumed run passes through the salvage point and ends byte-identical
+/// to `base`. Returns a one-line proof summary.
+fn verify_boundary(
+    seed: u64,
+    samples: &[Sample],
+    base: &ServeRun,
+    k: usize,
+) -> Result<String, String> {
+    let crashed = replay(seed, samples, Some(k))?;
+    let salvage = *crashed
+        .checkpoints
+        .last()
+        .ok_or_else(|| format!("boundary {k}: crashed run journaled nothing"))?;
+    if crashed.trace.len() > base.trace.len()
+        || crashed.trace[..] != base.trace[..crashed.trace.len()]
+    {
+        return Err(format!(
+            "boundary {k}: crashed run's trace is not a prefix of the uninterrupted run's"
+        ));
+    }
+    let resumed = replay(seed, samples, None)?;
+    if !resumed
+        .checkpoints
+        .iter()
+        .any(|c| c.t == salvage.t && c.digest == salvage.digest)
+    {
+        return Err(format!(
+            "boundary {k}: resumed run diverged from salvaged checkpoint {salvage:?}"
+        ));
+    }
+    if resumed.final_digest != base.final_digest {
+        return Err(format!(
+            "boundary {k}: final digest {:#018x} != uninterrupted {:#018x}",
+            resumed.final_digest, base.final_digest
+        ));
+    }
+    if resumed.trace != base.trace {
+        let at = resumed
+            .trace
+            .iter()
+            .zip(base.trace.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or(resumed.trace.len().min(base.trace.len()));
+        return Err(format!(
+            "boundary {k}: resumed trace diverges from uninterrupted at event {at}"
+        ));
+    }
+    Ok(format!(
+        "boundary {k}: salvage t={:.0}s digest={:#018x} resume OK ({} events)",
+        salvage.t.as_secs_f64(),
+        salvage.digest,
+        base.trace.len()
+    ))
+}
+
+/// The torture sweep: crash at *every* checkpoint boundary and prove
+/// each resume bit-identical, fanned out over `threads` workers.
+/// Returns one proof line per boundary (identical at any thread count)
+/// or the first divergence report.
+pub fn torture_sweep(seed: u64, multiple: u32, threads: usize) -> Result<Vec<String>, String> {
+    let samples = schedule(multiple)?;
+    let base = replay(seed, &samples, None)?;
+    if base.checkpoints.len() < 2 {
+        return Err(format!(
+            "serve: expected several checkpoints, got {}",
+            base.checkpoints.len()
+        ));
+    }
+    let boundaries: Vec<usize> = (0..base.checkpoints.len()).collect();
+    let results = simcore::par::map(threads, &boundaries, |_, &k| {
+        verify_boundary(seed, &samples, &base, k)
+    });
+    let mut lines = Vec::with_capacity(results.len());
+    for r in results {
+        lines.push(r?);
+    }
+    Ok(lines)
+}
+
+/// The CLI verb body: replay at `multiple`, kill at the mid-run
+/// checkpoint, resume, and report. `Err` is a divergence report (the CI
+/// soak uploads it as an artifact).
+pub fn run_verb(seed: u64, multiple: u32) -> Result<String, String> {
+    let samples = schedule(multiple)?;
+    let base = replay(seed, &samples, None)?;
+    if base.checkpoints.len() < 2 {
+        return Err(format!(
+            "serve: expected several checkpoints, got {}",
+            base.checkpoints.len()
+        ));
+    }
+    let mid = base.checkpoints.len() / 2;
+    let proof = verify_boundary(seed, &samples, &base, mid)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "serve: replayed {} at {multiple}x: {} samples, {} directives, {} checkpoints, {} dead letters\n",
+        REPLAY_SCENARIO,
+        base.samples_fed,
+        base.directives,
+        base.checkpoints.len(),
+        base.dead_letters
+    ));
+    out.push_str(&format!(
+        "serve: final digest {:#018x} over {} trace events\n",
+        base.final_digest,
+        base.trace.len()
+    ));
+    out.push_str(&format!("serve: kill/resume {proof}\n"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracerec::GOLDEN_SEED;
+
+    /// The schedule is a pure function of the checked-in golden file,
+    /// and the multiple subdivides without reordering.
+    #[test]
+    fn schedule_is_monotone_and_scales_with_multiple() {
+        let s1 = schedule(1).expect("golden trace present");
+        let s4 = schedule(4).expect("golden trace present");
+        assert!(!s1.is_empty());
+        assert!(s4.len() > 3 * s1.len(), "{} vs {}", s4.len(), s1.len());
+        for w in s1.windows(2) {
+            assert!(w[1].at_s >= w[0].at_s, "schedule not monotone: {w:?}");
+        }
+        for w in s4.windows(2) {
+            assert!(w[1].at_s >= w[0].at_s, "4x schedule not monotone: {w:?}");
+        }
+    }
+
+    /// A serve replay is deterministic: same seed, same stream, same
+    /// digest and byte-identical trace.
+    #[test]
+    fn replay_is_deterministic() {
+        let samples = schedule(1).expect("golden trace present");
+        let a = replay(GOLDEN_SEED, &samples, None).expect("replay");
+        let b = replay(GOLDEN_SEED, &samples, None).expect("replay");
+        assert!(a.checkpoints.len() >= 2, "{:?}", a.checkpoints);
+        assert_eq!(a.final_digest, b.final_digest);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.directives, b.directives);
+        assert_eq!(a.dead_letters, 0, "clean stream dead-lettered");
+    }
+
+    /// The verb's single mid-run kill/resume proof passes end to end.
+    #[test]
+    fn verb_kill_resume_proof_passes() {
+        let out = run_verb(GOLDEN_SEED, 1).expect("kill/resume proof");
+        assert!(out.contains("resume OK"), "{out}");
+    }
+}

@@ -219,8 +219,11 @@ pub fn build_one(k: usize, supervised: bool, rng: &mut SimRng) -> SuperRig {
 }
 
 fn run_one(k: usize, supervised: bool, rng: &mut SimRng) -> SuperRun {
-    let mut rig = build_one(k, supervised, rng);
-    let report = rig.machine.run_until(rig.horizon);
+    let rig = build_one(k, supervised, rng);
+    // simlint: allow(D5) — adopt/run on a fresh session cannot fail
+    let mut session = simserve::Session::adopt(rig.machine).expect("adopt fresh machine");
+    // simlint: allow(D5) — first run of a fresh session cannot fail
+    let report = session.run_until(rig.horizon).expect("run adopted session");
     SuperRun {
         outcome: rig.goal.outcome(),
         report,

@@ -197,6 +197,12 @@ struct Shared {
     /// could degrade, per process index — the supervisor's ignored-upcall
     /// feed.
     rejected_degrades: BTreeMap<usize, usize>,
+    /// A live goal revision posted through the handle, applied (and
+    /// cleared) at the controller's next tick.
+    posted_goal: Option<SimDuration>,
+    /// A live budget revision posted through the handle: replaces the
+    /// initial energy value at the controller's next tick.
+    posted_budget_j: Option<f64>,
 }
 
 /// Caller-side handle to inspect a controller after the run. Cloneable so
@@ -251,6 +257,24 @@ impl GoalHandle {
     /// Total rejected degrade upcalls across all processes.
     pub fn total_rejected_degrades(&self) -> usize {
         self.shared.borrow().rejected_degrades.values().sum()
+    }
+
+    /// Posts a live goal revision: at the controller's next tick the
+    /// deadline becomes `ZERO + new_goal` (the dynamic form of Section
+    /// 5.4's longer-duration goals). The last post before the tick wins.
+    /// Callers validate against elapsed time; the controller applies
+    /// whatever was posted.
+    pub fn post_goal_revision(&self, new_goal: SimDuration) {
+        self.shared.borrow_mut().posted_goal = Some(new_goal);
+    }
+
+    /// Posts a live budget revision: at the controller's next tick the
+    /// initial energy value — the base of the hysteresis constant, the
+    /// budget reserve, and the energy cross-check — becomes `budget_j`.
+    /// The last post before the tick wins. Callers validate positivity
+    /// and finiteness; the controller applies whatever was posted.
+    pub fn post_budget_revision_j(&self, budget_j: f64) {
+        self.shared.borrow_mut().posted_budget_j = Some(budget_j);
     }
 }
 
@@ -328,6 +352,8 @@ impl GoalController {
             stale_decisions: 0,
             first_infeasible_at: None,
             rejected_degrades: BTreeMap::new(),
+            posted_goal: None,
+            posted_budget_j: None,
         }));
         let deadline = SimTime::ZERO + cfg.goal;
         let controller = GoalController {
@@ -356,6 +382,18 @@ impl GoalController {
             }
             self.deadline = SimTime::ZERO + new_goal;
             self.next_extension += 1;
+        }
+        // Live revisions posted through the handle override the static
+        // extension schedule: they were posted later.
+        let (goal, budget) = {
+            let mut s = self.shared.borrow_mut();
+            (s.posted_goal.take(), s.posted_budget_j.take())
+        };
+        if let Some(new_goal) = goal {
+            self.deadline = SimTime::ZERO + new_goal;
+        }
+        if let Some(budget_j) = budget {
+            self.cfg.initial_energy_j = budget_j;
         }
     }
 
@@ -711,6 +749,58 @@ mod tests {
             "ended at {}",
             report.duration_s()
         );
+    }
+
+    /// A goal revision posted through the handle moves the deadline just
+    /// like a scheduled extension — the live-reconfiguration seam.
+    #[test]
+    fn posted_goal_revision_moves_the_deadline() {
+        let cfg = GoalConfig::paper(4000.0, SimDuration::from_secs(300));
+        let mut m = Machine::new(MachineConfig {
+            source: EnergySource::battery(4000.0),
+            ..Default::default()
+        });
+        let pid = m.add_process(Box::new(DutyCycle {
+            level: 2,
+            until: SimTime::from_secs(800),
+        }));
+        let (handle, hook) = GoalController::new(cfg.clone(), PriorityTable::new(vec![pid]));
+        m.add_hook(cfg.sample_period, hook);
+        // Step the run halfway, post a revision, and continue: the
+        // controller must stop at the revised deadline.
+        m.run_until(SimTime::from_secs(100));
+        handle.post_goal_revision(SimDuration::from_secs(400));
+        let report = m.run_until(SimTime::from_secs(800));
+        assert!(handle.outcome().goal_met);
+        assert!(
+            (report.duration_s() - 400.0).abs() < 1.0,
+            "ended at {}",
+            report.duration_s()
+        );
+    }
+
+    /// A posted budget revision replaces the initial energy value the
+    /// hysteresis constant and reserve are computed from.
+    #[test]
+    fn posted_budget_revision_is_consumed() {
+        let cfg = GoalConfig::paper(2000.0, SimDuration::from_secs(300));
+        let mut m = Machine::new(MachineConfig {
+            source: EnergySource::battery(2000.0),
+            ..Default::default()
+        });
+        let pid = m.add_process(Box::new(DutyCycle {
+            level: 2,
+            until: SimTime::from_secs(600),
+        }));
+        let (handle, hook) = GoalController::new(cfg.clone(), PriorityTable::new(vec![pid]));
+        m.add_hook(cfg.sample_period, hook);
+        m.run_until(SimTime::from_secs(50));
+        handle.post_budget_revision_j(1500.0);
+        let report = m.run_until(SimTime::from_secs(600));
+        // The run still terminates deterministically; the revision is
+        // consumed (posting again is a fresh request, not an error).
+        assert!(handle.outcome().goal_met || report.exhausted);
+        handle.post_budget_revision_j(1000.0);
     }
 
     /// Against a gauge that reads 20% optimistic and drifts higher, the

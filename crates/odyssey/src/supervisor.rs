@@ -133,6 +133,10 @@ pub struct SupervisorStats {
 struct Inner {
     stats: SupervisorStats,
     ledger: DemandLedger,
+    /// Process indices struck from outside the supervisor's own
+    /// detectors (the service layer's dead-letter escalation), drained
+    /// into the response ladder at the next tick.
+    external_strikes: Vec<usize>,
 }
 
 /// Caller-side handle to inspect the supervisor during and after a run.
@@ -161,6 +165,16 @@ impl SupervisorHandle {
     /// Sum of declared power over all live declarations, W.
     pub fn total_declared_w(&self) -> f64 {
         self.inner.borrow().ledger.total_declared_w()
+    }
+
+    /// Posts a strike against a watched process from outside the
+    /// supervisor's own detectors — the escalation hook the service
+    /// layer uses when an app floods the session with malformed input.
+    /// The strike enters the ordinary response ladder
+    /// (reissue → clamp → quarantine) at the supervisor's next tick;
+    /// strikes against unwatched processes are dropped.
+    pub fn post_external_strike(&self, pid_index: usize) {
+        self.inner.borrow_mut().external_strikes.push(pid_index);
     }
 }
 
@@ -368,6 +382,26 @@ impl Supervisor {
 
 impl ControlHook for Supervisor {
     fn on_tick(&mut self, now: SimTime, view: &mut MachineView<'_>) {
+        // Drain externally-posted strikes (service-layer escalation)
+        // into the ordinary response ladder, in posting order.
+        let external: Vec<usize> = std::mem::take(&mut self.inner.borrow_mut().external_strikes);
+        for pid_index in external {
+            let Some(app_i) = self.apps.iter().position(|a| a.pid.index() == pid_index) else {
+                continue;
+            };
+            if matches!(
+                self.apps[app_i].phase,
+                Phase::Quarantined { .. } | Phase::Retired
+            ) {
+                continue;
+            }
+            view.emit_trace(TraceEvent::SupervisorStrike {
+                pid: pid_index as u64,
+                detector: "service",
+                strikes: self.apps[app_i].strikes as u64 + 1,
+            });
+            self.respond(app_i, now, view);
+        }
         let procs = view.processes();
         for i in 0..self.apps.len() {
             let pid = self.apps[i].pid;

@@ -77,11 +77,13 @@ pub enum TraceCategory {
     Supervisor,
     /// PowerScope sampling (high frequency).
     Meter,
+    /// Service layer: live reconfiguration verdicts and dead letters.
+    Service,
 }
 
 impl TraceCategory {
     /// Every category, in declaration order.
-    pub const ALL: [TraceCategory; 9] = [
+    pub const ALL: [TraceCategory; 10] = [
         TraceCategory::Sched,
         TraceCategory::Energy,
         TraceCategory::Flow,
@@ -91,15 +93,17 @@ impl TraceCategory {
         TraceCategory::Budget,
         TraceCategory::Supervisor,
         TraceCategory::Meter,
+        TraceCategory::Service,
     ];
 
     /// The low-frequency control-plane families — what golden traces use.
-    pub const CONTROL_PLANE: [TraceCategory; 5] = [
+    pub const CONTROL_PLANE: [TraceCategory; 6] = [
         TraceCategory::Net,
         TraceCategory::Fault,
         TraceCategory::Control,
         TraceCategory::Budget,
         TraceCategory::Supervisor,
+        TraceCategory::Service,
     ];
 
     fn bit(self) -> u32 {
@@ -254,6 +258,33 @@ pub enum TraceEvent {
         /// Fault kind (`"dropout"`, `"stuck"`, …).
         kind: &'static str,
     },
+    /// The service layer accepted and applied a reconfiguration command.
+    ReconfigApplied {
+        /// Command kind (`"goal"`, `"budget"`, `"horizon"`,
+        /// `"quarantine"`, `"readmit"`).
+        kind: &'static str,
+        /// Command argument: seconds for goal/horizon, joules for budget,
+        /// the process index for quarantine/readmit.
+        value: f64,
+    },
+    /// The service layer rejected a reconfiguration command.
+    ReconfigRejected {
+        /// Command kind (`"goal"`, `"budget"`, `"horizon"`,
+        /// `"quarantine"`, `"readmit"`).
+        kind: &'static str,
+        /// Validation failure (`"already_missed"`, `"below_elapsed"`,
+        /// `"non_positive"`, `"not_finite"`, `"already_quarantined"`,
+        /// `"not_quarantined"`, `"unknown_pid"`, `"stale"`).
+        reason: &'static str,
+    },
+    /// A malformed or out-of-order input sample was dead-lettered.
+    DeadLetter {
+        /// Why the sample was rejected (`"out_of_order"`, `"not_finite"`,
+        /// `"after_stop"`, …).
+        reason: &'static str,
+        /// Dead letters recorded so far, including this one.
+        count: u64,
+    },
 }
 
 impl TraceEvent {
@@ -277,6 +308,9 @@ impl TraceEvent {
             | TraceEvent::Suspend { .. }
             | TraceEvent::Restart { .. } => TraceCategory::Supervisor,
             TraceEvent::MeterSample { .. } => TraceCategory::Meter,
+            TraceEvent::ReconfigApplied { .. }
+            | TraceEvent::ReconfigRejected { .. }
+            | TraceEvent::DeadLetter { .. } => TraceCategory::Service,
         }
     }
 
@@ -303,6 +337,9 @@ impl TraceEvent {
             TraceEvent::Restart { .. } => "restart",
             TraceEvent::MeterSample { .. } => "meter_sample",
             TraceEvent::MeterFault { .. } => "meter_fault",
+            TraceEvent::ReconfigApplied { .. } => "reconfig_applied",
+            TraceEvent::ReconfigRejected { .. } => "reconfig_rejected",
+            TraceEvent::DeadLetter { .. } => "dead_letter",
         }
     }
 
@@ -390,6 +427,18 @@ impl TraceEvent {
                 field_str(out, "process", process);
             }
             TraceEvent::MeterFault { kind } => field_str(out, "kind", kind),
+            TraceEvent::ReconfigApplied { kind, value } => {
+                field_str(out, "kind", kind);
+                field_f64(out, "value", value);
+            }
+            TraceEvent::ReconfigRejected { kind, reason } => {
+                field_str(out, "kind", kind);
+                field_str(out, "reason", reason);
+            }
+            TraceEvent::DeadLetter { reason, count } => {
+                field_str(out, "reason", reason);
+                field_u64(out, "count", count);
+            }
         }
     }
 }
@@ -775,5 +824,37 @@ mod tests {
             r.to_jsonl(),
             "{\"time_s\":3,\"seq\":7,\"ev\":\"goal_infeasible\"}"
         );
+    }
+
+    #[test]
+    fn service_events_render_and_categorize() {
+        let applied = TraceEvent::ReconfigApplied {
+            kind: "goal",
+            value: 300.0,
+        };
+        let rejected = TraceEvent::ReconfigRejected {
+            kind: "budget",
+            reason: "non_positive",
+        };
+        let dead = TraceEvent::DeadLetter {
+            reason: "out_of_order",
+            count: 3,
+        };
+        for ev in [applied, rejected, dead] {
+            assert_eq!(ev.category(), TraceCategory::Service);
+        }
+        let r = TraceRecord {
+            at: SimTime::from_secs(5),
+            seq: 1,
+            event: applied,
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            "{\"time_s\":5,\"seq\":1,\"ev\":\"reconfig_applied\",\"kind\":\"goal\",\"value\":300}"
+        );
+        // Service is part of the control plane, distinct from Meter.
+        let sink = TraceSink::new().with_categories(&TraceCategory::CONTROL_PLANE);
+        assert!(sink.enabled(TraceCategory::Service));
+        assert!(!sink.enabled(TraceCategory::Meter));
     }
 }

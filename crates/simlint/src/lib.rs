@@ -28,6 +28,11 @@
 //!   (`_j`, `_w`, `_s`, `_mw`, …), aligned with `apps::units`.
 //! - **D5** — zero `unwrap()`/`expect()` in non-test code: a panic in
 //!   the middle of a sweep loses the whole run.
+//! - **S1** — service-layer API discipline, scoped to `crates/simserve/`:
+//!   every public state-changing entry point (a `pub fn` taking
+//!   `&mut self`) must return `Result` — the always-on serving layer
+//!   refuses bad input, it does not panic — and D5 may not be waived
+//!   there at all (a waiver is itself an S1 finding).
 //!
 //! Any site can be waived with a comment carrying a reason:
 //!
@@ -43,7 +48,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Rule identifiers, in report order.
-pub const RULE_IDS: [&str; 6] = ["D1", "D2", "D3", "D4", "D5", "W0"];
+pub const RULE_IDS: [&str; 7] = ["D1", "D2", "D3", "D4", "D5", "S1", "W0"];
 
 /// One diagnostic: a rule violated at a file:line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -111,6 +116,9 @@ pub struct FileCtx<'a> {
     /// reads (`Instant`, `thread::sleep`, `env::var`, …) stay banned
     /// there too; only the thread-spawning tokens are exempt.
     pub thread_ok: bool,
+    /// True for `crates/simserve/` — the always-on service layer, where
+    /// the S1 API-discipline rule applies on top of D1–D5.
+    pub service: bool,
 }
 
 /// Result of scanning a whole workspace.
@@ -579,9 +587,83 @@ pub fn scan_str(ctx: FileCtx<'_>, source: &str) -> Vec<Finding> {
     }
     if !ctx.is_test {
         scan_d4(&stripped.code, &in_test_region, &mut findings, &mut push);
+        if ctx.service {
+            scan_s1(
+                &stripped.code,
+                &in_test_region,
+                &waived,
+                &mut findings,
+                &mut push,
+            );
+        }
     }
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
+}
+
+/// S1: service-layer API discipline for `crates/simserve/`. Public
+/// state-changing entry points (`&mut self` receivers) must return
+/// `Result`, and the no-panic rule D5 may not be waived in this layer —
+/// a D5 waiver comment is itself a finding.
+fn scan_s1(
+    code: &[String],
+    in_test_region: &[bool],
+    waived: &BTreeMap<usize, BTreeSet<&'static str>>,
+    findings: &mut Vec<Finding>,
+    push: &mut impl FnMut(&mut Vec<Finding>, usize, &'static str, String),
+) {
+    for (idx, line) in code.iter().enumerate() {
+        if in_test_region[idx] {
+            continue;
+        }
+        let line_no = idx + 1;
+        let trimmed = line.trim_start();
+        let Some(fn_pos) = find_pub_fn(trimmed) else {
+            continue;
+        };
+        let name: String = trimmed[fn_pos..]
+            .chars()
+            .take_while(|c| is_ident_char(*c))
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let mut sig = String::new();
+        for cont in &code[idx..code.len().min(idx + 12)] {
+            sig.push_str(cont);
+            sig.push(' ');
+            if cont.contains('{') || cont.trim_end().ends_with(';') {
+                break;
+            }
+        }
+        if !sig.contains("&mut self") {
+            continue;
+        }
+        let ret = sig.split("->").nth(1).map(str::trim_start).unwrap_or("");
+        if !ret.starts_with("Result") {
+            push(
+                findings,
+                line_no,
+                "S1",
+                format!(
+                    "service-layer entry point `{name}` takes `&mut self` but does not return \
+                     `Result`: the serving API refuses bad input, it never panics"
+                ),
+            );
+        }
+    }
+    for (&line, rules) in waived {
+        if rules.contains("D5") {
+            push(
+                findings,
+                line,
+                "S1",
+                "D5 may not be waived in the service layer: return a `Result` instead of \
+                 panicking"
+                    .to_string(),
+            );
+        }
+    }
 }
 
 /// D3: float-literal equality and narrowing casts.
@@ -755,6 +837,12 @@ fn is_par_path(rel: &str) -> bool {
     rel.starts_with("crates/simpar/")
 }
 
+/// True for files inside the always-on service layer, where the S1
+/// API-discipline rule applies.
+fn is_service_path(rel: &str) -> bool {
+    rel.starts_with("crates/simserve/")
+}
+
 /// Scans every `.rs` file under `root` (a workspace checkout).
 pub fn scan_workspace(root: &Path) -> Result<Report, String> {
     if !root.join("Cargo.toml").is_file() {
@@ -778,6 +866,7 @@ pub fn scan_workspace(root: &Path) -> Result<Report, String> {
             path: &rel,
             is_test: is_test_path(&rel),
             thread_ok: is_par_path(&rel),
+            service: is_service_path(&rel),
         };
         report.findings.extend(scan_str(ctx, &source));
         report.files_scanned += 1;
@@ -796,16 +885,25 @@ mod tests {
         path: "crates/x/src/lib.rs",
         is_test: false,
         thread_ok: false,
+        service: false,
     };
     const TEST: FileCtx<'static> = FileCtx {
         path: "crates/x/tests/t.rs",
         is_test: true,
         thread_ok: false,
+        service: false,
     };
     const PAR: FileCtx<'static> = FileCtx {
         path: "crates/simpar/src/lib.rs",
         is_test: false,
         thread_ok: true,
+        service: false,
+    };
+    const SERVICE: FileCtx<'static> = FileCtx {
+        path: "crates/simserve/src/lib.rs",
+        is_test: false,
+        thread_ok: false,
+        service: true,
     };
 
     fn rules(findings: &[Finding]) -> Vec<&'static str> {
@@ -996,6 +1094,62 @@ fn t() {
                        fn t() { assert_eq!(super::f(), opt.unwrap()); }\n\
                    }\n";
         assert!(scan_str(SIM, src).is_empty());
+    }
+
+    // ---- S1: service-layer API discipline ----
+
+    /// Fixture mirroring the `simserve::Session` step API: every public
+    /// `&mut self` entry point returns `Result`, read-only accessors and
+    /// constructors are free-form. Dropping the `Result` from a stepping
+    /// method is flagged — in the service layer only.
+    #[test]
+    fn s1_flags_mut_entry_points_without_result() {
+        let dirty = "pub fn ingest(&mut self, s: &[u8]) {\n    self.n += 1;\n}\n";
+        let f = scan_str(SERVICE, dirty);
+        assert_eq!(rules(&f), ["S1"]);
+        assert!(f[0].message.contains("ingest"));
+        // The same source outside crates/simserve/ is not S1's business.
+        assert!(scan_str(SIM, dirty).is_empty());
+    }
+
+    #[test]
+    fn s1_accepts_result_entry_points_accessors_and_constructors() {
+        let clean = "pub fn ingest(&mut self, n: u32) -> Result<u32, Error> {\n\
+                     \x20   Ok(n)\n\
+                     }\n\
+                     pub fn finish(\n\
+                     \x20   &mut self,\n\
+                     ) -> Result<(), Error> {\n\
+                     \x20   Ok(())\n\
+                     }\n\
+                     pub fn cursor(&self) -> u64 { self.cursor }\n\
+                     pub fn tick(at_s: f64) -> Sample { Sample { at_s } }\n";
+        assert!(scan_str(SERVICE, clean).is_empty());
+    }
+
+    #[test]
+    fn s1_flags_multiline_signature_without_result() {
+        let dirty = "pub fn reset(\n    &mut self,\n    hard: bool,\n) {\n}\n";
+        let f = scan_str(SERVICE, dirty);
+        assert_eq!(rules(&f), ["S1"]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn s1_rejects_d5_waivers_in_the_service_layer() {
+        let src = "fn f() { x.unwrap(); } // simlint: allow(D5) — x is set two lines up\n";
+        // Elsewhere the waiver is honored; in the service layer it is
+        // itself the finding.
+        assert!(scan_str(SIM, src).is_empty());
+        let f = scan_str(SERVICE, src);
+        assert_eq!(rules(&f), ["S1"]);
+        assert!(f[0].message.contains("may not be waived"));
+    }
+
+    #[test]
+    fn s1_does_not_run_in_service_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    pub fn step(&mut self) {}\n}\n";
+        assert!(scan_str(SERVICE, src).is_empty());
     }
 
     // ---- Waivers ----

@@ -1,0 +1,1189 @@
+#![forbid(unsafe_code)]
+//! Always-on serving mode for the energy-adaptation control plane.
+//!
+//! The paper's viceroy is a long-lived OS component, not a batch job.
+//! This crate packages the goal controller and [`odyssey::Supervisor`]
+//! behind a harness-independent step API — [`Session::ingest`] — so the
+//! same engine can be driven by an experiment harness, a replayed golden
+//! trace, or an interactive operator, with three robustness contracts:
+//!
+//! - **Killable.** A serving session records periodic checkpoints into a
+//!   [`RunJournal`]. Because the simulation is deterministic, resume is
+//!   replay: rebuild the identical rig, feed the identical sample stream,
+//!   and verify the journaled digest at the salvage point. Crashing at
+//!   *any* checkpoint boundary loses nothing.
+//! - **Reconfigurable.** Goal, budget, horizon, quarantine, and re-admit
+//!   commands arrive as [`Sample`]s mid-session. Every command is
+//!   validated and journaled as a first-class simtrace event
+//!   (`reconfig_applied` / `reconfig_rejected`) before it touches the
+//!   machine, so a reconfigured run replays exactly like it ran.
+//! - **Unpanickable at the edge.** Malformed or out-of-order input is
+//!   rejected-and-traced into a bounded [`DeadLetterLedger`], never a
+//!   panic. A flood of dead letters attributable to one process
+//!   escalates into the Supervisor's existing strike ladder.
+//!
+//! Batch harnesses use [`Session::adopt`], which wraps a fully-built
+//! machine without adding hooks: identical event timeline, identical
+//! traces, but every run goes through the one service API.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use machine::{CheckpointHook, ControlHook, Machine, MachineView, RunReport};
+use odyssey::{GoalHandle, SupervisorHandle};
+use simcore::{Checkpoint, RunJournal, SimDuration, SimTime, TraceEvent, TraceHandle};
+
+/// Service-layer failure. Every state-changing entry point returns
+/// `Result<_, ServeError>`: the service never panics on caller input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// A [`SessionConfig`] field failed validation at construction.
+    InvalidConfig(&'static str),
+    /// The session already ran to its horizon (or the machine stopped);
+    /// no further stepping is possible.
+    Finished,
+    /// The operation needs a serving session ([`Session::serve`]); this
+    /// session was built with [`Session::adopt`].
+    NotServing,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig(what) => write!(f, "invalid session config: {what}"),
+            ServeError::Finished => write!(f, "session already finished"),
+            ServeError::NotServing => write!(f, "session was adopted, not served"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Configuration for a serving session.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Checkpoint cadence: a digest proof point every K sim-seconds.
+    pub checkpoint_every: SimDuration,
+    /// Hard end of the session's timeline; samples beyond it are
+    /// dead-lettered and [`Session::finish`] runs to exactly here.
+    pub horizon: SimTime,
+    /// Bounded capacity of the dead-letter ledger; older entries are
+    /// dropped (and counted) past this.
+    pub dead_letter_capacity: usize,
+    /// Period of the actuator hook that applies quarantine/re-admit
+    /// commands inside the event loop.
+    pub actuation_period: SimDuration,
+    /// Dead letters attributable to one process before the service posts
+    /// an external strike to the Supervisor ladder.
+    pub escalate_after: u64,
+}
+
+impl SessionConfig {
+    /// Serving defaults: 30 s checkpoints, 500 ms actuation, a 64-entry
+    /// dead-letter ledger, escalation after 8 dead letters per process.
+    pub fn standard(horizon: SimTime) -> SessionConfig {
+        SessionConfig {
+            checkpoint_every: SimDuration::from_secs(30),
+            horizon,
+            dead_letter_capacity: 64,
+            actuation_period: SimDuration::from_millis(500),
+            escalate_after: 8,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.checkpoint_every.is_zero() {
+            return Err(ServeError::InvalidConfig("checkpoint_every is zero"));
+        }
+        if self.horizon == SimTime::ZERO {
+            return Err(ServeError::InvalidConfig("horizon is zero"));
+        }
+        if self.dead_letter_capacity == 0 {
+            return Err(ServeError::InvalidConfig("dead_letter_capacity is zero"));
+        }
+        if self.actuation_period.is_zero() {
+            return Err(ServeError::InvalidConfig("actuation_period is zero"));
+        }
+        if self.escalate_after == 0 {
+            return Err(ServeError::InvalidConfig("escalate_after is zero"));
+        }
+        Ok(())
+    }
+}
+
+/// A live reconfiguration command, carried by a [`Sample`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReconfigCommand {
+    /// Move the goal deadline to `ZERO + duration` (§5.4's
+    /// longer-duration goals, applied dynamically).
+    Goal(SimDuration),
+    /// Replace the controller's energy budget, J.
+    BudgetJ(f64),
+    /// Move the session horizon.
+    Horizon(SimTime),
+    /// Quarantine the process with this machine index.
+    Quarantine(usize),
+    /// Re-admit (restart) the quarantined process with this index.
+    Readmit(usize),
+}
+
+/// Payload of one input sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SampleKind {
+    /// Advance the event loop to the sample's timestamp.
+    Tick,
+    /// Advance, then apply a reconfiguration command.
+    Reconfig(ReconfigCommand),
+}
+
+/// One unit of session input: a timestamp (fractional seconds, validated
+/// — `NaN`/negative/out-of-order input is dead-lettered, not trusted), a
+/// payload, and an optional originating process index for dead-letter
+/// attribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// Timestamp in seconds since session start. Deliberately a raw
+    /// `f64`: external feeds are untrusted and validation is the
+    /// session's job.
+    pub at_s: f64,
+    /// What to do at that instant.
+    pub kind: SampleKind,
+    /// Process index blamed for a malformed sample, if known.
+    pub origin: Option<usize>,
+}
+
+impl Sample {
+    /// A plain clock-advance sample.
+    pub fn tick(at_s: f64) -> Sample {
+        Sample {
+            at_s,
+            kind: SampleKind::Tick,
+            origin: None,
+        }
+    }
+
+    /// A reconfiguration sample.
+    pub fn reconfig(at_s: f64, cmd: ReconfigCommand) -> Sample {
+        Sample {
+            at_s,
+            kind: SampleKind::Reconfig(cmd),
+            origin: None,
+        }
+    }
+
+    /// Attributes this sample to a process index for dead-letter
+    /// accounting and escalation.
+    pub fn from_origin(mut self, pid_index: usize) -> Sample {
+        self.origin = Some(pid_index);
+        self
+    }
+}
+
+/// One output of [`Session::ingest`]: everything the control plane did
+/// while the clock advanced, in time order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Directive {
+    /// A workload's fidelity level changed.
+    Fidelity {
+        /// Instant of the change.
+        at: SimTime,
+        /// Process id (machine index).
+        pid: u64,
+        /// `"up"` or `"down"`.
+        direction: &'static str,
+        /// New fidelity level (0 = highest fidelity).
+        level: u64,
+    },
+    /// A datapath clamp factor was applied to a process.
+    Clamp {
+        /// Instant of the clamp.
+        at: SimTime,
+        /// Process id.
+        pid: u64,
+        /// Multiplier in (0, 1].
+        factor: f64,
+    },
+    /// A process was quarantined (suspended).
+    Quarantined {
+        /// Instant of the suspension.
+        at: SimTime,
+        /// Process id.
+        pid: u64,
+    },
+    /// A quarantined process was restarted.
+    Restarted {
+        /// Instant of the restart.
+        at: SimTime,
+        /// Process id.
+        pid: u64,
+    },
+    /// The goal controller found the goal infeasible at lowest fidelity.
+    GoalInfeasible {
+        /// Instant of the verdict.
+        at: SimTime,
+    },
+    /// The finite energy supply ran out.
+    SupplyExhausted {
+        /// Instant of exhaustion.
+        at: SimTime,
+        /// Energy left (≈ 0), J.
+        residual_j: f64,
+    },
+    /// A reconfiguration command was accepted and applied.
+    ReconfigApplied {
+        /// Instant of application.
+        at: SimTime,
+        /// Command kind (`"goal"`, `"budget"`, `"horizon"`,
+        /// `"quarantine"`, `"readmit"`).
+        kind: &'static str,
+        /// Command argument (seconds, joules, or process index).
+        value: f64,
+    },
+    /// A reconfiguration command was rejected by validation.
+    ReconfigRejected {
+        /// Instant of rejection.
+        at: SimTime,
+        /// Command kind.
+        kind: &'static str,
+        /// Validation failure.
+        reason: &'static str,
+    },
+    /// A malformed input sample was dead-lettered.
+    DeadLettered {
+        /// Instant of rejection (the session cursor).
+        at: SimTime,
+        /// Why the sample was rejected.
+        reason: &'static str,
+    },
+    /// The journal recorded a checkpoint proof point.
+    Checkpointed {
+        /// Checkpoint sequence number.
+        seq: u64,
+        /// Instant the digest was taken.
+        at: SimTime,
+        /// Digest of the full live state.
+        digest: u64,
+    },
+}
+
+impl Directive {
+    /// Instant the directive happened — the merge key for time-ordering.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            Directive::Fidelity { at, .. }
+            | Directive::Clamp { at, .. }
+            | Directive::Quarantined { at, .. }
+            | Directive::Restarted { at, .. }
+            | Directive::GoalInfeasible { at }
+            | Directive::SupplyExhausted { at, .. }
+            | Directive::ReconfigApplied { at, .. }
+            | Directive::ReconfigRejected { at, .. }
+            | Directive::DeadLettered { at, .. }
+            | Directive::Checkpointed { at, .. } => at,
+        }
+    }
+}
+
+/// One rejected input sample, as kept by the bounded ledger.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeadLetter {
+    /// The sample's claimed timestamp (may be garbage — that is often
+    /// why it is here).
+    pub at_s: f64,
+    /// Why it was rejected.
+    pub reason: &'static str,
+    /// Originating process index, if the sample carried one.
+    pub origin: Option<usize>,
+}
+
+/// Bounded FIFO of rejected samples. Past capacity the oldest entry is
+/// dropped and counted — the ledger never grows without bound, and the
+/// totals never lie.
+#[derive(Clone, Debug, Default)]
+pub struct DeadLetterLedger {
+    entries: VecDeque<DeadLetter>,
+    capacity: usize,
+    total: u64,
+    dropped: u64,
+}
+
+impl DeadLetterLedger {
+    fn new(capacity: usize) -> DeadLetterLedger {
+        DeadLetterLedger {
+            entries: VecDeque::new(),
+            capacity,
+            total: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, letter: DeadLetter) -> u64 {
+        self.total += 1;
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(letter);
+        self.total
+    }
+
+    /// Retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &DeadLetter> {
+        self.entries.iter()
+    }
+
+    /// Dead letters recorded over the session's lifetime.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Entries evicted to respect the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// A quarantine/re-admit request queued for the actuator hook.
+#[derive(Clone, Copy, Debug)]
+enum Actuation {
+    Quarantine(usize),
+    Readmit(usize),
+}
+
+/// Control hook that applies queued quarantine/re-admit commands at its
+/// tick, inside the event loop — so actuation lands at a deterministic
+/// instant regardless of how the sample stream is batched.
+struct ServiceHook {
+    inbox: Rc<RefCell<VecDeque<Actuation>>>,
+}
+
+impl ControlHook for ServiceHook {
+    fn on_tick(&mut self, _now: SimTime, view: &mut MachineView<'_>) {
+        loop {
+            let next = self.inbox.borrow_mut().pop_front();
+            let Some(act) = next else { break };
+            let (kind, idx) = match act {
+                Actuation::Quarantine(i) => ("quarantine", i),
+                Actuation::Readmit(i) => ("readmit", i),
+            };
+            let Some(info) = view.processes().into_iter().find(|p| p.pid.index() == idx) else {
+                view.emit_trace(TraceEvent::ReconfigRejected {
+                    kind,
+                    reason: "unknown_pid",
+                });
+                continue;
+            };
+            let verdict = match act {
+                Actuation::Quarantine(_) if info.suspended => Err("already_quarantined"),
+                Actuation::Quarantine(_) => {
+                    if view.suspend(info.pid) {
+                        Ok(())
+                    } else {
+                        Err("stale")
+                    }
+                }
+                Actuation::Readmit(_) if !info.suspended => Err("not_quarantined"),
+                Actuation::Readmit(_) => {
+                    if view.restart(info.pid) {
+                        Ok(())
+                    } else {
+                        Err("stale")
+                    }
+                }
+            };
+            match verdict {
+                Ok(()) => view.emit_trace(TraceEvent::ReconfigApplied {
+                    kind,
+                    value: idx as f64,
+                }),
+                Err(reason) => view.emit_trace(TraceEvent::ReconfigRejected { kind, reason }),
+            }
+        }
+    }
+}
+
+/// The serving half of a [`Session`]: everything that exists only when
+/// the session was built with [`Session::serve`].
+struct Serving {
+    cfg: SessionConfig,
+    journal: Rc<RefCell<RunJournal>>,
+    trace: TraceHandle,
+    inbox: Rc<RefCell<VecDeque<Actuation>>>,
+    goal: Option<GoalHandle>,
+    supervisor: Option<SupervisorHandle>,
+    dead: DeadLetterLedger,
+    dead_by_origin: BTreeMap<usize, u64>,
+    /// First trace seq not yet turned into a directive.
+    next_seq: u64,
+    /// First journal index not yet turned into a directive.
+    next_ckpt: usize,
+}
+
+/// A long-lived control-plane session around one deterministic machine.
+///
+/// Built either with [`Session::serve`] (the always-on mode: checkpoints,
+/// live reconfiguration, dead-letter ledger) or [`Session::adopt`] (batch
+/// mode: the harness path, byte-identical to driving the machine
+/// directly). All stepping goes through `Result` — the service layer
+/// refuses, it does not panic.
+pub struct Session {
+    machine: Machine,
+    cursor: SimTime,
+    stopped: bool,
+    finished: bool,
+    serving: Option<Serving>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("cursor", &self.cursor)
+            .field("stopped", &self.stopped)
+            .field("finished", &self.finished)
+            .field("serving", &self.serving.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Wraps a fully-built machine in serving mode: attaches the
+    /// checkpoint and actuator hooks, shares the trace, and returns a
+    /// session ready for [`Session::ingest`].
+    ///
+    /// The caller builds the rig (processes, goal-controller hook,
+    /// supervisor hook) exactly as for a batch run, then hands it over
+    /// *before* running. `goal` enables goal/budget reconfiguration;
+    /// `supervisor` enables dead-letter escalation.
+    pub fn serve(
+        mut machine: Machine,
+        goal: Option<GoalHandle>,
+        supervisor: Option<SupervisorHandle>,
+        trace: TraceHandle,
+        cfg: SessionConfig,
+    ) -> Result<Session, ServeError> {
+        cfg.validate()?;
+        machine.set_trace(trace.clone());
+        let journal = Rc::new(RefCell::new(RunJournal::new(cfg.checkpoint_every)));
+        machine.add_hook(
+            cfg.checkpoint_every,
+            Box::new(CheckpointHook::new(journal.clone())),
+        );
+        let inbox = Rc::new(RefCell::new(VecDeque::new()));
+        machine.add_hook(
+            cfg.actuation_period,
+            Box::new(ServiceHook {
+                inbox: inbox.clone(),
+            }),
+        );
+        let dead = DeadLetterLedger::new(cfg.dead_letter_capacity);
+        Ok(Session {
+            machine,
+            cursor: SimTime::ZERO,
+            stopped: false,
+            finished: false,
+            serving: Some(Serving {
+                cfg,
+                journal,
+                trace,
+                inbox,
+                goal,
+                supervisor,
+                dead,
+                dead_by_origin: BTreeMap::new(),
+                next_seq: 0,
+                next_ckpt: 0,
+            }),
+        })
+    }
+
+    /// Wraps a fully-built machine in batch mode: no hooks are added and
+    /// no trace is required, so the event timeline is exactly what the
+    /// machine would produce on its own. This is the harness path — one
+    /// API, zero behavioural drift.
+    pub fn adopt(machine: Machine) -> Result<Session, ServeError> {
+        Ok(Session {
+            machine,
+            cursor: SimTime::ZERO,
+            stopped: false,
+            finished: false,
+            serving: None,
+        })
+    }
+
+    /// Feeds a batch of input samples and returns every directive the
+    /// control plane issued while the clock advanced, in time order.
+    ///
+    /// Each valid sample advances the event loop to its timestamp and
+    /// then applies its payload. Malformed samples (non-finite or
+    /// negative timestamps, out-of-order arrivals, input after the
+    /// machine stopped or beyond the horizon) are dead-lettered and
+    /// traced — never a panic, and never a silent drop. Serving mode
+    /// only.
+    pub fn ingest(&mut self, samples: &[Sample]) -> Result<Vec<Directive>, ServeError> {
+        if self.serving.is_none() {
+            return Err(ServeError::NotServing);
+        }
+        if self.finished {
+            return Err(ServeError::Finished);
+        }
+        for sample in samples {
+            self.ingest_one(sample);
+        }
+        Ok(match self.serving.as_mut() {
+            Some(serving) => serving.drain_directives(),
+            None => Vec::new(),
+        })
+    }
+
+    /// Runs the session to its configured horizon and returns the final
+    /// report. Serving mode only; the session is finished afterwards.
+    pub fn finish(&mut self) -> Result<RunReport, ServeError> {
+        let Some(serving) = self.serving.as_ref() else {
+            return Err(ServeError::NotServing);
+        };
+        if self.finished {
+            return Err(ServeError::Finished);
+        }
+        let horizon = serving.cfg.horizon;
+        let report = self.machine.run_until(horizon);
+        self.cursor = horizon;
+        self.finished = true;
+        Ok(report)
+    }
+
+    /// Batch mode: runs the wrapped machine to completion (every process
+    /// done or the supply exhausted).
+    pub fn run_to_completion(&mut self) -> Result<RunReport, ServeError> {
+        if self.finished {
+            return Err(ServeError::Finished);
+        }
+        let report = self.machine.run();
+        self.cursor = report.end;
+        self.finished = true;
+        Ok(report)
+    }
+
+    /// Batch mode: runs the wrapped machine up to `horizon`. Re-entrant —
+    /// call again with a later horizon to continue the same timeline.
+    pub fn run_until(&mut self, horizon: SimTime) -> Result<RunReport, ServeError> {
+        if self.finished {
+            return Err(ServeError::Finished);
+        }
+        let report = self.machine.run_until(horizon);
+        if report.end < horizon {
+            self.stopped = true;
+        }
+        self.cursor = horizon.max(self.cursor);
+        Ok(report)
+    }
+
+    /// 64-bit digest of the machine's live state — the checkpoint/resume
+    /// proof token.
+    pub fn digest(&self) -> u64 {
+        self.machine.state_digest()
+    }
+
+    /// The session clock: the latest validated sample timestamp (or run
+    /// horizon) the event loop has been advanced to.
+    pub fn cursor(&self) -> SimTime {
+        self.cursor
+    }
+
+    /// True once the session ran to its horizon or the machine stopped.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Journal checkpoints recorded so far (serving mode; empty in batch
+    /// mode).
+    pub fn checkpoints(&self) -> Vec<Checkpoint> {
+        match &self.serving {
+            Some(s) => s.journal.borrow().checkpoints().to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Verifies a salvaged checkpoint against this session's journal —
+    /// the resume-time divergence gate.
+    pub fn verify_checkpoint(&self, t: SimTime, digest: u64) -> bool {
+        match &self.serving {
+            Some(s) => s.journal.borrow().verify(t, digest),
+            None => false,
+        }
+    }
+
+    /// The dead-letter ledger (serving mode; `None` in batch mode).
+    pub fn dead_letters(&self) -> Option<&DeadLetterLedger> {
+        self.serving.as_ref().map(|s| &s.dead)
+    }
+
+    /// JSONL lines of the serving trace so far (empty in batch mode) —
+    /// the byte stream two runs are compared over in the kill/resume
+    /// proof.
+    pub fn trace_jsonl(&self) -> Vec<String> {
+        match &self.serving {
+            Some(s) => s.trace.jsonl(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Applies one sample: validate, advance, act. All rejection paths
+    /// end in the dead-letter ledger. No-op outside serving mode (the
+    /// `ingest` entry point already refused).
+    fn ingest_one(&mut self, sample: &Sample) {
+        let Some(serving) = self.serving.as_mut() else {
+            return;
+        };
+        if !sample.at_s.is_finite() {
+            serving.dead_letter(self.cursor, sample, "not_finite");
+            return;
+        }
+        if sample.at_s < 0.0 {
+            serving.dead_letter(self.cursor, sample, "negative_time");
+            return;
+        }
+        let at = SimTime::from_secs_f64(sample.at_s);
+        if at < self.cursor {
+            serving.dead_letter(self.cursor, sample, "out_of_order");
+            return;
+        }
+        if at > serving.cfg.horizon {
+            serving.dead_letter(self.cursor, sample, "beyond_horizon");
+            return;
+        }
+        if self.stopped {
+            serving.dead_letter(self.cursor, sample, "after_stop");
+            return;
+        }
+        let report = self.machine.run_until(at);
+        self.cursor = at;
+        if report.end < at {
+            // The machine stopped early (goal met, supply exhausted, or
+            // all processes done); later samples are dead letters.
+            self.stopped = true;
+            if let SampleKind::Reconfig(_) = sample.kind {
+                serving.dead_letter(self.cursor, sample, "after_stop");
+            }
+            return;
+        }
+        if let SampleKind::Reconfig(cmd) = sample.kind {
+            serving.apply_reconfig(at, cmd);
+        }
+    }
+}
+
+impl Serving {
+    /// Validates and applies one reconfiguration command at instant
+    /// `at`, tracing the verdict either way.
+    fn apply_reconfig(&mut self, at: SimTime, cmd: ReconfigCommand) {
+        let verdict: Result<(&'static str, f64), (&'static str, &'static str)> = match cmd {
+            ReconfigCommand::Goal(goal) => {
+                if goal.is_zero() {
+                    Err(("goal", "non_positive"))
+                } else if SimTime::ZERO + goal <= at {
+                    Err(("goal", "already_missed"))
+                } else if let Some(handle) = &self.goal {
+                    handle.post_goal_revision(goal);
+                    Ok(("goal", goal.as_secs_f64()))
+                } else {
+                    Err(("goal", "no_controller"))
+                }
+            }
+            ReconfigCommand::BudgetJ(budget_j) => {
+                if !budget_j.is_finite() {
+                    Err(("budget", "not_finite"))
+                } else if budget_j <= 0.0 {
+                    Err(("budget", "non_positive"))
+                } else if let Some(handle) = &self.goal {
+                    handle.post_budget_revision_j(budget_j);
+                    Ok(("budget", budget_j))
+                } else {
+                    Err(("budget", "no_controller"))
+                }
+            }
+            ReconfigCommand::Horizon(horizon) => {
+                if horizon <= at {
+                    Err(("horizon", "below_elapsed"))
+                } else {
+                    self.cfg.horizon = horizon;
+                    Ok(("horizon", horizon.as_secs_f64()))
+                }
+            }
+            ReconfigCommand::Quarantine(idx) => {
+                self.inbox
+                    .borrow_mut()
+                    .push_back(Actuation::Quarantine(idx));
+                return; // verdict traced by the actuator hook at its tick
+            }
+            ReconfigCommand::Readmit(idx) => {
+                self.inbox.borrow_mut().push_back(Actuation::Readmit(idx));
+                return;
+            }
+        };
+        let event = match verdict {
+            Ok((kind, value)) => TraceEvent::ReconfigApplied { kind, value },
+            Err((kind, reason)) => TraceEvent::ReconfigRejected { kind, reason },
+        };
+        self.trace.emit(at, event);
+    }
+
+    /// Records one dead letter at the session cursor: ledger, trace,
+    /// per-origin escalation.
+    fn dead_letter(&mut self, cursor: SimTime, sample: &Sample, reason: &'static str) {
+        let count = self.dead.push(DeadLetter {
+            at_s: sample.at_s,
+            reason,
+            origin: sample.origin,
+        });
+        self.trace
+            .emit(cursor, TraceEvent::DeadLetter { reason, count });
+        if let Some(origin) = sample.origin {
+            let per = self.dead_by_origin.entry(origin).or_insert(0);
+            *per += 1;
+            if *per >= self.cfg.escalate_after {
+                *per = 0;
+                if let Some(sup) = &self.supervisor {
+                    sup.post_external_strike(origin);
+                }
+            }
+        }
+    }
+
+    /// Turns everything traced or journaled since the last drain into
+    /// time-ordered directives.
+    fn drain_directives(&mut self) -> Vec<Directive> {
+        let mut from_trace: Vec<Directive> = Vec::new();
+        for rec in self.trace.records() {
+            if rec.seq < self.next_seq {
+                continue;
+            }
+            self.next_seq = rec.seq + 1;
+            let at = rec.at;
+            let directive = match rec.event {
+                TraceEvent::FidelityChange {
+                    pid,
+                    direction,
+                    level,
+                    ..
+                } => Directive::Fidelity {
+                    at,
+                    pid,
+                    direction,
+                    level,
+                },
+                TraceEvent::DatapathClamp { pid, factor } => Directive::Clamp { at, pid, factor },
+                TraceEvent::Suspend { pid, .. } => Directive::Quarantined { at, pid },
+                TraceEvent::Restart { pid, .. } => Directive::Restarted { at, pid },
+                TraceEvent::GoalInfeasible => Directive::GoalInfeasible { at },
+                TraceEvent::SupplyExhausted { residual_j } => {
+                    Directive::SupplyExhausted { at, residual_j }
+                }
+                TraceEvent::ReconfigApplied { kind, value } => {
+                    Directive::ReconfigApplied { at, kind, value }
+                }
+                TraceEvent::ReconfigRejected { kind, reason } => {
+                    Directive::ReconfigRejected { at, kind, reason }
+                }
+                TraceEvent::DeadLetter { reason, .. } => Directive::DeadLettered { at, reason },
+                _ => continue,
+            };
+            from_trace.push(directive);
+        }
+        let journal = self.journal.borrow();
+        let from_journal: Vec<Directive> = journal.checkpoints()[self.next_ckpt..]
+            .iter()
+            .map(|ck| Directive::Checkpointed {
+                seq: ck.seq,
+                at: ck.t,
+                digest: ck.digest,
+            })
+            .collect();
+        self.next_ckpt = journal.checkpoints().len();
+        drop(journal);
+        // Stable two-way merge by time; trace events win ties so a
+        // checkpoint at t sorts after the events that produced state t.
+        let mut out = Vec::with_capacity(from_trace.len() + from_journal.len());
+        let mut ti = from_trace.into_iter().peekable();
+        let mut ji = from_journal.into_iter().peekable();
+        loop {
+            let take_trace = match (ti.peek(), ji.peek()) {
+                (Some(t), Some(j)) => t.at() <= j.at(),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_trace {
+                out.extend(ti.next());
+            } else {
+                out.extend(ji.next());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::workload::ScriptedWorkload;
+    use machine::{Activity, FidelityView, MachineConfig, Step, Workload};
+    use simcore::{TraceCategory, TraceSink};
+
+    fn idle_machine(procs: usize, secs: u64) -> Machine {
+        let mut m = Machine::new(MachineConfig::default());
+        for _ in 0..procs {
+            m.add_process(Box::new(ScriptedWorkload::idle_for(
+                "idle",
+                SimDuration::from_secs(secs),
+            )));
+        }
+        m
+    }
+
+    /// An idle workload that accepts restarts — quarantine/re-admit needs
+    /// a cooperating `on_restart` (ScriptedWorkload refuses it).
+    struct RestartableIdle {
+        until: SimTime,
+    }
+
+    impl Workload for RestartableIdle {
+        fn name(&self) -> &'static str {
+            "ridle"
+        }
+        fn poll(&mut self, now: SimTime) -> Step {
+            if now >= self.until {
+                Step::Done
+            } else {
+                Step::Run(Activity::Wait {
+                    until: now + SimDuration::from_secs(1),
+                })
+            }
+        }
+        fn fidelity(&self) -> FidelityView {
+            FidelityView {
+                level: 0,
+                levels: 1,
+            }
+        }
+        fn on_restart(&mut self, _now: SimTime) -> bool {
+            true
+        }
+    }
+
+    fn restartable_machine(procs: usize, secs: u64) -> Machine {
+        let mut m = Machine::new(MachineConfig::default());
+        for _ in 0..procs {
+            m.add_process(Box::new(RestartableIdle {
+                until: SimTime::from_secs(secs),
+            }));
+        }
+        m
+    }
+
+    /// Requests a run stop at a fixed instant — how the unit tests model
+    /// a control plane that halts the machine (goal met, supply gone).
+    struct StopAt(SimTime);
+
+    impl ControlHook for StopAt {
+        fn on_tick(&mut self, now: SimTime, view: &mut MachineView<'_>) {
+            if now >= self.0 {
+                view.request_stop();
+            }
+        }
+    }
+
+    fn service_trace() -> TraceHandle {
+        TraceHandle::new(
+            TraceSink::new()
+                .with_categories(&TraceCategory::CONTROL_PLANE)
+                .with_jsonl(),
+        )
+    }
+
+    fn cfg(horizon_s: u64) -> SessionConfig {
+        SessionConfig {
+            checkpoint_every: SimDuration::from_secs(10),
+            horizon: SimTime::from_secs(horizon_s),
+            dead_letter_capacity: 4,
+            actuation_period: SimDuration::from_secs(1),
+            escalate_after: 3,
+        }
+    }
+
+    #[test]
+    fn serve_rejects_invalid_config() {
+        for (broken, what) in [
+            (
+                SessionConfig {
+                    checkpoint_every: SimDuration::ZERO,
+                    ..cfg(100)
+                },
+                "checkpoint_every",
+            ),
+            (
+                SessionConfig {
+                    horizon: SimTime::ZERO,
+                    ..cfg(100)
+                },
+                "horizon",
+            ),
+            (
+                SessionConfig {
+                    dead_letter_capacity: 0,
+                    ..cfg(100)
+                },
+                "dead_letter_capacity",
+            ),
+            (
+                SessionConfig {
+                    actuation_period: SimDuration::ZERO,
+                    ..cfg(100)
+                },
+                "actuation_period",
+            ),
+            (
+                SessionConfig {
+                    escalate_after: 0,
+                    ..cfg(100)
+                },
+                "escalate_after",
+            ),
+        ] {
+            let err = Session::serve(idle_machine(1, 60), None, None, service_trace(), broken)
+                .map(|_| ())
+                .expect_err(what);
+            assert!(matches!(err, ServeError::InvalidConfig(_)), "{what}");
+        }
+    }
+
+    #[test]
+    fn ticks_advance_and_checkpoint() {
+        let mut s = Session::serve(idle_machine(1, 120), None, None, service_trace(), cfg(100))
+            .expect("serve");
+        let out = s
+            .ingest(&[Sample::tick(15.0), Sample::tick(35.0)])
+            .expect("ingest");
+        let cks: Vec<_> = out
+            .iter()
+            .filter_map(|d| match d {
+                Directive::Checkpointed { at, .. } => Some(at.as_secs_f64()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cks, vec![10.0, 20.0, 30.0]);
+        assert_eq!(s.cursor(), SimTime::from_secs(35));
+        assert_eq!(s.checkpoints().len(), 3);
+        let latest = s.checkpoints()[2];
+        assert!(s.verify_checkpoint(latest.t, latest.digest));
+        assert!(!s.verify_checkpoint(latest.t, latest.digest ^ 1));
+        let report = s.finish().expect("finish");
+        assert_eq!(report.end, SimTime::from_secs(100));
+        assert!(s.is_finished());
+        assert_eq!(s.finish().expect_err("twice"), ServeError::Finished);
+        assert_eq!(
+            s.ingest(&[Sample::tick(101.0)]).expect_err("finished"),
+            ServeError::Finished
+        );
+    }
+
+    #[test]
+    fn malformed_input_is_dead_lettered_never_a_panic() {
+        let mut s = Session::serve(idle_machine(1, 120), None, None, service_trace(), cfg(100))
+            .expect("serve");
+        let out = s
+            .ingest(&[
+                Sample::tick(20.0),
+                Sample::tick(10.0),     // out of order
+                Sample::tick(f64::NAN), // malformed
+                Sample::tick(-3.0),     // malformed
+                Sample::tick(5000.0),   // beyond horizon
+                Sample::tick(25.0),     // fine again
+            ])
+            .expect("ingest");
+        let reasons: Vec<_> = out
+            .iter()
+            .filter_map(|d| match d {
+                Directive::DeadLettered { reason, .. } => Some(*reason),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            reasons,
+            vec![
+                "out_of_order",
+                "not_finite",
+                "negative_time",
+                "beyond_horizon"
+            ]
+        );
+        let ledger = s.dead_letters().expect("serving");
+        assert_eq!(ledger.total(), 4);
+        assert_eq!(ledger.dropped(), 0);
+        assert_eq!(s.cursor(), SimTime::from_secs(25));
+    }
+
+    #[test]
+    fn dead_letter_ledger_is_bounded() {
+        let mut s = Session::serve(idle_machine(1, 120), None, None, service_trace(), cfg(100))
+            .expect("serve");
+        let junk: Vec<Sample> = (0..7).map(|_| Sample::tick(f64::NAN)).collect();
+        s.ingest(&junk).expect("ingest");
+        let ledger = s.dead_letters().expect("serving");
+        assert_eq!(ledger.total(), 7);
+        assert_eq!(ledger.dropped(), 3);
+        assert_eq!(ledger.entries().count(), 4);
+    }
+
+    #[test]
+    fn samples_after_machine_stop_are_dead_lettered() {
+        // A control hook stops the run at 10 s (the goal-met shape).
+        let mut m = idle_machine(1, 120);
+        m.add_hook(
+            SimDuration::from_secs(1),
+            Box::new(StopAt(SimTime::from_secs(10))),
+        );
+        let mut s = Session::serve(m, None, None, service_trace(), cfg(100)).expect("serve");
+        let out = s
+            .ingest(&[Sample::tick(50.0), Sample::tick(60.0)])
+            .expect("ingest");
+        let reasons: Vec<_> = out
+            .iter()
+            .filter_map(|d| match d {
+                Directive::DeadLettered { reason, .. } => Some(*reason),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reasons, vec!["after_stop"]);
+    }
+
+    #[test]
+    fn quarantine_and_readmit_actuate_at_the_next_tick() {
+        let mut s = Session::serve(
+            restartable_machine(2, 120),
+            None,
+            None,
+            service_trace(),
+            cfg(100),
+        )
+        .expect("serve");
+        let out = s
+            .ingest(&[
+                Sample::reconfig(5.0, ReconfigCommand::Quarantine(1)),
+                Sample::tick(8.0),
+            ])
+            .expect("ingest");
+        assert!(out.iter().any(|d| matches!(
+            d,
+            Directive::ReconfigApplied { kind: "quarantine", value, .. } if *value == 1.0
+        )));
+        assert!(out
+            .iter()
+            .any(|d| matches!(d, Directive::Quarantined { pid: 1, .. })));
+
+        // Double quarantine is rejected; re-admit round-trips; re-admit
+        // of a running process and an unknown index are rejected.
+        let out = s
+            .ingest(&[
+                Sample::reconfig(10.0, ReconfigCommand::Quarantine(1)),
+                Sample::reconfig(12.0, ReconfigCommand::Readmit(1)),
+                Sample::reconfig(14.0, ReconfigCommand::Readmit(1)),
+                Sample::reconfig(16.0, ReconfigCommand::Quarantine(9)),
+                Sample::tick(20.0),
+            ])
+            .expect("ingest");
+        let rejections: Vec<_> = out
+            .iter()
+            .filter_map(|d| match d {
+                Directive::ReconfigRejected { kind, reason, .. } => Some((*kind, *reason)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            rejections,
+            vec![
+                ("quarantine", "already_quarantined"),
+                ("readmit", "not_quarantined"),
+                ("quarantine", "unknown_pid"),
+            ]
+        );
+        assert!(out
+            .iter()
+            .any(|d| matches!(d, Directive::Restarted { pid: 1, .. })));
+    }
+
+    #[test]
+    fn goal_and_budget_without_a_controller_are_rejected_not_panicked() {
+        let mut s = Session::serve(idle_machine(1, 120), None, None, service_trace(), cfg(100))
+            .expect("serve");
+        let out = s
+            .ingest(&[
+                Sample::reconfig(5.0, ReconfigCommand::Goal(SimDuration::from_secs(200))),
+                Sample::reconfig(6.0, ReconfigCommand::BudgetJ(500.0)),
+                Sample::reconfig(7.0, ReconfigCommand::BudgetJ(f64::INFINITY)),
+                Sample::reconfig(8.0, ReconfigCommand::BudgetJ(0.0)),
+                Sample::reconfig(9.0, ReconfigCommand::Goal(SimDuration::from_secs(4))),
+                Sample::reconfig(10.0, ReconfigCommand::Horizon(SimTime::from_secs(5))),
+                Sample::reconfig(11.0, ReconfigCommand::Horizon(SimTime::from_secs(90))),
+            ])
+            .expect("ingest");
+        let verdicts: Vec<_> = out
+            .iter()
+            .filter_map(|d| match d {
+                Directive::ReconfigRejected { kind, reason, .. } => Some((*kind, *reason)),
+                Directive::ReconfigApplied { kind, .. } => Some((*kind, "applied")),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                ("goal", "no_controller"),
+                ("budget", "no_controller"),
+                ("budget", "not_finite"),
+                ("budget", "non_positive"),
+                ("goal", "already_missed"),
+                ("horizon", "below_elapsed"),
+                ("horizon", "applied"),
+            ]
+        );
+        // The applied horizon revision is live: finish() runs to 90 s.
+        let report = s.finish().expect("finish");
+        assert_eq!(report.end, SimTime::from_secs(90));
+    }
+
+    #[test]
+    fn adopted_sessions_run_batch_and_refuse_serving_calls() {
+        let mut s = Session::adopt(idle_machine(1, 30)).expect("adopt");
+        assert_eq!(
+            s.ingest(&[Sample::tick(1.0)]).expect_err("not serving"),
+            ServeError::NotServing
+        );
+        assert_eq!(s.finish().expect_err("not serving"), ServeError::NotServing);
+        assert!(s.checkpoints().is_empty());
+        assert!(s.dead_letters().is_none());
+        let report = s.run_to_completion().expect("run");
+        assert!(report.end >= SimTime::from_secs(30));
+        assert!(s.is_finished());
+        assert_eq!(
+            s.run_to_completion().expect_err("twice"),
+            ServeError::Finished
+        );
+    }
+
+    #[test]
+    fn adopted_run_matches_a_bare_machine_bit_for_bit() {
+        let bare = {
+            let mut m = idle_machine(2, 45);
+            let report = m.run();
+            (report.end, report.total_j.to_bits(), m.state_digest())
+        };
+        let adopted = {
+            let mut s = Session::adopt(idle_machine(2, 45)).expect("adopt");
+            let report = s.run_to_completion().expect("run");
+            (report.end, report.total_j.to_bits(), s.digest())
+        };
+        assert_eq!(bare, adopted);
+    }
+}

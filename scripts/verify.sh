@@ -40,6 +40,9 @@ if [ "$sup_a" != "$sup_b" ]; then
 fi
 echo "$sup_a" | head -4
 
+echo "== simserve: kill/resume smoke (1x replay, mid-run checkpoint) =="
+cargo run --release -q -p experiments -- serve
+
 echo "== simpar: serial/parallel byte-equality smoke =="
 par_1="$(cargo run --release -q -p experiments -- chaos fig18 --quick --threads 1 2>/dev/null)"
 par_8="$(cargo run --release -q -p experiments -- chaos fig18 --quick --threads 8 2>/dev/null)"

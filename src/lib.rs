@@ -17,6 +17,8 @@
 //! - [`apps`] — the four adaptive applications plus composite and bursty
 //!   workloads;
 //! - [`backlight`] — the zoned-backlighting projection;
+//! - [`simserve`] — the always-on serving layer: checkpointed,
+//!   crash-resumable, live-reconfigurable sessions over one machine;
 //! - [`experiments`] — one module per table/figure of the paper.
 //!
 //! # Quickstart
@@ -56,3 +58,4 @@ pub use odyssey_apps as apps;
 pub use powerscope;
 pub use simcore;
 pub use simpar;
+pub use simserve;

@@ -250,3 +250,27 @@ fn supervised_recovery_checkpoints_deterministically() {
     assert_eq!(a.total_bits, b.total_bits);
     assert_eq!(a.outcome, b.outcome);
 }
+
+/// The torture sweep: the supervised k=2 *golden* scenario served
+/// through `simserve`, killed at **every** checkpoint boundary and
+/// resumed by replaying the identical sample stream. Each resume must
+/// pass through its salvaged checkpoint digest and end with a final
+/// state digest and an event-for-event simtrace byte-identical to the
+/// uninterrupted run — and the sweep's own output must be byte-identical
+/// whether the boundaries are verified on 1 worker thread or 4.
+#[test]
+fn torture_kill_resume_at_every_checkpoint_boundary() {
+    use energy_adaptation::experiments::serve;
+    use energy_adaptation::experiments::tracerec::GOLDEN_SEED;
+
+    let serial = serve::torture_sweep(GOLDEN_SEED, 1, 1).expect("torture sweep at 1 thread");
+    assert!(
+        serial.len() >= 4,
+        "expected several checkpoint boundaries, got {serial:?}"
+    );
+    for line in &serial {
+        assert!(line.contains("resume OK"), "boundary failed: {line}");
+    }
+    let par = serve::torture_sweep(GOLDEN_SEED, 1, 4).expect("torture sweep at 4 threads");
+    assert_eq!(serial, par, "torture sweep diverges across thread counts");
+}
