@@ -175,6 +175,26 @@ impl Workload for Misbehavior {
         }
     }
 
+    fn freeze(&self, w: &mut simcore::SnapshotWriter) -> Result<(), simcore::SnapshotError> {
+        w.put_usize(self.claimed_offset);
+        w.put_bool(self.crashed);
+        // Only the crash instant is mutable kind state: on_restart defuses
+        // it. The schedule and the other variants are construction-time.
+        if let Kind::Crash { at } = &self.kind {
+            w.put_time(*at);
+        }
+        self.inner.freeze(w)
+    }
+
+    fn thaw(&mut self, r: &mut simcore::SnapshotReader<'_>) -> Result<(), simcore::SnapshotError> {
+        self.claimed_offset = r.take_usize()?;
+        self.crashed = r.take_bool()?;
+        if let Kind::Crash { at } = &mut self.kind {
+            *at = r.take_time()?;
+        }
+        self.inner.thaw(r)
+    }
+
     fn on_restart(&mut self, now: SimTime) -> bool {
         if !self.restartable {
             return false;

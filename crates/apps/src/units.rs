@@ -32,6 +32,31 @@ pub enum UnitStep {
     Pause(SimDuration),
 }
 
+impl UnitStep {
+    /// Encodes the step into a snapshot payload.
+    pub fn freeze_into(&self, w: &mut simcore::SnapshotWriter) {
+        match self {
+            UnitStep::Act(a) => {
+                w.put_u64(0);
+                a.freeze_into(w);
+            }
+            UnitStep::Pause(d) => {
+                w.put_u64(1);
+                w.put_duration(*d);
+            }
+        }
+    }
+
+    /// Decodes a step written by [`Self::freeze_into`].
+    pub fn thaw_from(r: &mut simcore::SnapshotReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(match r.take_u64()? {
+            0 => UnitStep::Act(Activity::thaw_from(r)?),
+            1 => UnitStep::Pause(r.take_duration()?),
+            _ => return Err(simcore::SnapshotError::Corrupt("unit step tag")),
+        })
+    }
+}
+
 /// Local recognition of a list of utterances (the composite's speech leg).
 pub fn speech_unit(utterances: &[Utterance], reduced: bool, jitter: f64) -> Vec<UnitStep> {
     let mut steps = Vec::new();

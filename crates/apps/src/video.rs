@@ -232,6 +232,43 @@ impl Workload for VideoPlayer {
             _ => false,
         }
     }
+
+    fn freeze(&self, w: &mut simcore::SnapshotWriter) -> Result<(), simcore::SnapshotError> {
+        w.put_usize(self.level);
+        w.put_u64(match self.phase {
+            Phase::Fetch => 0,
+            Phase::Decode => 1,
+            Phase::Render => 2,
+            Phase::Pace => 3,
+        });
+        w.put_u64(self.frame);
+        w.put_time(self.next_frame_at);
+        Ok(())
+    }
+
+    fn thaw(&mut self, r: &mut simcore::SnapshotReader<'_>) -> Result<(), simcore::SnapshotError> {
+        let level = r.take_usize()?;
+        if level >= self.ladder.len() {
+            return Err(simcore::SnapshotError::Corrupt("video fidelity level"));
+        }
+        let phase = match r.take_u64()? {
+            0 => Phase::Fetch,
+            1 => Phase::Decode,
+            2 => Phase::Render,
+            3 => Phase::Pace,
+            _ => return Err(simcore::SnapshotError::Corrupt("video phase tag")),
+        };
+        let frame = r.take_u64()?;
+        if frame > self.frames_total {
+            return Err(simcore::SnapshotError::Corrupt("video frame counter"));
+        }
+        let next_frame_at = r.take_time()?;
+        self.level = level;
+        self.phase = phase;
+        self.frame = frame;
+        self.next_frame_at = next_frame_at;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,10 @@ pub struct BenchRecord {
     pub min_wall_ms: f64,
     /// Serial median divided by this median (1.0 for the serial row).
     pub speedup_vs_serial: f64,
+    /// Sustained work rate, units per wall second, for scenarios with a
+    /// countable unit of work (the `serve` scenario reports directives
+    /// issued per second); `None` elsewhere.
+    pub work_per_s: Option<f64>,
 }
 
 /// Median of `samples` (mean of the middle pair for even counts).
@@ -66,10 +70,14 @@ pub fn render_sweep_json(records: &[BenchRecord]) -> String {
     let mut out = String::from("{\n  \"schema\": \"bench_sweep/v1\",\n  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         let sep = if i + 1 == records.len() { "" } else { "," };
+        let work = r
+            .work_per_s
+            .map(|w| format!(", \"directives_per_s\": {w:.1}"))
+            .unwrap_or_default();
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"threads\": {}, \"reps\": {}, \
              \"median_wall_ms\": {:.3}, \"min_wall_ms\": {:.3}, \
-             \"speedup_vs_serial\": {:.3}}}{sep}\n",
+             \"speedup_vs_serial\": {:.3}{work}}}{sep}\n",
             r.scenario, r.threads, r.reps, r.median_wall_ms, r.min_wall_ms, r.speedup_vs_serial,
         ));
     }
@@ -82,11 +90,15 @@ pub fn render_sweep_json(records: &[BenchRecord]) -> String {
 pub fn render_sweep_table(records: &[BenchRecord]) -> String {
     let mut out = String::from(
         "Benchmark sweep (wall-clock, median over reps)\n\
-         scenario     threads  median_ms      min_ms  speedup\n",
+         scenario     threads  median_ms      min_ms  speedup  work/s\n",
     );
     for r in records {
+        let work = r
+            .work_per_s
+            .map(|w| format!("  {w:>7.0}"))
+            .unwrap_or_default();
         out.push_str(&format!(
-            "{:<12} {:>7}  {:>9.1}  {:>10.1}  {:>6.2}x\n",
+            "{:<12} {:>7}  {:>9.1}  {:>10.1}  {:>6.2}x{work}\n",
             r.scenario, r.threads, r.median_wall_ms, r.min_wall_ms, r.speedup_vs_serial,
         ));
     }
@@ -122,6 +134,7 @@ mod tests {
                 median_wall_ms: 12.5,
                 min_wall_ms: 11.0,
                 speedup_vs_serial: 1.0,
+                work_per_s: None,
             },
             BenchRecord {
                 scenario: "fig2".into(),
@@ -130,12 +143,16 @@ mod tests {
                 median_wall_ms: 4.0,
                 min_wall_ms: 3.5,
                 speedup_vs_serial: 3.125,
+                work_per_s: Some(1234.5),
             },
         ];
         let json = render_sweep_json(&records);
         assert!(json.contains("\"schema\": \"bench_sweep/v1\""));
         assert!(json.contains("\"scenario\": \"fig2\""));
         assert!(json.contains("\"speedup_vs_serial\": 3.125"));
+        // The work-rate field appears only on rows that measure one.
+        assert!(json.contains("\"directives_per_s\": 1234.5"));
+        assert_eq!(json.matches("directives_per_s").count(), 1);
         // Exactly one trailing comma between the two records.
         assert_eq!(json.matches("},\n").count(), 1);
         // Balanced braces make it parseable by any JSON reader.
@@ -151,6 +168,7 @@ mod tests {
             median_wall_ms: 100.0,
             min_wall_ms: 90.0,
             speedup_vs_serial: 1.9,
+            work_per_s: None,
         }];
         let table = render_sweep_table(&records);
         assert!(table.contains("goal"));

@@ -93,6 +93,16 @@ pub fn run_sweep(trials: &Trials, thread_counts: &[usize], reps: usize) -> Sweep
     let mut records = Vec::new();
     let mut divergent = Vec::new();
     for scenario in SCENARIOS {
+        // The serve scenario has a countable unit of work: directives
+        // issued over the replayed stream. The count is a pure function
+        // of the seed, so one replay prices every thread count's rows.
+        let work_units: Option<u64> = (scenario == "serve").then(|| {
+            let samples =
+                serve::schedule(1).unwrap_or_else(|e| panic!("bench serve scenario: {e}"));
+            let run = serve::replay(trials.seed, &samples, None)
+                .unwrap_or_else(|e| panic!("bench serve scenario: {e}"));
+            run.directives as u64
+        });
         let serial_digest = digest(scenario, &trials.with_threads(1));
         let mut serial_median_ms = 0.0f64;
         for &threads in &counts {
@@ -117,6 +127,8 @@ pub fn run_sweep(trials: &Trials, thread_counts: &[usize], reps: usize) -> Sweep
                 } else {
                     1.0
                 },
+                work_per_s: work_units
+                    .and_then(|units| (median_ms > 0.0).then(|| units as f64 / (median_ms / 1e3))),
             });
         }
     }
@@ -183,6 +195,16 @@ mod tests {
             assert_eq!(pair[1].threads, 2);
             assert_eq!(pair[0].scenario, pair[1].scenario);
             assert!((pair[0].speedup_vs_serial - 1.0).abs() < 1e-12);
+            // Only the serve rows measure a directive rate, and it is a
+            // real (positive, finite) throughput.
+            if pair[0].scenario == "serve" {
+                for r in pair {
+                    let rate = r.work_per_s.expect("serve row without a rate");
+                    assert!(rate.is_finite() && rate > 0.0, "rate {rate}");
+                }
+            } else {
+                assert!(pair[0].work_per_s.is_none());
+            }
         }
     }
 }

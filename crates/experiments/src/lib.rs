@@ -49,6 +49,7 @@ pub mod fig22;
 pub mod fig4;
 pub mod fig6;
 pub mod fig8;
+pub mod fuzz;
 pub mod goalrig;
 pub mod harness;
 pub mod headline;

@@ -64,17 +64,21 @@ const BENCH_REPS: usize = 3;
 /// Default replay multiple for the `serve` verb (the CI soak passes 100).
 const SERVE_MULTIPLE: u32 = 1;
 
+/// Default seeded hostile streams for the `fuzz` verb (the CI soak's
+/// floor; `--streams` raises it).
+const FUZZ_STREAMS: usize = 1000;
+
 fn usage() -> ! {
     eprintln!(
-        "usage: odyssey-experiments [--trials N] [--seed S] [--quick] [--threads T[,T...]] [--reps R] [--multiple M] [--out DIR] [IDS...]\n  IDS: {} | all\n  golden traces: tracediff (compare against tests/golden/) | tracerec (regenerate)\n  benchmarks: bench (time scenarios across --threads counts, write BENCH_sweep.json)\n  serving: serve (replay golden trace at --multiple density; kill, resume, fail on divergence)",
+        "usage: odyssey-experiments [--trials N] [--seed S] [--quick] [--threads T[,T...]] [--reps R] [--multiple M] [--scenario NAME] [--sessions N] [--streams N] [--out DIR] [IDS...]\n  IDS: {} | all\n  golden traces: tracediff (compare against tests/golden/) | tracerec (regenerate)\n  benchmarks: bench (time scenarios across --threads counts, write BENCH_sweep.json)\n  serving: serve (replay --scenario golden stream at --multiple density through --sessions isolated sessions; kill, resume by replay and by snapshot, fail on divergence)\n  fuzzing: fuzz (drive --streams seeded hostile mutations of the golden stream through isolated sessions; fail on any panic, unsurfaced error, or unstable recovery digest)",
         ALL.join(" ")
     );
     std::process::exit(2)
 }
 
-fn run_serve_verb(seed: u64, multiple: u32) {
+fn run_serve_verb(seed: u64, multiple: u32, scenario: &str, sessions: usize, threads: usize) {
     let sw = bench::Stopwatch::start();
-    match serve::run_verb(seed, multiple) {
+    match serve::run_verb(seed, multiple, scenario, sessions, threads) {
         Ok(summary) => {
             print!("{summary}");
             eprintln!("[serve completed in {:.1}s]", sw.elapsed_s());
@@ -86,6 +90,43 @@ fn run_serve_verb(seed: u64, multiple: u32) {
                 let path = dir.join("divergence.txt");
                 if std::fs::write(&path, format!("{report}\n")).is_ok() {
                     eprintln!("serve: divergence report saved to {}", path.display());
+                }
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_fuzz_verb(seed: u64, streams: usize, threads: usize, scenario: &str) {
+    let sw = bench::Stopwatch::start();
+    match fuzz::run_verb(seed, streams, threads, scenario) {
+        Ok(summary) => {
+            print!("{summary}");
+            eprintln!("[fuzz completed in {:.1}s]", sw.elapsed_s());
+        }
+        Err(failure) => {
+            eprintln!("{}", failure.report);
+            let dir = std::path::PathBuf::from("target/fuzz");
+            if std::fs::create_dir_all(&dir).is_ok() {
+                let path = dir.join("failure.txt");
+                if std::fs::write(&path, format!("{}\n", failure.report)).is_ok() {
+                    eprintln!("fuzz: failure report saved to {}", path.display());
+                }
+                // Reconstruct the failing stream and the surviving
+                // state so CI can archive a reproducer.
+                if let Some(i) = failure.stream {
+                    if let Ok((text, snap)) = fuzz::failure_artifacts(seed, scenario, i) {
+                        let sp = dir.join(format!("stream{i}.txt"));
+                        if std::fs::write(&sp, text).is_ok() {
+                            eprintln!("fuzz: failing stream saved to {}", sp.display());
+                        }
+                        if let Some(bytes) = snap {
+                            let bp = dir.join(format!("stream{i}.snapshot"));
+                            if std::fs::write(&bp, bytes).is_ok() {
+                                eprintln!("fuzz: surviving snapshot saved to {}", bp.display());
+                            }
+                        }
+                    }
                 }
             }
             std::process::exit(1);
@@ -158,6 +199,9 @@ fn main() {
     let mut thread_counts: Option<Vec<usize>> = None;
     let mut reps = BENCH_REPS;
     let mut multiple = SERVE_MULTIPLE;
+    let mut scenario = serve::REPLAY_SCENARIO.to_string();
+    let mut sessions = 1usize;
+    let mut streams = FUZZ_STREAMS;
     let mut ids: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -200,6 +244,25 @@ fn main() {
                 multiple = m.parse().unwrap_or_else(|_| usage());
                 if multiple == 0 {
                     eprintln!("--multiple must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--scenario" => {
+                scenario = args.next().unwrap_or_else(|| usage());
+            }
+            "--sessions" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                sessions = n.parse().unwrap_or_else(|_| usage());
+                if sessions == 0 {
+                    eprintln!("--sessions must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--streams" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                streams = n.parse().unwrap_or_else(|_| usage());
+                if streams == 0 {
+                    eprintln!("--streams must be at least 1");
                     std::process::exit(2);
                 }
             }
@@ -259,7 +322,11 @@ fn main() {
             false
         }
         "serve" => {
-            run_serve_verb(trials.seed, multiple);
+            run_serve_verb(trials.seed, multiple, &scenario, sessions, trials.threads);
+            false
+        }
+        "fuzz" => {
+            run_fuzz_verb(trials.seed, streams, trials.threads, &scenario);
             false
         }
         _ => true,

@@ -17,7 +17,7 @@
 use std::fs;
 
 use simcore::{Checkpoint, SimDuration, SimRng, TraceCategory, TraceHandle, TraceSink};
-use simserve::{Sample, ServeError, Session, SessionConfig};
+use simserve::{run_fleet, FleetSpec, Sample, ServeError, Session, SessionConfig, SessionHealth};
 
 use crate::supervise;
 use crate::tracerec;
@@ -92,8 +92,22 @@ fn time_of(line: &str) -> Result<f64, String> {
 /// subdivided `multiple`-fold. The stream is a pure function of the
 /// checked-in file, so every replay feeds identical input.
 pub fn schedule(multiple: u32) -> Result<Vec<Sample>, String> {
+    schedule_for(REPLAY_SCENARIO, multiple)
+}
+
+/// [`schedule`] generalized over the recorded golden scenarios: any of
+/// [`tracerec::SCENARIOS`] can drive the session (`--scenario` on the
+/// CLI). The session rig itself stays the supervised k=2 build; only the
+/// tick stream changes, so short streams simply serve a shorter run.
+pub fn schedule_for(scenario: &str, multiple: u32) -> Result<Vec<Sample>, String> {
+    if !tracerec::SCENARIOS.contains(&scenario) {
+        return Err(format!(
+            "serve: unknown scenario {scenario} (have {:?})",
+            tracerec::SCENARIOS
+        ));
+    }
     let multiple = multiple.max(1);
-    let path = tracerec::golden_path(REPLAY_SCENARIO);
+    let path = tracerec::golden_path(scenario);
     let body = fs::read_to_string(&path).map_err(|e| {
         format!(
             "serve: cannot read golden trace {}: {e}\n\
@@ -159,10 +173,90 @@ pub fn replay(
     })
 }
 
+/// What a kill boundary leaves behind on the snapshot path: the frozen
+/// state, how much of the stream it covers, and the trace emitted up to
+/// the freeze (the part a thawed twin can never re-emit).
+#[derive(Clone, Debug)]
+pub struct FrozenRun {
+    /// `Session::freeze` bytes taken at the kill point.
+    pub snapshot: Vec<u8>,
+    /// Samples fed before the freeze; resume continues at this index.
+    pub samples_fed: usize,
+    /// Trace emitted before the freeze (prefix of the uninterrupted
+    /// run's trace; snapshots exclude trace history by design).
+    pub trace_prefix: Vec<String>,
+}
+
+/// Replays until checkpoint `k` is recorded — exactly [`replay`]'s kill
+/// point — then freezes the session instead of dropping it. Boundaries
+/// that only fall during the post-stream run-out (checkpoints recorded
+/// by `finish`) freeze at end-of-stream instead: killed after the last
+/// sample, before the run-out.
+pub fn freeze_at_boundary(seed: u64, samples: &[Sample], k: usize) -> Result<FrozenRun, String> {
+    let mut session = build_session(seed).map_err(|e| format!("serve: {e}"))?;
+    let mut fed = 0usize;
+    for chunk in samples.chunks(64) {
+        session
+            .ingest(chunk)
+            .map_err(|e| format!("serve: ingest failed at sample {fed}: {e}"))?;
+        fed += chunk.len();
+        if session.checkpoints().len() > k {
+            break;
+        }
+    }
+    Ok(FrozenRun {
+        snapshot: session
+            .freeze()
+            .map_err(|e| format!("boundary {k}: freeze failed: {e}"))?,
+        samples_fed: fed,
+        trace_prefix: session.trace_jsonl(),
+    })
+}
+
+/// Resumes from a snapshot in O(state): builds the session shell fresh,
+/// thaws the frozen bytes into it, and feeds only the remainder of the
+/// stream. No history is replayed — that is the point.
+pub fn snapshot_resume(
+    seed: u64,
+    samples: &[Sample],
+    frozen: &FrozenRun,
+) -> Result<ServeRun, String> {
+    let mut session = build_session(seed).map_err(|e| format!("serve: {e}"))?;
+    session
+        .thaw(&frozen.snapshot)
+        .map_err(|e| format!("serve: thaw failed: {e}"))?;
+    let rest = samples.get(frozen.samples_fed..).unwrap_or(&[]);
+    let mut directives = 0usize;
+    let mut fed = frozen.samples_fed;
+    for chunk in rest.chunks(64) {
+        directives += session
+            .ingest(chunk)
+            .map_err(|e| format!("serve: post-thaw ingest failed at sample {fed}: {e}"))?
+            .len();
+        fed += chunk.len();
+    }
+    session
+        .finish()
+        .map_err(|e| format!("serve: post-thaw finish: {e}"))?;
+    Ok(ServeRun {
+        samples_fed: fed,
+        directives,
+        checkpoints: session.checkpoints(),
+        dead_letters: session.dead_letters().map(|d| d.total()).unwrap_or(0),
+        final_digest: session.digest(),
+        // Post-thaw emissions only: snapshots exclude trace history, so
+        // callers compare this as a suffix of the uninterrupted trace.
+        trace: session.trace_jsonl(),
+    })
+}
+
 /// Verifies one crash boundary: kill after checkpoint `k`, salvage the
 /// journal, resume by replaying the identical stream, and demand the
 /// resumed run passes through the salvage point and ends byte-identical
-/// to `base`. Returns a one-line proof summary.
+/// to `base`. Then proves the O(state) path: a snapshot frozen at the
+/// same boundary thaws into a fresh shell, consumes only the remaining
+/// stream, and lands on the same digests and trace. Returns a one-line
+/// proof summary.
 fn verify_boundary(
     seed: u64,
     samples: &[Sample],
@@ -208,11 +302,39 @@ fn verify_boundary(
             "boundary {k}: resumed trace diverges from uninterrupted at event {at}"
         ));
     }
+    // The O(state) path must land exactly where the O(history) path did.
+    let frozen = freeze_at_boundary(seed, samples, k)?;
+    let thawed = snapshot_resume(seed, samples, &frozen)?;
+    if thawed.final_digest != base.final_digest {
+        return Err(format!(
+            "boundary {k}: snapshot-resumed digest {:#018x} != uninterrupted {:#018x}",
+            thawed.final_digest, base.final_digest
+        ));
+    }
+    if thawed.checkpoints != base.checkpoints {
+        return Err(format!(
+            "boundary {k}: snapshot-resumed journal diverges ({} vs {} checkpoints)",
+            thawed.checkpoints.len(),
+            base.checkpoints.len()
+        ));
+    }
+    let stitched: Vec<&String> = frozen.trace_prefix.iter().chain(&thawed.trace).collect();
+    if stitched.len() != base.trace.len() || stitched.iter().zip(&base.trace).any(|(a, b)| *a != b)
+    {
+        return Err(format!(
+            "boundary {k}: snapshot prefix+suffix trace ({} events) != uninterrupted ({})",
+            stitched.len(),
+            base.trace.len()
+        ));
+    }
     Ok(format!(
-        "boundary {k}: salvage t={:.0}s digest={:#018x} resume OK ({} events)",
+        "boundary {k}: salvage t={:.0}s digest={:#018x} replay+snapshot resume OK \
+         ({} events, snapshot {} bytes covering {} samples)",
         salvage.t.as_secs_f64(),
         salvage.digest,
-        base.trace.len()
+        base.trace.len(),
+        frozen.snapshot.len(),
+        frozen.samples_fed
     ))
 }
 
@@ -240,24 +362,63 @@ pub fn torture_sweep(seed: u64, multiple: u32, threads: usize) -> Result<Vec<Str
     Ok(lines)
 }
 
-/// The CLI verb body: replay at `multiple`, kill at the mid-run
-/// checkpoint, resume, and report. `Err` is a divergence report (the CI
-/// soak uploads it as an artifact).
-pub fn run_verb(seed: u64, multiple: u32) -> Result<String, String> {
-    let samples = schedule(multiple)?;
-    let base = replay(seed, &samples, None)?;
-    if base.checkpoints.len() < 2 {
-        return Err(format!(
-            "serve: expected several checkpoints, got {}",
-            base.checkpoints.len()
+/// Runs `sessions` independent session lifecycles over the same stream
+/// (per-slot seeds `seed..seed+sessions`), fanned across `threads`
+/// workers with index-ordered merge. Returns one summary line per slot
+/// or the first unhealthy outcome as an error.
+pub fn run_sessions(
+    seed: u64,
+    samples: &[Sample],
+    sessions: usize,
+    threads: usize,
+) -> Result<Vec<String>, String> {
+    let specs: Vec<FleetSpec<_>> = (0..sessions)
+        .map(|i| FleetSpec {
+            builder: move || build_session(seed + i as u64),
+            samples: samples.to_vec(),
+            batch: 64,
+        })
+        .collect();
+    let outcomes = run_fleet(threads, &specs);
+    let mut lines = Vec::with_capacity(outcomes.len());
+    for (i, o) in outcomes.iter().enumerate() {
+        if let SessionHealth::Dead { reason } = o.health {
+            return Err(format!(
+                "serve: session {i} (seed {}) died: {reason}",
+                seed + i as u64
+            ));
+        }
+        lines.push(format!(
+            "session {i}: seed {} digest {:#018x} {} directives, {} checkpoints, \
+             {} dead letters, {} faults contained",
+            seed + i as u64,
+            o.final_digest,
+            o.directives,
+            o.checkpoints,
+            o.dead_letters,
+            o.faults
         ));
     }
-    let mid = base.checkpoints.len() / 2;
-    let proof = verify_boundary(seed, &samples, &base, mid)?;
+    Ok(lines)
+}
+
+/// The CLI verb body: replay `scenario` at `multiple` density, kill at
+/// the mid-run checkpoint, resume by replay *and* by snapshot, and
+/// report. With `sessions > 1` the stream is also served through that
+/// many isolated server slots across `threads` workers. `Err` is a
+/// divergence report (the CI soak uploads it as an artifact).
+pub fn run_verb(
+    seed: u64,
+    multiple: u32,
+    scenario: &str,
+    sessions: usize,
+    threads: usize,
+) -> Result<String, String> {
+    let samples = schedule_for(scenario, multiple)?;
+    let base = replay(seed, &samples, None)?;
     let mut out = String::new();
     out.push_str(&format!(
-        "serve: replayed {} at {multiple}x: {} samples, {} directives, {} checkpoints, {} dead letters\n",
-        REPLAY_SCENARIO,
+        "serve: replayed {scenario} at {multiple}x: {} samples, {} directives, {} checkpoints, {} dead letters\n",
         base.samples_fed,
         base.directives,
         base.checkpoints.len(),
@@ -268,7 +429,28 @@ pub fn run_verb(seed: u64, multiple: u32) -> Result<String, String> {
         base.final_digest,
         base.trace.len()
     ));
-    out.push_str(&format!("serve: kill/resume {proof}\n"));
+    if base.checkpoints.len() >= 2 {
+        let mid = base.checkpoints.len() / 2;
+        let proof = verify_boundary(seed, &samples, &base, mid)?;
+        out.push_str(&format!("serve: kill/resume {proof}\n"));
+    } else if scenario == REPLAY_SCENARIO {
+        // The canonical scenario always spans several checkpoints; fewer
+        // is a regression, not a short stream.
+        return Err(format!(
+            "serve: expected several checkpoints, got {}",
+            base.checkpoints.len()
+        ));
+    } else {
+        out.push_str(&format!(
+            "serve: stream too short for a kill/resume proof ({} checkpoints)\n",
+            base.checkpoints.len()
+        ));
+    }
+    if sessions > 1 {
+        for line in run_sessions(seed, &samples, sessions, threads)? {
+            out.push_str(&format!("serve: {line}\n"));
+        }
+    }
     Ok(out)
 }
 
@@ -307,10 +489,52 @@ mod tests {
         assert_eq!(a.dead_letters, 0, "clean stream dead-lettered");
     }
 
-    /// The verb's single mid-run kill/resume proof passes end to end.
+    /// The verb's single mid-run kill/resume proof passes end to end,
+    /// covering both the replay and the snapshot resume path.
     #[test]
     fn verb_kill_resume_proof_passes() {
-        let out = run_verb(GOLDEN_SEED, 1).expect("kill/resume proof");
-        assert!(out.contains("resume OK"), "{out}");
+        let out = run_verb(GOLDEN_SEED, 1, REPLAY_SCENARIO, 1, 1).expect("kill/resume proof");
+        assert!(out.contains("replay+snapshot resume OK"), "{out}");
+    }
+
+    /// A snapshot frozen mid-run thaws into a fresh shell and, fed only
+    /// the remaining stream, lands on the uninterrupted run's digest
+    /// with the stitched trace byte-identical.
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run() {
+        let samples = schedule(1).expect("golden trace present");
+        let base = replay(GOLDEN_SEED, &samples, None).expect("replay");
+        let frozen = freeze_at_boundary(GOLDEN_SEED, &samples, 1).expect("freeze");
+        assert!(frozen.samples_fed < samples.len(), "froze at end of stream");
+        let thawed = snapshot_resume(GOLDEN_SEED, &samples, &frozen).expect("thaw");
+        assert_eq!(thawed.final_digest, base.final_digest);
+        assert_eq!(thawed.checkpoints, base.checkpoints);
+        let stitched: Vec<&String> = frozen.trace_prefix.iter().chain(&thawed.trace).collect();
+        let base_refs: Vec<&String> = base.trace.iter().collect();
+        assert_eq!(stitched, base_refs);
+    }
+
+    /// Every golden scenario yields a servable schedule; unknown names
+    /// are refused.
+    #[test]
+    fn any_golden_scenario_drives_the_session() {
+        for scenario in crate::tracerec::SCENARIOS {
+            let s = schedule_for(scenario, 1).expect(scenario);
+            assert!(!s.is_empty(), "{scenario} schedule empty");
+            let run = replay(GOLDEN_SEED, &s, None).expect(scenario);
+            assert!(run.final_digest != 0, "{scenario} digest trivially zero");
+        }
+        assert!(schedule_for("fig99", 1).is_err());
+    }
+
+    /// Multi-session serving is healthy, deterministic, and identical at
+    /// any thread count.
+    #[test]
+    fn multi_session_fleet_is_thread_count_invariant() {
+        let samples = schedule(1).expect("golden trace present");
+        let solo = run_sessions(GOLDEN_SEED, &samples, 3, 1).expect("fleet@1");
+        let wide = run_sessions(GOLDEN_SEED, &samples, 3, 4).expect("fleet@4");
+        assert_eq!(solo, wide);
+        assert_eq!(solo.len(), 3);
     }
 }

@@ -74,6 +74,40 @@ impl DiskModel {
         self.state
     }
 
+    /// Encodes the disk's mutable state (the policy parameters are
+    /// construction-time) into a snapshot payload.
+    pub fn freeze_into(&self, w: &mut simcore::SnapshotWriter) {
+        w.put_u64(match self.state {
+            DiskState::Active => 0,
+            DiskState::Idle => 1,
+            DiskState::Standby => 2,
+            DiskState::SpinningUp => 3,
+        });
+        w.put_time(self.last_activity);
+        w.put_usize(self.pending_reads);
+    }
+
+    /// Restores the mutable state written by [`Self::freeze_into`] onto
+    /// this (freshly built) disk.
+    pub fn thaw_from(
+        &mut self,
+        r: &mut simcore::SnapshotReader<'_>,
+    ) -> Result<(), simcore::SnapshotError> {
+        let state = match r.take_u64()? {
+            0 => DiskState::Active,
+            1 => DiskState::Idle,
+            2 => DiskState::Standby,
+            3 => DiskState::SpinningUp,
+            _ => return Err(simcore::SnapshotError::Corrupt("disk state tag")),
+        };
+        let last_activity = r.take_time()?;
+        let pending_reads = r.take_usize()?;
+        self.state = state;
+        self.last_activity = last_activity;
+        self.pending_reads = pending_reads;
+        Ok(())
+    }
+
     /// Begins a request; returns the delay before data transfer can start
     /// (non-zero when a spin-up from standby is needed).
     pub fn begin_access(&mut self, now: SimTime) -> SimDuration {

@@ -58,6 +58,22 @@ impl RadioModel {
         self.wake_windows += 1;
     }
 
+    /// Encodes the radio's mutable counters into a snapshot payload.
+    pub fn freeze_into(&self, w: &mut simcore::SnapshotWriter) {
+        w.put_usize(self.wake_windows);
+        w.put_usize(self.transfers);
+    }
+
+    /// Restores the counters written by [`Self::freeze_into`].
+    pub fn thaw_from(
+        &mut self,
+        r: &mut simcore::SnapshotReader<'_>,
+    ) -> Result<(), simcore::SnapshotError> {
+        self.wake_windows = r.take_usize()?;
+        self.transfers = r.take_usize()?;
+        Ok(())
+    }
+
     /// Closes a wake window.
     ///
     /// # Panics

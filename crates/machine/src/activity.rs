@@ -79,6 +79,101 @@ impl Activity {
     pub fn wait_for(now: SimTime, d: SimDuration) -> Activity {
         Activity::Wait { until: now + d }
     }
+
+    /// Encodes the activity into a snapshot payload.
+    pub fn freeze_into(&self, w: &mut simcore::SnapshotWriter) {
+        match *self {
+            Activity::Cpu {
+                duration,
+                intensity,
+                procedure,
+            } => {
+                w.put_u64(0);
+                w.put_duration(duration);
+                w.put_f64(intensity);
+                w.put_str(procedure);
+            }
+            Activity::CpuAs {
+                bucket,
+                duration,
+                intensity,
+                procedure,
+            } => {
+                w.put_u64(1);
+                w.put_str(bucket);
+                w.put_duration(duration);
+                w.put_f64(intensity);
+                w.put_str(procedure);
+            }
+            Activity::XRender { cost } => {
+                w.put_u64(2);
+                w.put_duration(cost);
+            }
+            Activity::Rpc { spec, procedure } => {
+                w.put_u64(3);
+                w.put_u64(spec.request_bytes);
+                w.put_u64(spec.reply_bytes);
+                w.put_duration(spec.server_time);
+                w.put_str(procedure);
+            }
+            Activity::BulkFetch { bytes, procedure } => {
+                w.put_u64(4);
+                w.put_u64(bytes);
+                w.put_str(procedure);
+            }
+            Activity::DiskRead { bytes, procedure } => {
+                w.put_u64(5);
+                w.put_u64(bytes);
+                w.put_str(procedure);
+            }
+            Activity::Wait { until } => {
+                w.put_u64(6);
+                w.put_time(until);
+            }
+        }
+    }
+
+    /// Decodes an activity written by [`Self::freeze_into`].
+    pub fn thaw_from(
+        r: &mut simcore::SnapshotReader<'_>,
+    ) -> Result<Activity, simcore::SnapshotError> {
+        Ok(match r.take_u64()? {
+            0 => Activity::Cpu {
+                duration: r.take_duration()?,
+                intensity: r.take_f64()?,
+                procedure: r.take_static_str()?,
+            },
+            1 => Activity::CpuAs {
+                bucket: r.take_static_str()?,
+                duration: r.take_duration()?,
+                intensity: r.take_f64()?,
+                procedure: r.take_static_str()?,
+            },
+            2 => Activity::XRender {
+                cost: r.take_duration()?,
+            },
+            3 => Activity::Rpc {
+                spec: RpcSpec {
+                    request_bytes: r.take_u64()?,
+                    reply_bytes: r.take_u64()?,
+                    server_time: r.take_duration()?,
+                },
+                procedure: r.take_static_str()?,
+            },
+            4 => Activity::BulkFetch {
+                bytes: r.take_u64()?,
+                procedure: r.take_static_str()?,
+            },
+            5 => Activity::DiskRead {
+                bytes: r.take_u64()?,
+                procedure: r.take_static_str()?,
+            },
+            6 => Activity::Wait {
+                until: r.take_time()?,
+            },
+            _ => return Err(simcore::SnapshotError::Corrupt("activity tag")),
+        })
+    }
 }
 
 /// What a workload does next.

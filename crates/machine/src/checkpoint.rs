@@ -42,6 +42,16 @@ impl ControlHook for CheckpointHook {
             journal.record_if_due(now, || digest);
         }
     }
+
+    fn freeze(&self, w: &mut simcore::SnapshotWriter) -> Result<(), simcore::SnapshotError> {
+        self.journal.borrow().freeze_into(w);
+        Ok(())
+    }
+
+    fn thaw(&mut self, r: &mut simcore::SnapshotReader<'_>) -> Result<(), simcore::SnapshotError> {
+        *self.journal.borrow_mut() = RunJournal::thaw_from(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

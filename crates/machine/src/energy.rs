@@ -135,6 +135,63 @@ impl Ledger {
     pub(crate) fn components(&self) -> ComponentTotals {
         self.components
     }
+
+    pub(crate) fn freeze_into(&self, w: &mut simcore::SnapshotWriter) {
+        w.put_f64(self.total_j);
+        w.put_usize(self.buckets.len());
+        for (name, j) in &self.buckets {
+            w.put_str(name);
+            w.put_f64(*j);
+        }
+        w.put_usize(self.detail.len());
+        for ((process, procedure), (secs, j)) in &self.detail {
+            w.put_str(process);
+            w.put_str(procedure);
+            w.put_f64(*secs);
+            w.put_f64(*j);
+        }
+        w.put_f64(self.components.display_j);
+        w.put_f64(self.components.disk_j);
+        w.put_f64(self.components.radio_j);
+        w.put_f64(self.components.cpu_j);
+        w.put_f64(self.components.base_j);
+        w.put_f64(self.components.superlinear_j);
+    }
+
+    pub(crate) fn thaw_from(
+        r: &mut simcore::SnapshotReader<'_>,
+    ) -> Result<Ledger, simcore::SnapshotError> {
+        let total_j = r.take_f64()?;
+        let n = r.take_usize()?;
+        let mut buckets = BTreeMap::new();
+        for _ in 0..n {
+            let name = r.take_static_str()?;
+            buckets.insert(name, r.take_f64()?);
+        }
+        let n = r.take_usize()?;
+        let mut detail = BTreeMap::new();
+        for _ in 0..n {
+            let process = r.take_static_str()?;
+            let procedure = r.take_static_str()?;
+            let secs = r.take_f64()?;
+            let j = r.take_f64()?;
+            detail.insert((process, procedure), (secs, j));
+        }
+        let components = ComponentTotals {
+            display_j: r.take_f64()?,
+            disk_j: r.take_f64()?,
+            radio_j: r.take_f64()?,
+            cpu_j: r.take_f64()?,
+            base_j: r.take_f64()?,
+            superlinear_j: r.take_f64()?,
+        };
+        Ok(Ledger {
+            total_j,
+            buckets,
+            detail,
+            components,
+        })
+    }
 }
 
 /// The result of one machine run.

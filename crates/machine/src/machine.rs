@@ -141,6 +141,26 @@ pub struct ProcessInfo {
 pub trait ControlHook {
     /// Called every period with a view of the machine.
     fn on_tick(&mut self, now: SimTime, view: &mut MachineView<'_>);
+
+    /// Encodes the hook's mutable state into a snapshot payload. Hooks
+    /// that don't implement the pair make the whole machine
+    /// non-freezable — [`Machine::freeze`] surfaces the error and the
+    /// caller falls back to replay-based resume.
+    fn freeze(&self, w: &mut simcore::SnapshotWriter) -> Result<(), simcore::SnapshotError> {
+        let _ = w;
+        Err(simcore::SnapshotError::Unsupported(
+            "control hook does not implement freeze",
+        ))
+    }
+
+    /// Restores the state written by [`ControlHook::freeze`] onto this
+    /// freshly-rebuilt hook.
+    fn thaw(&mut self, r: &mut simcore::SnapshotReader<'_>) -> Result<(), simcore::SnapshotError> {
+        let _ = r;
+        Err(simcore::SnapshotError::Unsupported(
+            "control hook does not implement thaw",
+        ))
+    }
 }
 
 /// Controller-facing view of a running machine.
@@ -441,6 +461,208 @@ struct FlowCtx {
     /// Bytes credited to the receiver on completion (0 for request legs).
     rx_bytes: u64,
     started: SimTime,
+}
+
+// ---- Snapshot codecs for the private scheduler types -------------------
+
+fn freeze_cpu_job(job: &CpuJob, w: &mut simcore::SnapshotWriter) {
+    w.put_duration(job.remaining);
+    w.put_f64(job.intensity);
+    w.put_str(job.procedure);
+    match job.bucket {
+        None => w.put_u64(0),
+        Some(b) => {
+            w.put_u64(1);
+            w.put_str(b);
+        }
+    }
+}
+
+fn thaw_cpu_job(r: &mut simcore::SnapshotReader<'_>) -> Result<CpuJob, simcore::SnapshotError> {
+    let remaining = r.take_duration()?;
+    let intensity = r.take_f64()?;
+    if !intensity.is_finite() || !(0.0..=1.0).contains(&intensity) {
+        return Err(simcore::SnapshotError::Corrupt("cpu job intensity"));
+    }
+    let procedure = r.take_static_str()?;
+    let bucket = match r.take_u64()? {
+        0 => None,
+        1 => Some(r.take_static_str()?),
+        _ => return Err(simcore::SnapshotError::Corrupt("cpu job bucket tag")),
+    };
+    Ok(CpuJob {
+        remaining,
+        intensity,
+        procedure,
+        bucket,
+    })
+}
+
+fn freeze_rpc_plan(plan: &RpcPlan, w: &mut simcore::SnapshotWriter) {
+    w.put_u64(plan.request_bytes);
+    w.put_u64(plan.reply_bytes);
+    w.put_duration(plan.server_time);
+    w.put_bool(plan.is_bulk);
+}
+
+fn thaw_rpc_plan(r: &mut simcore::SnapshotReader<'_>) -> Result<RpcPlan, simcore::SnapshotError> {
+    Ok(RpcPlan {
+        request_bytes: r.take_u64()?,
+        reply_bytes: r.take_u64()?,
+        server_time: r.take_duration()?,
+        is_bulk: r.take_bool()?,
+    })
+}
+
+fn freeze_proc_state(state: &ProcState, w: &mut simcore::SnapshotWriter) {
+    w.put_u64(state.tag());
+    match state {
+        ProcState::ReadyCpu(job) => freeze_cpu_job(job, w),
+        ProcState::NetAwaitTx(plan)
+        | ProcState::NetTx(plan)
+        | ProcState::NetServerWait(plan)
+        | ProcState::NetRx(plan)
+        | ProcState::NetBackoff(plan) => freeze_rpc_plan(plan, w),
+        ProcState::DiskSpinup { bytes } => w.put_u64(*bytes),
+        ProcState::Start
+        | ProcState::DiskBusy
+        | ProcState::Waiting
+        | ProcState::Suspended
+        | ProcState::Done => {}
+    }
+}
+
+fn thaw_proc_state(
+    r: &mut simcore::SnapshotReader<'_>,
+) -> Result<ProcState, simcore::SnapshotError> {
+    Ok(match r.take_u64()? {
+        0 => ProcState::Start,
+        1 => ProcState::ReadyCpu(thaw_cpu_job(r)?),
+        2 => ProcState::NetAwaitTx(thaw_rpc_plan(r)?),
+        3 => ProcState::NetTx(thaw_rpc_plan(r)?),
+        4 => ProcState::NetServerWait(thaw_rpc_plan(r)?),
+        5 => ProcState::NetRx(thaw_rpc_plan(r)?),
+        6 => ProcState::NetBackoff(thaw_rpc_plan(r)?),
+        7 => ProcState::DiskSpinup {
+            bytes: r.take_u64()?,
+        },
+        8 => ProcState::DiskBusy,
+        9 => ProcState::Waiting,
+        10 => ProcState::Suspended,
+        11 => ProcState::Done,
+        _ => return Err(simcore::SnapshotError::Corrupt("proc state tag")),
+    })
+}
+
+fn freeze_source(src: Source, w: &mut simcore::SnapshotWriter) {
+    match src {
+        Source::Proc(pid) => {
+            w.put_u64(0);
+            w.put_usize(pid.0);
+        }
+        Source::XServer => w.put_u64(1),
+    }
+}
+
+fn thaw_source(
+    r: &mut simcore::SnapshotReader<'_>,
+    n_procs: usize,
+) -> Result<Source, simcore::SnapshotError> {
+    Ok(match r.take_u64()? {
+        0 => {
+            let pid = r.take_usize()?;
+            if pid >= n_procs {
+                return Err(simcore::SnapshotError::Corrupt("source pid out of range"));
+            }
+            Source::Proc(Pid(pid))
+        }
+        1 => Source::XServer,
+        _ => return Err(simcore::SnapshotError::Corrupt("source tag")),
+    })
+}
+
+fn freeze_event(ev: &Event, w: &mut simcore::SnapshotWriter) {
+    match *ev {
+        Event::Poll(pid) => {
+            w.put_u64(0);
+            w.put_usize(pid.0);
+        }
+        Event::CpuDone => w.put_u64(1),
+        Event::LinkWake => w.put_u64(2),
+        Event::NetTimer(pid) => {
+            w.put_u64(3);
+            w.put_usize(pid.0);
+        }
+        Event::Timer(pid) => {
+            w.put_u64(4);
+            w.put_usize(pid.0);
+        }
+        Event::DiskSpinupDone(pid) => {
+            w.put_u64(5);
+            w.put_usize(pid.0);
+        }
+        Event::DiskDone(pid) => {
+            w.put_u64(6);
+            w.put_usize(pid.0);
+        }
+        Event::SpinDownCheck => w.put_u64(7),
+        Event::DimCheck => w.put_u64(8),
+        Event::HookTick(idx) => {
+            w.put_u64(9);
+            w.put_usize(idx);
+        }
+        Event::LinkFault => w.put_u64(10),
+        Event::RpcTimeout(pid) => {
+            w.put_u64(11);
+            w.put_usize(pid.0);
+        }
+        Event::NetRetry(pid) => {
+            w.put_u64(12);
+            w.put_usize(pid.0);
+        }
+    }
+}
+
+fn thaw_event(
+    r: &mut simcore::SnapshotReader<'_>,
+    n_procs: usize,
+    n_hooks: usize,
+) -> Result<Event, simcore::SnapshotError> {
+    fn pid(
+        r: &mut simcore::SnapshotReader<'_>,
+        n_procs: usize,
+    ) -> Result<Pid, simcore::SnapshotError> {
+        let idx = r.take_usize()?;
+        if idx >= n_procs {
+            return Err(simcore::SnapshotError::Corrupt("event pid out of range"));
+        }
+        Ok(Pid(idx))
+    }
+    let tag = r.take_u64()?;
+    Ok(match tag {
+        0 => Event::Poll(pid(r, n_procs)?),
+        1 => Event::CpuDone,
+        2 => Event::LinkWake,
+        3 => Event::NetTimer(pid(r, n_procs)?),
+        4 => Event::Timer(pid(r, n_procs)?),
+        5 => Event::DiskSpinupDone(pid(r, n_procs)?),
+        6 => Event::DiskDone(pid(r, n_procs)?),
+        7 => Event::SpinDownCheck,
+        8 => Event::DimCheck,
+        9 => {
+            let idx = r.take_usize()?;
+            if idx >= n_hooks {
+                return Err(simcore::SnapshotError::Corrupt(
+                    "hook tick index out of range",
+                ));
+            }
+            Event::HookTick(idx)
+        }
+        10 => Event::LinkFault,
+        11 => Event::RpcTimeout(pid(r, n_procs)?),
+        12 => Event::NetRetry(pid(r, n_procs)?),
+        _ => return Err(simcore::SnapshotError::Corrupt("event tag")),
+    })
 }
 
 /// The simulated mobile client.
@@ -1234,6 +1456,248 @@ impl Machine {
         h.finish()
     }
 
+    // ---- Snapshot freeze/thaw ------------------------------------------
+
+    /// Encodes the machine's full mutable state into a snapshot payload,
+    /// in struct-field order. Construction-time state (config, power
+    /// model, compiled fault timeline, trace attachment) is not written:
+    /// thaw targets a machine freshly rebuilt from the identical
+    /// configuration.
+    ///
+    /// Fails with [`SnapshotError::Unsupported`] when any attached
+    /// workload or hook lacks a freeze implementation, or when interval
+    /// observers are attached (observers accumulate state the machine
+    /// cannot see) — the caller then falls back to replay-based resume.
+    ///
+    /// [`SnapshotError::Unsupported`]: simcore::SnapshotError::Unsupported
+    pub fn freeze(&self, w: &mut simcore::SnapshotWriter) -> Result<(), simcore::SnapshotError> {
+        if !self.observers.is_empty() {
+            return Err(simcore::SnapshotError::Unsupported(
+                "machine with interval observers",
+            ));
+        }
+        w.put_time(self.clock);
+        let entries = self.queue.export_entries();
+        w.put_u64(self.queue.next_seq());
+        w.put_usize(entries.len());
+        for (at, seq, ev) in entries {
+            w.put_time(at);
+            w.put_u64(seq);
+            freeze_event(ev, w);
+        }
+        w.put_usize(self.procs.len());
+        for p in &self.procs {
+            p.workload.freeze(w)?;
+            freeze_proc_state(&p.state, w);
+            w.put_u64(p.bytes_received);
+            w.put_opt_f64(p.last_transfer_bps);
+            w.put_u64(p.attempts as u64);
+            w.put_opt_u64(p.flow.map(FlowId::raw));
+            w.put_opt_u64(p.timeout_ev.map(EventId::raw));
+            w.put_opt_u64(p.net_timer_ev.map(EventId::raw));
+            w.put_opt_u64(p.wait_timer_ev.map(EventId::raw));
+            w.put_opt_u64(p.retry_ev.map(EventId::raw));
+            w.put_bool(p.suspended);
+            w.put_f64(p.clamp);
+            w.put_time(p.last_poll_at);
+            w.put_bool(p.alive_counted);
+        }
+        for s in &self.fidelity_series {
+            s.freeze_into(w);
+        }
+        w.put_usize(self.alive);
+        w.put_usize(self.run_queue.len());
+        for src in &self.run_queue {
+            freeze_source(*src, w);
+        }
+        w.put_usize(self.x_queue.len());
+        for job in &self.x_queue {
+            freeze_cpu_job(job, w);
+        }
+        w.put_bool(self.x_enqueued);
+        match self.current {
+            None => w.put_u64(0),
+            Some((src, slice)) => {
+                w.put_u64(1);
+                freeze_source(src, w);
+                w.put_duration(slice);
+            }
+        }
+        self.disk.freeze_into(w);
+        self.radio.freeze_into(w);
+        self.link.freeze_into(w);
+        w.put_usize(self.flows.len());
+        for (id, ctx) in &self.flows {
+            w.put_u64(id.raw());
+            w.put_usize(ctx.pid.0);
+            w.put_u64(ctx.rx_bytes);
+            w.put_time(ctx.started);
+        }
+        w.put_opt_u64(self.link_event.map(EventId::raw));
+        w.put_u64(self.rpc_timeouts);
+        w.put_u64(self.rpc_retries);
+        w.put_opt_time(self.quiet_since);
+        w.put_bool(self.dim_active);
+        w.put_opt_u64(self.dim_event.map(EventId::raw));
+        self.ledger.freeze_into(w);
+        match self.source {
+            EnergySource::External => w.put_u64(0),
+            EnergySource::Battery { remaining_j } => {
+                w.put_u64(1);
+                w.put_f64(remaining_j);
+            }
+        }
+        w.put_usize(self.hooks.len());
+        for slot in &self.hooks {
+            match &slot.hook {
+                Some(hook) => hook.freeze(w)?,
+                None => {
+                    return Err(simcore::SnapshotError::Unsupported(
+                        "freeze during hook tick",
+                    ))
+                }
+            }
+        }
+        w.put_bool(self.stopped);
+        w.put_bool(self.exhausted);
+        w.put_bool(self.started);
+        Ok(())
+    }
+
+    /// Restores the state written by [`Machine::freeze`] onto this
+    /// machine, which must have been freshly rebuilt from the identical
+    /// configuration (same processes, hooks, and config, not yet run).
+    ///
+    /// On error the machine may be partially mutated — callers must
+    /// discard it and fall back to replay.
+    pub fn thaw(
+        &mut self,
+        r: &mut simcore::SnapshotReader<'_>,
+    ) -> Result<(), simcore::SnapshotError> {
+        if !self.observers.is_empty() {
+            return Err(simcore::SnapshotError::Unsupported(
+                "machine with interval observers",
+            ));
+        }
+        let n_procs = self.procs.len();
+        let n_hooks = self.hooks.len();
+        self.clock = r.take_time()?;
+        let next_seq = r.take_u64()?;
+        let n_events = r.take_usize()?;
+        let mut entries = Vec::with_capacity(n_events.min(1024));
+        for _ in 0..n_events {
+            let at = r.take_time()?;
+            let seq = r.take_u64()?;
+            entries.push((at, seq, thaw_event(r, n_procs, n_hooks)?));
+        }
+        self.queue = EventQueue::restore(next_seq, entries)?;
+        if r.take_usize()? != n_procs {
+            return Err(simcore::SnapshotError::Corrupt("process count mismatch"));
+        }
+        for p in &mut self.procs {
+            p.workload.thaw(r)?;
+            p.state = thaw_proc_state(r)?;
+            p.bytes_received = r.take_u64()?;
+            p.last_transfer_bps = r.take_opt_f64()?;
+            p.attempts = u32::try_from(r.take_u64()?)
+                .map_err(|_| simcore::SnapshotError::Corrupt("attempt count"))?;
+            p.flow = r.take_opt_u64()?.map(FlowId::from_raw);
+            p.timeout_ev = r.take_opt_u64()?.map(EventId::from_raw);
+            p.net_timer_ev = r.take_opt_u64()?.map(EventId::from_raw);
+            p.wait_timer_ev = r.take_opt_u64()?.map(EventId::from_raw);
+            p.retry_ev = r.take_opt_u64()?.map(EventId::from_raw);
+            p.suspended = r.take_bool()?;
+            let clamp = r.take_f64()?;
+            if !clamp.is_finite() || clamp <= 0.0 || clamp > 1.0 {
+                return Err(simcore::SnapshotError::Corrupt("datapath clamp"));
+            }
+            p.clamp = clamp;
+            p.last_poll_at = r.take_time()?;
+            p.alive_counted = r.take_bool()?;
+        }
+        for s in &mut self.fidelity_series {
+            *s = TimeSeries::thaw_from(r)?;
+        }
+        let alive = r.take_usize()?;
+        if alive != self.procs.iter().filter(|p| p.alive_counted).count() {
+            return Err(simcore::SnapshotError::Corrupt("alive count mismatch"));
+        }
+        self.alive = alive;
+        let n_run = r.take_usize()?;
+        self.run_queue.clear();
+        for _ in 0..n_run {
+            self.run_queue.push_back(thaw_source(r, n_procs)?);
+        }
+        let n_x = r.take_usize()?;
+        self.x_queue.clear();
+        for _ in 0..n_x {
+            self.x_queue.push_back(thaw_cpu_job(r)?);
+        }
+        self.x_enqueued = r.take_bool()?;
+        self.current = match r.take_u64()? {
+            0 => None,
+            1 => {
+                let src = thaw_source(r, n_procs)?;
+                let slice = r.take_duration()?;
+                Some((src, slice))
+            }
+            _ => return Err(simcore::SnapshotError::Corrupt("current tag")),
+        };
+        self.disk.thaw_from(r)?;
+        self.radio.thaw_from(r)?;
+        self.link.thaw_from(r)?;
+        let n_flows = r.take_usize()?;
+        self.flows.clear();
+        for _ in 0..n_flows {
+            let id = FlowId::from_raw(r.take_u64()?);
+            let pid = r.take_usize()?;
+            if pid >= n_procs {
+                return Err(simcore::SnapshotError::Corrupt("flow pid out of range"));
+            }
+            let rx_bytes = r.take_u64()?;
+            let started = r.take_time()?;
+            self.flows.insert(
+                id,
+                FlowCtx {
+                    pid: Pid(pid),
+                    rx_bytes,
+                    started,
+                },
+            );
+        }
+        self.link_event = r.take_opt_u64()?.map(EventId::from_raw);
+        self.rpc_timeouts = r.take_u64()?;
+        self.rpc_retries = r.take_u64()?;
+        self.quiet_since = r.take_opt_time()?;
+        self.dim_active = r.take_bool()?;
+        self.dim_event = r.take_opt_u64()?.map(EventId::from_raw);
+        self.ledger = Ledger::thaw_from(r)?;
+        self.source = match r.take_u64()? {
+            0 => EnergySource::External,
+            1 => {
+                let remaining_j = r.take_f64()?;
+                if !remaining_j.is_finite() || remaining_j < 0.0 {
+                    return Err(simcore::SnapshotError::Corrupt("battery residual"));
+                }
+                EnergySource::Battery { remaining_j }
+            }
+            _ => return Err(simcore::SnapshotError::Corrupt("energy source tag")),
+        };
+        if r.take_usize()? != n_hooks {
+            return Err(simcore::SnapshotError::Corrupt("hook count mismatch"));
+        }
+        for slot in &mut self.hooks {
+            match &mut slot.hook {
+                Some(hook) => hook.thaw(r)?,
+                None => return Err(simcore::SnapshotError::Unsupported("thaw during hook tick")),
+            }
+        }
+        self.stopped = r.take_bool()?;
+        self.exhausted = r.take_bool()?;
+        self.started = r.take_bool()?;
+        Ok(())
+    }
+
     // ---- CPU scheduler --------------------------------------------------
 
     fn dispatch(&mut self) {
@@ -1574,14 +2038,142 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::CheckpointHook;
     use crate::workload::ScriptedWorkload;
     use netsim::RpcSpec;
+    use simcore::RunJournal;
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     fn idle_machine(pm: PmPolicy) -> Machine {
         Machine::new(MachineConfig {
             pm,
             ..Default::default()
         })
+    }
+
+    /// A rig that keeps events, flows, a disk read, and a hook in flight
+    /// across the freeze instant.
+    fn snapshot_rig() -> (Machine, Rc<RefCell<RunJournal>>) {
+        let mut m = idle_machine(PmPolicy::enabled());
+        m.add_process(Box::new(ScriptedWorkload::new(
+            "mix",
+            vec![
+                Activity::Cpu {
+                    duration: SimDuration::from_secs(3),
+                    intensity: 0.8,
+                    procedure: "warm",
+                },
+                Activity::Rpc {
+                    spec: RpcSpec {
+                        request_bytes: 10_000,
+                        reply_bytes: 200_000,
+                        server_time: SimDuration::from_millis(300),
+                    },
+                    procedure: "fetch",
+                },
+                Activity::DiskRead {
+                    bytes: 4 << 20,
+                    procedure: "load",
+                },
+                Activity::Wait {
+                    until: SimTime::from_secs(40),
+                },
+                Activity::Cpu {
+                    duration: SimDuration::from_secs(2),
+                    intensity: 1.0,
+                    procedure: "finish",
+                },
+            ],
+        )));
+        m.add_process(Box::new(ScriptedWorkload::idle_for(
+            "bg",
+            SimDuration::from_secs(80),
+        )));
+        let journal = Rc::new(RefCell::new(RunJournal::new(SimDuration::from_secs(10))));
+        m.add_hook(
+            SimDuration::from_secs(10),
+            Box::new(CheckpointHook::new(journal.clone())),
+        );
+        (m, journal)
+    }
+
+    /// Freeze at an arbitrary mid-run instant, thaw onto an identically
+    /// built rig, and continue: the restored machine's present and future
+    /// are bit-identical to a run that paused at the same instant.
+    ///
+    /// Both runs stop at the freeze boundary: energy integration splits an
+    /// interval there, and f64 accumulation is not associative, so digest
+    /// equivalence is defined over runs with identical horizon stops (the
+    /// serving layer always steps at sample boundaries on both paths).
+    #[test]
+    fn freeze_thaw_round_trip_preserves_future() {
+        let (mut base, base_journal) = snapshot_rig();
+        let _ = base.run_until(SimTime::from_secs(7));
+        let base_report = base.run_until(SimTime::from_secs(90));
+        let want = base.state_digest();
+
+        let (mut m, _journal) = snapshot_rig();
+        let _ = m.run_until(SimTime::from_secs(7));
+        let mut w = simcore::SnapshotWriter::new();
+        m.freeze(&mut w).expect("freeze");
+        let bytes = w.seal();
+        let mid = m.state_digest();
+
+        let (mut restored, restored_journal) = snapshot_rig();
+        let mut r = simcore::SnapshotReader::open(&bytes).expect("open");
+        restored.thaw(&mut r).expect("thaw");
+        r.finish().expect("payload fully consumed");
+        assert_eq!(restored.state_digest(), mid, "state restored exactly");
+
+        let restored_report = restored.run_until(SimTime::from_secs(90));
+        assert_eq!(restored.state_digest(), want, "future identical");
+        assert_eq!(
+            restored_journal.borrow().checkpoints(),
+            base_journal.borrow().checkpoints(),
+            "checkpoint hook state carried through the snapshot"
+        );
+        assert!(
+            (restored_report.total_j - base_report.total_j).abs() < 1e-9,
+            "ledger carried through the snapshot: {} vs {}",
+            restored_report.total_j,
+            base_report.total_j
+        );
+    }
+
+    /// A freeze taken while observers are attached is refused (the caller
+    /// falls back to replay), and corrupted payload interiors surface as
+    /// errors rather than panics.
+    #[test]
+    fn freeze_refuses_observers_and_thaw_rejects_bad_interiors() {
+        let (mut m, _j) = snapshot_rig();
+        let _ = m.run_until(SimTime::from_secs(7));
+        let mut w = simcore::SnapshotWriter::new();
+        m.freeze(&mut w).expect("freeze");
+        let payload_len = w.len();
+        let bytes = w.seal();
+
+        // Flip one byte in every interior position: thaw must never panic,
+        // and must either fail or produce a digest mismatch the caller
+        // detects. (The envelope checksum catches all of these; bypassing
+        // it is exercised at the simcore layer.)
+        let header = bytes.len() - payload_len - 8;
+        for i in (header..header + payload_len).step_by(97) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                simcore::SnapshotReader::open(&bad).is_err(),
+                "checksum must catch interior flip at {i}"
+            );
+        }
+
+        let (mut observed, _j2) = snapshot_rig();
+        observed.add_observer(Box::new(crate::observer::EnergyProbe::new()));
+        let mut w2 = simcore::SnapshotWriter::new();
+        assert!(matches!(
+            observed.freeze(&mut w2),
+            Err(simcore::SnapshotError::Unsupported(_))
+        ));
     }
 
     /// A 10-second empty run with PM disabled must cost exactly the

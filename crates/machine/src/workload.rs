@@ -45,6 +45,27 @@ pub trait Workload {
     fn on_restart(&mut self, _now: SimTime) -> bool {
         false
     }
+
+    /// Encodes the workload's mutable state into a snapshot payload.
+    /// Workloads that don't implement the pair are simply not
+    /// snapshot-restorable: [`Machine::freeze`](crate::Machine::freeze)
+    /// surfaces the error and the caller falls back to replay-based
+    /// resume.
+    fn freeze(&self, w: &mut simcore::SnapshotWriter) -> Result<(), simcore::SnapshotError> {
+        let _ = w;
+        Err(simcore::SnapshotError::Unsupported(
+            "workload does not implement freeze",
+        ))
+    }
+
+    /// Restores the state written by [`Workload::freeze`] onto this
+    /// freshly-rebuilt workload.
+    fn thaw(&mut self, r: &mut simcore::SnapshotReader<'_>) -> Result<(), simcore::SnapshotError> {
+        let _ = r;
+        Err(simcore::SnapshotError::Unsupported(
+            "workload does not implement thaw",
+        ))
+    }
 }
 
 /// A workload that runs a fixed list of activities then finishes.
@@ -127,6 +148,25 @@ impl Workload for ScriptedWorkload {
             Some(a) => Step::Run(a),
             None => Step::Done,
         }
+    }
+
+    fn freeze(&self, w: &mut simcore::SnapshotWriter) -> Result<(), simcore::SnapshotError> {
+        let remaining = self.script.as_slice();
+        w.put_usize(remaining.len());
+        for a in remaining {
+            a.freeze_into(w);
+        }
+        Ok(())
+    }
+
+    fn thaw(&mut self, r: &mut simcore::SnapshotReader<'_>) -> Result<(), simcore::SnapshotError> {
+        let n = r.take_usize()?;
+        let mut script = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            script.push(Activity::thaw_from(r)?);
+        }
+        self.script = script.into_iter();
+        Ok(())
     }
 }
 

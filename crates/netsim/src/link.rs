@@ -18,6 +18,19 @@ use simcore::{SimDuration, SimTime, TraceEvent, TraceHandle};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FlowId(u64);
 
+impl FlowId {
+    /// The underlying flow number — snapshot support only; treat as
+    /// opaque everywhere else.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from [`Self::raw`] — snapshot support only.
+    pub fn from_raw(id: u64) -> Self {
+        FlowId(id)
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Flow {
     id: FlowId,
@@ -239,6 +252,65 @@ impl SharedLink {
         let before = self.flows.len();
         self.flows.retain(|f| f.id != id);
         self.flows.len() != before
+    }
+
+    /// Encodes the link's mutable state (everything except capacity and
+    /// the trace attachment) into a snapshot payload.
+    pub fn freeze_into(&self, w: &mut simcore::SnapshotWriter) {
+        w.put_f64(self.rate_factor);
+        w.put_usize(self.flows.len());
+        for f in &self.flows {
+            w.put_u64(f.id.0);
+            w.put_f64(f.remaining_bits);
+        }
+        w.put_usize(self.completed.len());
+        for id in &self.completed {
+            w.put_u64(id.0);
+        }
+        w.put_time(self.last_advance);
+        w.put_u64(self.next_id);
+        w.put_u64(self.total_bytes_carried);
+    }
+
+    /// Restores the mutable state written by [`Self::freeze_into`] onto
+    /// this (freshly built) link. Capacity and trace attachment are
+    /// construction-time properties and keep their current values.
+    pub fn thaw_from(
+        &mut self,
+        r: &mut simcore::SnapshotReader<'_>,
+    ) -> Result<(), simcore::SnapshotError> {
+        let rate_factor = r.take_f64()?;
+        if !rate_factor.is_finite() || !(0.0..=1.0).contains(&rate_factor) {
+            return Err(simcore::SnapshotError::Corrupt("link rate factor"));
+        }
+        let n_flows = r.take_usize()?;
+        let mut flows = Vec::with_capacity(n_flows.min(1024));
+        for _ in 0..n_flows {
+            let id = FlowId(r.take_u64()?);
+            let remaining_bits = r.take_f64()?;
+            if !remaining_bits.is_finite() || remaining_bits < 0.0 {
+                return Err(simcore::SnapshotError::Corrupt("flow remaining bits"));
+            }
+            flows.push(Flow { id, remaining_bits });
+        }
+        let n_done = r.take_usize()?;
+        let mut completed = VecDeque::with_capacity(n_done.min(1024));
+        for _ in 0..n_done {
+            completed.push_back(FlowId(r.take_u64()?));
+        }
+        let last_advance = r.take_time()?;
+        let next_id = r.take_u64()?;
+        if flows.iter().any(|f| f.id.0 >= next_id) || completed.iter().any(|id| id.0 >= next_id) {
+            return Err(simcore::SnapshotError::Corrupt("flow id beyond next_id"));
+        }
+        let total_bytes_carried = r.take_u64()?;
+        self.rate_factor = rate_factor;
+        self.flows = flows;
+        self.completed = completed;
+        self.last_advance = last_advance;
+        self.next_id = next_id;
+        self.total_bytes_carried = total_bytes_carried;
+        Ok(())
     }
 }
 

@@ -87,6 +87,21 @@ impl Smoother {
     pub fn reset(&mut self) {
         self.value = None;
     }
+
+    /// Encodes the smoothed value (the parameters are construction-time)
+    /// into a snapshot payload.
+    pub fn freeze_into(&self, w: &mut simcore::SnapshotWriter) {
+        w.put_opt_f64(self.value);
+    }
+
+    /// Restores the state written by [`Self::freeze_into`].
+    pub fn thaw_from(
+        &mut self,
+        r: &mut simcore::SnapshotReader<'_>,
+    ) -> Result<(), simcore::SnapshotError> {
+        self.value = r.take_opt_f64()?;
+        Ok(())
+    }
 }
 
 /// Predicted future energy demand: smoothed power times time remaining.
@@ -222,6 +237,60 @@ impl DemandLedger {
             .filter(|e| e.active)
             .map(|e| e.declared_w[e.claimed_level])
             .sum()
+    }
+
+    /// Encodes the full ledger into a snapshot payload.
+    pub fn freeze_into(&self, w: &mut simcore::SnapshotWriter) {
+        w.put_usize(self.entries.len());
+        for (idx, e) in &self.entries {
+            w.put_usize(*idx);
+            w.put_usize(e.declared_w.len());
+            for power in &e.declared_w {
+                w.put_f64(*power);
+            }
+            w.put_usize(e.claimed_level);
+            w.put_bool(e.active);
+        }
+    }
+
+    /// Decodes a ledger written by [`Self::freeze_into`].
+    pub fn thaw_from(r: &mut simcore::SnapshotReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        let n = r.take_usize()?;
+        let mut entries = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let idx = r.take_usize()?;
+            let levels = r.take_usize()?;
+            if levels == 0 {
+                return Err(simcore::SnapshotError::Corrupt("empty demand declaration"));
+            }
+            let mut declared_w = Vec::with_capacity(levels.min(1024));
+            for _ in 0..levels {
+                let power = r.take_f64()?;
+                if !power.is_finite() || power < 0.0 {
+                    return Err(simcore::SnapshotError::Corrupt("declared power"));
+                }
+                declared_w.push(power);
+            }
+            let claimed_level = r.take_usize()?;
+            if claimed_level >= declared_w.len() {
+                return Err(simcore::SnapshotError::Corrupt("claimed level"));
+            }
+            let active = r.take_bool()?;
+            if entries
+                .insert(
+                    idx,
+                    DemandEntry {
+                        declared_w,
+                        claimed_level,
+                        active,
+                    },
+                )
+                .is_some()
+            {
+                return Err(simcore::SnapshotError::Corrupt("duplicate demand entry"));
+            }
+        }
+        Ok(DemandLedger { entries })
     }
 
     /// Audit: indices whose entries are still active even though the

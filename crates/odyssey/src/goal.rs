@@ -508,6 +508,92 @@ impl GoalController {
 }
 
 impl ControlHook for GoalController {
+    fn freeze(&self, w: &mut simcore::SnapshotWriter) -> Result<(), simcore::SnapshotError> {
+        // The only mutable piece of cfg: a posted budget revision
+        // replaces the initial energy value.
+        w.put_f64(self.cfg.initial_energy_j);
+        w.put_time(self.deadline);
+        w.put_usize(self.next_extension);
+        self.meter.freeze_into(w);
+        self.smoother.freeze_into(w);
+        w.put_opt_time(self.last_decision);
+        w.put_opt_time(self.last_upgrade);
+        self.sensor.freeze_into(w);
+        w.put_opt_time(self.last_sample_at);
+        w.put_f64(self.last_metered_j);
+        w.put_f64(self.supply_floor);
+        w.put_usize(self.deficit_streak);
+        let s = self.shared.borrow();
+        s.supply.freeze_into(w);
+        s.demand.freeze_into(w);
+        w.put_bool(s.goal_met);
+        w.put_usize(s.infeasible_signals);
+        w.put_usize(s.degrades);
+        w.put_usize(s.upgrades);
+        w.put_usize(s.stale_decisions);
+        w.put_opt_time(s.first_infeasible_at);
+        w.put_usize(s.rejected_degrades.len());
+        for (idx, count) in &s.rejected_degrades {
+            w.put_usize(*idx);
+            w.put_usize(*count);
+        }
+        match s.posted_goal {
+            None => w.put_u64(0),
+            Some(goal) => {
+                w.put_u64(1);
+                w.put_duration(goal);
+            }
+        }
+        w.put_opt_f64(s.posted_budget_j);
+        Ok(())
+    }
+
+    fn thaw(&mut self, r: &mut simcore::SnapshotReader<'_>) -> Result<(), simcore::SnapshotError> {
+        self.cfg.initial_energy_j = r.take_f64()?;
+        self.deadline = r.take_time()?;
+        let next_extension = r.take_usize()?;
+        if next_extension > self.cfg.extensions.len() {
+            return Err(simcore::SnapshotError::Corrupt("extension cursor"));
+        }
+        self.next_extension = next_extension;
+        self.meter.thaw_from(r)?;
+        self.smoother.thaw_from(r)?;
+        self.last_decision = r.take_opt_time()?;
+        self.last_upgrade = r.take_opt_time()?;
+        self.sensor.thaw_from(r)?;
+        self.last_sample_at = r.take_opt_time()?;
+        self.last_metered_j = r.take_f64()?;
+        self.supply_floor = r.take_f64()?;
+        self.deficit_streak = r.take_usize()?;
+        let mut s = self.shared.borrow_mut();
+        s.supply = simcore::TimeSeries::thaw_from(r)?;
+        s.demand = simcore::TimeSeries::thaw_from(r)?;
+        s.goal_met = r.take_bool()?;
+        s.infeasible_signals = r.take_usize()?;
+        s.degrades = r.take_usize()?;
+        s.upgrades = r.take_usize()?;
+        s.stale_decisions = r.take_usize()?;
+        s.first_infeasible_at = r.take_opt_time()?;
+        let n = r.take_usize()?;
+        s.rejected_degrades.clear();
+        for _ in 0..n {
+            let idx = r.take_usize()?;
+            let count = r.take_usize()?;
+            if s.rejected_degrades.insert(idx, count).is_some() {
+                return Err(simcore::SnapshotError::Corrupt(
+                    "duplicate rejected-degrade entry",
+                ));
+            }
+        }
+        s.posted_goal = match r.take_u64()? {
+            0 => None,
+            1 => Some(r.take_duration()?),
+            _ => return Err(simcore::SnapshotError::Corrupt("posted goal tag")),
+        };
+        s.posted_budget_j = r.take_opt_f64()?;
+        Ok(())
+    }
+
     fn on_tick(&mut self, now: SimTime, view: &mut MachineView<'_>) {
         self.apply_extensions(now);
         // The controller never reads the ledger directly: its cumulative

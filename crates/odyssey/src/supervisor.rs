@@ -381,6 +381,96 @@ impl Supervisor {
 }
 
 impl ControlHook for Supervisor {
+    fn freeze(&self, w: &mut simcore::SnapshotWriter) -> Result<(), simcore::SnapshotError> {
+        w.put_usize(self.apps.len());
+        for app in &self.apps {
+            match app.phase {
+                Phase::Healthy => w.put_u64(0),
+                Phase::Clamped => w.put_u64(1),
+                Phase::Quarantined { since } => {
+                    w.put_u64(2);
+                    w.put_time(since);
+                }
+                Phase::Retired => w.put_u64(3),
+            }
+            w.put_u64(app.strikes as u64);
+            w.put_u64(app.clean_ticks as u64);
+            w.put_u64(app.restarts as u64);
+            w.put_usize(app.recovery_level);
+            w.put_usize(app.seen_rejections);
+            w.put_usize(app.level_seen);
+            w.put_time(app.level_changed_at);
+            w.put_bool(app.collected);
+        }
+        self.feed.freeze_into(w);
+        let inner = self.inner.borrow();
+        w.put_usize(inner.stats.hang_strikes);
+        w.put_usize(inner.stats.ignore_strikes);
+        w.put_usize(inner.stats.overdraw_strikes);
+        w.put_usize(inner.stats.reissued_upcalls);
+        w.put_usize(inner.stats.clamps);
+        w.put_usize(inner.stats.quarantines);
+        w.put_usize(inner.stats.restarts);
+        w.put_usize(inner.stats.retired);
+        w.put_usize(inner.stats.crash_releases);
+        w.put_f64(inner.stats.redistributed_w);
+        inner.ledger.freeze_into(w);
+        w.put_usize(inner.external_strikes.len());
+        for idx in &inner.external_strikes {
+            w.put_usize(*idx);
+        }
+        Ok(())
+    }
+
+    fn thaw(&mut self, r: &mut simcore::SnapshotReader<'_>) -> Result<(), simcore::SnapshotError> {
+        if r.take_usize()? != self.apps.len() {
+            return Err(simcore::SnapshotError::Corrupt(
+                "watched-app count mismatch",
+            ));
+        }
+        for app in &mut self.apps {
+            app.phase = match r.take_u64()? {
+                0 => Phase::Healthy,
+                1 => Phase::Clamped,
+                2 => Phase::Quarantined {
+                    since: r.take_time()?,
+                },
+                3 => Phase::Retired,
+                _ => return Err(simcore::SnapshotError::Corrupt("app phase tag")),
+            };
+            app.strikes = u32::try_from(r.take_u64()?)
+                .map_err(|_| simcore::SnapshotError::Corrupt("strike count"))?;
+            app.clean_ticks = u32::try_from(r.take_u64()?)
+                .map_err(|_| simcore::SnapshotError::Corrupt("clean-tick count"))?;
+            app.restarts = u32::try_from(r.take_u64()?)
+                .map_err(|_| simcore::SnapshotError::Corrupt("restart count"))?;
+            app.recovery_level = r.take_usize()?;
+            app.seen_rejections = r.take_usize()?;
+            app.level_seen = r.take_usize()?;
+            app.level_changed_at = r.take_time()?;
+            app.collected = r.take_bool()?;
+        }
+        self.feed = AttributionFeed::thaw_from(r)?;
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.hang_strikes = r.take_usize()?;
+        inner.stats.ignore_strikes = r.take_usize()?;
+        inner.stats.overdraw_strikes = r.take_usize()?;
+        inner.stats.reissued_upcalls = r.take_usize()?;
+        inner.stats.clamps = r.take_usize()?;
+        inner.stats.quarantines = r.take_usize()?;
+        inner.stats.restarts = r.take_usize()?;
+        inner.stats.retired = r.take_usize()?;
+        inner.stats.crash_releases = r.take_usize()?;
+        inner.stats.redistributed_w = r.take_f64()?;
+        inner.ledger = DemandLedger::thaw_from(r)?;
+        let n = r.take_usize()?;
+        inner.external_strikes.clear();
+        for _ in 0..n {
+            inner.external_strikes.push(r.take_usize()?);
+        }
+        Ok(())
+    }
+
     fn on_tick(&mut self, now: SimTime, view: &mut MachineView<'_>) {
         // Drain externally-posted strikes (service-layer escalation)
         // into the ordinary response ladder, in posting order.

@@ -65,6 +65,34 @@ impl AttributionFeed {
     pub fn reset(&mut self, id: usize) {
         self.streams.remove(&id);
     }
+
+    /// Encodes every stream into a snapshot payload.
+    pub fn freeze_into(&self, w: &mut simcore::SnapshotWriter) {
+        w.put_usize(self.streams.len());
+        for (id, s) in &self.streams {
+            w.put_usize(*id);
+            s.meter.freeze_into(w);
+            w.put_opt_f64(s.ema_w);
+        }
+    }
+
+    /// Decodes a feed written by [`Self::freeze_into`].
+    pub fn thaw_from(r: &mut simcore::SnapshotReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        let n = r.take_usize()?;
+        let mut streams = BTreeMap::new();
+        for _ in 0..n {
+            let id = r.take_usize()?;
+            let mut meter = OnlinePowerMeter::new();
+            meter.thaw_from(r)?;
+            let ema_w = r.take_opt_f64()?;
+            if streams.insert(id, Stream { meter, ema_w }).is_some() {
+                return Err(simcore::SnapshotError::Corrupt(
+                    "duplicate attribution stream",
+                ));
+            }
+        }
+        Ok(AttributionFeed { streams })
+    }
 }
 
 #[cfg(test)]

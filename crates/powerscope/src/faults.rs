@@ -86,6 +86,23 @@ impl FaultyEnergySensor {
         }
     }
 
+    /// Encodes the sensor's mutable counters (the fault plan is
+    /// construction-time) into a snapshot payload.
+    pub fn freeze_into(&self, w: &mut simcore::SnapshotWriter) {
+        w.put_u64(self.reads);
+        w.put_f64(self.last_emitted);
+    }
+
+    /// Restores the state written by [`Self::freeze_into`].
+    pub fn thaw_from(
+        &mut self,
+        r: &mut simcore::SnapshotReader<'_>,
+    ) -> Result<(), simcore::SnapshotError> {
+        self.reads = r.take_u64()?;
+        self.last_emitted = r.take_f64()?;
+        Ok(())
+    }
+
     /// Observes the true cumulative energy; returns what the instrument
     /// reports, or `None` when the sample is dropped. Deterministic in
     /// the sequence of calls.

@@ -63,6 +63,31 @@ impl OnlinePowerMeter {
     pub fn reset(&mut self) {
         self.last = None;
     }
+
+    /// Encodes the meter's window state into a snapshot payload.
+    pub fn freeze_into(&self, w: &mut simcore::SnapshotWriter) {
+        match self.last {
+            None => w.put_u64(0),
+            Some((t, e)) => {
+                w.put_u64(1);
+                w.put_time(t);
+                w.put_f64(e);
+            }
+        }
+    }
+
+    /// Restores the state written by [`Self::freeze_into`].
+    pub fn thaw_from(
+        &mut self,
+        r: &mut simcore::SnapshotReader<'_>,
+    ) -> Result<(), simcore::SnapshotError> {
+        self.last = match r.take_u64()? {
+            0 => None,
+            1 => Some((r.take_time()?, r.take_f64()?)),
+            _ => return Err(simcore::SnapshotError::Corrupt("power meter tag")),
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,19 @@ use crate::time::SimTime;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
 
+impl EventId {
+    /// The underlying sequence number — snapshot support only; treat as
+    /// opaque everywhere else.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from [`Self::raw`] — snapshot support only.
+    pub fn from_raw(seq: u64) -> Self {
+        EventId(seq)
+    }
+}
+
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -163,6 +176,62 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.live == 0
     }
+
+    /// Pending (non-cancelled) entries as `(at, seq, event)`, sorted by
+    /// `(at, seq)` — the heap's internal layout is unspecified, so this
+    /// is the canonical order a snapshot encodes.
+    pub fn export_entries(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut out: Vec<(SimTime, u64, &E)> = self
+            .heap
+            .iter()
+            .filter(|e| !e.cancelled)
+            .map(|e| (e.at, e.seq, &e.event))
+            .collect();
+        out.sort_by_key(|&(at, seq, _)| (at, seq));
+        out
+    }
+
+    /// The next sequence number a [`Self::push`] would consume — part of
+    /// the snapshot alongside [`Self::export_entries`], so restored
+    /// handles stay unique.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Rebuilds a queue from a snapshot: `next_seq` plus the pending
+    /// entries in any order. Fails if an entry's sequence number is not
+    /// strictly below `next_seq` or appears twice.
+    pub fn restore(
+        next_seq: u64,
+        entries: impl IntoIterator<Item = (SimTime, u64, E)>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let mut heap = BinaryHeap::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for (at, seq, event) in entries {
+            if seq >= next_seq {
+                return Err(crate::snapshot::SnapshotError::Corrupt(
+                    "event seq beyond next_seq",
+                ));
+            }
+            if !seen.insert(seq) {
+                return Err(crate::snapshot::SnapshotError::Corrupt(
+                    "duplicate event seq",
+                ));
+            }
+            heap.push(Entry {
+                at,
+                seq,
+                cancelled: false,
+                event,
+            });
+        }
+        let live = heap.len();
+        Ok(EventQueue {
+            heap,
+            next_seq,
+            live,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -218,5 +287,38 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn export_restore_round_trip_preserves_order_and_handles() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 'c');
+        let id = q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(2), 'b');
+        q.cancel(id);
+        let entries: Vec<(SimTime, u64, char)> = q
+            .export_entries()
+            .into_iter()
+            .map(|(at, seq, &e)| (at, seq, e))
+            .collect();
+        assert_eq!(entries.len(), 2, "cancelled entries are not exported");
+        let mut back = EventQueue::restore(q.next_seq(), entries).expect("restore");
+        assert_eq!(back.len(), 2);
+        // New pushes get fresh handles beyond everything restored.
+        let fresh = back.push(SimTime::from_secs(0), 'z');
+        assert_eq!(fresh.raw(), 3);
+        let order: Vec<char> = std::iter::from_fn(|| back.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['z', 'b', 'c']);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_sequences() {
+        let dup = [
+            (SimTime::from_secs(1), 0u64, 'a'),
+            (SimTime::from_secs(2), 0u64, 'b'),
+        ];
+        assert!(EventQueue::restore(5, dup).is_err());
+        let beyond = [(SimTime::from_secs(1), 7u64, 'a')];
+        assert!(EventQueue::restore(5, beyond).is_err());
     }
 }

@@ -28,11 +28,15 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use event::EventId;
 pub use event::EventQueue;
 pub use fault::{FaultPlan, FaultSchedule, FaultWindow};
 pub use rng::SimRng;
 pub use series::TimeSeries;
-pub use snapshot::{Checkpoint, RunJournal, Snapshot, SnapshotHasher};
+pub use snapshot::{
+    Checkpoint, RunJournal, Snapshot, SnapshotError, SnapshotHasher, SnapshotReader,
+    SnapshotWriter, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use stats::{LinearFit, TrialStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceCategory, TraceEvent, TraceHandle, TraceRecord, TraceSink};

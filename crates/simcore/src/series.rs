@@ -64,6 +64,36 @@ impl TimeSeries {
         &self.points
     }
 
+    /// Encodes the series (name and every point) into a snapshot payload.
+    pub fn freeze_into(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_str(&self.name);
+        w.put_usize(self.points.len());
+        for &(at, v) in &self.points {
+            w.put_time(at);
+            w.put_f64(v);
+        }
+    }
+
+    /// Decodes a series previously written by [`Self::freeze_into`],
+    /// rejecting out-of-order points.
+    pub fn thaw_from(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let name = r.take_string()?;
+        let n = r.take_usize()?;
+        let mut points: Vec<(SimTime, f64)> = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let at = r.take_time()?;
+            if points.last().is_some_and(|&(prev, _)| prev >= at) {
+                return Err(crate::snapshot::SnapshotError::Corrupt(
+                    "time series points out of order",
+                ));
+            }
+            points.push((at, r.take_f64()?));
+        }
+        Ok(TimeSeries { name, points })
+    }
+
     /// Number of points.
     pub fn len(&self) -> usize {
         self.points.len()

@@ -1,4 +1,5 @@
-//! Checkpoint/resume support: state digests and the run journal.
+//! Checkpoint/resume support: state digests, the run journal, and the
+//! versioned binary snapshot format.
 //!
 //! A deterministic simulation needs no serialized core dump to resume: a
 //! run is a pure function of its configuration, so a checkpoint is just a
@@ -12,8 +13,369 @@
 //! The digest is a 64-bit FNV-1a/splitmix chain over the raw bits of the
 //! state (floats via `to_bits`), so two states digest equal iff they are
 //! bit-identical — the property the crash-halfway/resume test relies on.
+//!
+//! Replay-from-zero is O(history); a fleet of long-lived sessions needs
+//! O(state) restore. [`SnapshotWriter`] / [`SnapshotReader`] provide the
+//! dependency-free binary encoding for that: little-endian scalars behind
+//! an envelope of magic, version, payload length, and a trailing
+//! [`SnapshotHasher`] checksum over the payload. Decoding never panics —
+//! every read is bounds-checked and every malformed input surfaces as a
+//! [`SnapshotError`], so a corrupted or truncated snapshot degrades to
+//! the replay path instead of taking the service down.
+
+use std::collections::BTreeMap;
 
 use crate::time::{SimDuration, SimTime};
+
+/// First eight bytes of every sealed snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ODYSNAP1";
+
+/// Format version written into (and demanded from) the envelope.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot failed to decode (or a component refused to encode).
+///
+/// Every variant is a recoverable condition: the caller falls back to
+/// replay-based resume. Nothing in the decode path panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte stream ended before the declared content did.
+    Truncated,
+    /// The envelope does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The envelope was written by a different format version.
+    VersionMismatch {
+        /// The version found in the envelope header.
+        found: u32,
+    },
+    /// The payload checksum does not match the trailing digest.
+    ChecksumMismatch,
+    /// The payload decoded structurally but a value is out of range.
+    Corrupt(&'static str),
+    /// The component cannot be frozen/thawed in its current shape.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "snapshot magic mismatch"),
+            SnapshotError::VersionMismatch { found } => {
+                write!(
+                    f,
+                    "snapshot version mismatch: found {found}, expected {SNAPSHOT_VERSION}"
+                )
+            }
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+            SnapshotError::Unsupported(what) => write!(f, "snapshot unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Append-only encoder for the snapshot payload.
+///
+/// All scalars are little-endian; floats are written by exact bit
+/// pattern so freeze→thaw round-trips are bit-identical. [`Self::seal`]
+/// wraps the payload in the magic/version/length/checksum envelope.
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        SnapshotWriter::default()
+    }
+
+    /// Appends a word.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a 32-bit word.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a float by its exact bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as one word (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a usize widened to a word.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a [`SimTime`] as its microsecond count.
+    pub fn put_time(&mut self, t: SimTime) {
+        self.put_u64(t.as_micros());
+    }
+
+    /// Appends a [`SimDuration`] as its microsecond count.
+    pub fn put_duration(&mut self, d: SimDuration) {
+        self.put_u64(d.as_micros());
+    }
+
+    /// Appends length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Appends `Some(v)`/`None` as a presence word plus the payload.
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.put_u64(0),
+            Some(v) => {
+                self.put_u64(1);
+                self.put_u64(v);
+            }
+        }
+    }
+
+    /// Appends an optional float (presence word plus bit pattern).
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.put_u64(0),
+            Some(v) => {
+                self.put_u64(1);
+                self.put_f64(v);
+            }
+        }
+    }
+
+    /// Appends an optional [`SimTime`].
+    pub fn put_opt_time(&mut self, t: Option<SimTime>) {
+        self.put_opt_u64(t.map(|t| t.as_micros()));
+    }
+
+    /// Payload bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Wraps the payload in the envelope: magic, version, payload
+    /// length, payload, then a trailing [`SnapshotHasher`] digest of the
+    /// payload.
+    pub fn seal(self) -> Vec<u8> {
+        let mut h = SnapshotHasher::new();
+        h.write_bytes(&self.buf);
+        let checksum = h.finish();
+        let mut out = Vec::with_capacity(self.buf.len() + 28);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.buf.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.buf);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+}
+
+/// Bounds-checked decoder over a verified snapshot payload.
+///
+/// Constructed by [`SnapshotReader::open`], which validates the whole
+/// envelope (magic, version, length, checksum) up front; the take
+/// methods then only need to guard against structural truncation. No
+/// method indexes unchecked or panics on hostile input — simlint rule S1
+/// audits this file for exactly that.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    payload: &'a [u8],
+    pos: usize,
+    /// `&'static str` fields (bucket names, workload names) are restored
+    /// by leaking — deduplicated per reader so each distinct string
+    /// leaks at most once per thaw.
+    interned: BTreeMap<String, &'static str>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Validates the envelope of `bytes` and returns a reader over the
+    /// payload.
+    pub fn open(bytes: &'a [u8]) -> Result<Self, SnapshotError> {
+        let magic = bytes.get(..8).ok_or(SnapshotError::Truncated)?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version_bytes = bytes.get(8..12).ok_or(SnapshotError::Truncated)?;
+        let mut v = [0u8; 4];
+        v.copy_from_slice(version_bytes);
+        let version = u32::from_le_bytes(v);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch { found: version });
+        }
+        let len_bytes = bytes.get(12..20).ok_or(SnapshotError::Truncated)?;
+        let mut l = [0u8; 8];
+        l.copy_from_slice(len_bytes);
+        let payload_len = u64::from_le_bytes(l) as usize;
+        let payload_end = 20usize
+            .checked_add(payload_len)
+            .ok_or(SnapshotError::Truncated)?;
+        let payload = bytes.get(20..payload_end).ok_or(SnapshotError::Truncated)?;
+        let checksum_bytes = bytes
+            .get(payload_end..payload_end + 8)
+            .ok_or(SnapshotError::Truncated)?;
+        let mut c = [0u8; 8];
+        c.copy_from_slice(checksum_bytes);
+        let mut h = SnapshotHasher::new();
+        h.write_bytes(payload);
+        if h.finish() != u64::from_le_bytes(c) {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        if bytes.len() > payload_end + 8 {
+            return Err(SnapshotError::Corrupt("trailing bytes after envelope"));
+        }
+        Ok(SnapshotReader {
+            payload,
+            pos: 0,
+            interned: BTreeMap::new(),
+        })
+    }
+
+    /// Reads a word.
+    pub fn take_u64(&mut self) -> Result<u64, SnapshotError> {
+        let bytes = self
+            .payload
+            .get(self.pos..self.pos + 8)
+            .ok_or(SnapshotError::Truncated)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(bytes);
+        self.pos += 8;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a 32-bit word.
+    pub fn take_u32(&mut self) -> Result<u32, SnapshotError> {
+        let bytes = self
+            .payload
+            .get(self.pos..self.pos + 4)
+            .ok_or(SnapshotError::Truncated)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(bytes);
+        self.pos += 4;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a float by bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a bool; any word other than 0/1 is corruption.
+    pub fn take_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.take_u64()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt("bool out of range")),
+        }
+    }
+
+    /// Reads a usize, rejecting words beyond the platform's range.
+    pub fn take_usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.take_u64()?).map_err(|_| SnapshotError::Corrupt("usize overflow"))
+    }
+
+    /// Reads a [`SimTime`].
+    pub fn take_time(&mut self) -> Result<SimTime, SnapshotError> {
+        Ok(SimTime::from_micros(self.take_u64()?))
+    }
+
+    /// Reads a [`SimDuration`].
+    pub fn take_duration(&mut self) -> Result<SimDuration, SnapshotError> {
+        Ok(SimDuration::from_micros(self.take_u64()?))
+    }
+
+    /// Reads length-prefixed raw bytes.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let len = self.take_usize()?;
+        let end = self.pos.checked_add(len).ok_or(SnapshotError::Truncated)?;
+        let bytes = self
+            .payload
+            .get(self.pos..end)
+            .ok_or(SnapshotError::Truncated)?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_string(&mut self) -> Result<String, SnapshotError> {
+        let bytes = self.take_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::Corrupt("invalid utf-8"))
+    }
+
+    /// Reads a string destined for a `&'static str` field, leaking it.
+    ///
+    /// Deduplicated per reader, so thawing a session leaks each distinct
+    /// name once — bucket and workload names are a handful of short
+    /// strings, a bounded cost per restore.
+    pub fn take_static_str(&mut self) -> Result<&'static str, SnapshotError> {
+        let s = self.take_string()?;
+        if let Some(&interned) = self.interned.get(&s) {
+            return Ok(interned);
+        }
+        let leaked: &'static str = Box::leak(s.clone().into_boxed_str());
+        self.interned.insert(s, leaked);
+        Ok(leaked)
+    }
+
+    /// Reads an optional word (presence word plus payload).
+    pub fn take_opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        if self.take_bool()? {
+            Ok(Some(self.take_u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads an optional float.
+    pub fn take_opt_f64(&mut self) -> Result<Option<f64>, SnapshotError> {
+        if self.take_bool()? {
+            Ok(Some(self.take_f64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads an optional [`SimTime`].
+    pub fn take_opt_time(&mut self) -> Result<Option<SimTime>, SnapshotError> {
+        Ok(self.take_opt_u64()?.map(SimTime::from_micros))
+    }
+
+    /// Unread payload bytes.
+    pub fn remaining(&self) -> usize {
+        self.payload.len().saturating_sub(self.pos)
+    }
+
+    /// Asserts the payload was fully consumed — leftover bytes mean the
+    /// encoder and decoder disagree about the schema.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt("payload not fully consumed"))
+        }
+    }
+}
 
 /// Incremental 64-bit state digest.
 ///
@@ -248,6 +610,47 @@ impl RunJournal {
             .iter()
             .any(|c| c.t == t && c.digest == digest)
     }
+
+    /// Encodes the journal (interval, schedule position, every proof
+    /// point) into a snapshot payload.
+    pub fn freeze_into(&self, w: &mut SnapshotWriter) {
+        w.put_duration(self.interval);
+        w.put_time(self.next_due);
+        w.put_usize(self.checkpoints.len());
+        for c in &self.checkpoints {
+            w.put_u64(c.seq);
+            w.put_time(c.t);
+            w.put_u64(c.digest);
+        }
+    }
+
+    /// Decodes a journal previously written by [`Self::freeze_into`].
+    pub fn thaw_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let interval = r.take_duration()?;
+        if interval.is_zero() {
+            return Err(SnapshotError::Corrupt("zero checkpoint interval"));
+        }
+        let next_due = r.take_time()?;
+        let n = r.take_usize()?;
+        let mut checkpoints = Vec::with_capacity(n.min(1024));
+        for i in 0..n {
+            let seq = r.take_u64()?;
+            if seq != i as u64 {
+                return Err(SnapshotError::Corrupt("checkpoint seq not dense"));
+            }
+            let t = r.take_time()?;
+            if checkpoints.last().is_some_and(|p: &Checkpoint| p.t > t) {
+                return Err(SnapshotError::Corrupt("checkpoints out of order"));
+            }
+            let digest = r.take_u64()?;
+            checkpoints.push(Checkpoint { seq, t, digest });
+        }
+        Ok(RunJournal {
+            interval,
+            next_due,
+            checkpoints,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -344,5 +747,141 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_interval_rejected() {
         let _ = RunJournal::new(SimDuration::ZERO);
+    }
+
+    fn sample_payload() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(7);
+        w.put_f64(-0.5);
+        w.put_bool(true);
+        w.put_str("speech");
+        w.put_opt_u64(Some(3));
+        w.put_opt_time(None);
+        w.seal()
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let bytes = sample_payload();
+        let mut r = SnapshotReader::open(&bytes).expect("open");
+        assert_eq!(r.take_u64().unwrap(), 7);
+        assert_eq!(r.take_f64().unwrap(), -0.5);
+        assert!(r.take_bool().unwrap());
+        assert_eq!(r.take_string().unwrap(), "speech");
+        assert_eq!(r.take_opt_u64().unwrap(), Some(3));
+        assert_eq!(r.take_opt_time().unwrap(), None);
+        r.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn static_str_interning_dedups() {
+        let mut w = SnapshotWriter::new();
+        w.put_str("disk");
+        w.put_str("disk");
+        let bytes = w.seal();
+        let mut r = SnapshotReader::open(&bytes).expect("open");
+        let a = r.take_static_str().unwrap();
+        let b = r.take_static_str().unwrap();
+        assert_eq!(a, "disk");
+        assert!(std::ptr::eq(a, b), "same string must intern to one leak");
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_detected_without_panic() {
+        let bytes = sample_payload();
+        for cut in 0..bytes.len() {
+            let err =
+                SnapshotReader::open(&bytes[..cut]).expect_err("truncated snapshot must not open");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated
+                        | SnapshotError::BadMagic
+                        | SnapshotError::ChecksumMismatch
+                ),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = sample_payload();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut evil = bytes.clone();
+                evil[byte] ^= 1 << bit;
+                let outcome = SnapshotReader::open(&evil);
+                assert!(
+                    outcome.is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn version_mismatch_reports_found_version() {
+        let mut bytes = sample_payload();
+        bytes[8] = 99;
+        assert!(matches!(
+            SnapshotReader::open(&bytes),
+            Err(SnapshotError::VersionMismatch { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = sample_payload();
+        bytes[0] = b'X';
+        assert!(matches!(
+            SnapshotReader::open(&bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut bytes = sample_payload();
+        bytes.push(0);
+        assert!(matches!(
+            SnapshotReader::open(&bytes),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unconsumed_payload_is_an_error() {
+        let bytes = sample_payload();
+        let r = SnapshotReader::open(&bytes).expect("open");
+        assert!(matches!(r.finish(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bool_out_of_range_is_corrupt() {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(2);
+        let bytes = w.seal();
+        let mut r = SnapshotReader::open(&bytes).expect("open");
+        assert!(matches!(r.take_bool(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn journal_round_trips_through_snapshot() {
+        let mut j = RunJournal::new(SimDuration::from_secs(10));
+        j.record_if_due(SimTime::from_secs(10), || 10);
+        j.record_if_due(SimTime::from_secs(25), || 25);
+        let mut w = SnapshotWriter::new();
+        j.freeze_into(&mut w);
+        let bytes = w.seal();
+        let mut r = SnapshotReader::open(&bytes).expect("open");
+        let back = RunJournal::thaw_from(&mut r).expect("thaw");
+        r.finish().expect("fully consumed");
+        assert_eq!(back.interval(), j.interval());
+        assert_eq!(back.checkpoints(), j.checkpoints());
+        // The thawed journal continues the schedule, not restarts it.
+        let mut live = back.clone();
+        assert!(!live.record_if_due(SimTime::from_secs(29), || 0));
+        assert!(live.record_if_due(SimTime::from_secs(30), || 30));
     }
 }

@@ -647,6 +647,37 @@ impl TraceSink {
     pub fn emitted(&self) -> u64 {
         self.next_seq
     }
+
+    /// Encodes the sink's ordering counters (`next_seq`, `evicted`,
+    /// `last_at`) into a snapshot payload. The ring contents and JSONL
+    /// backlog are deliberately excluded: they are O(history), and a
+    /// restored session only needs the counters so its post-thaw stream
+    /// continues the sequence numbering of the run it replaces.
+    pub fn freeze_counters_into(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.next_seq);
+        w.put_u64(self.evicted);
+        w.put_time(self.last_at);
+    }
+
+    /// Restores the counters written by [`Self::freeze_counters_into`]
+    /// onto this (freshly built) sink.
+    pub fn restore_counters_from(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let next_seq = r.take_u64()?;
+        let evicted = r.take_u64()?;
+        let last_at = r.take_time()?;
+        if evicted > next_seq {
+            return Err(crate::snapshot::SnapshotError::Corrupt(
+                "trace evicted exceeds emitted",
+            ));
+        }
+        self.next_seq = next_seq;
+        self.evicted = evicted;
+        self.last_at = last_at;
+        Ok(())
+    }
 }
 
 /// Cloneable shared handle to a [`TraceSink`].
@@ -711,6 +742,20 @@ impl TraceHandle {
     /// Total records accepted over the sink's lifetime.
     pub fn emitted(&self) -> u64 {
         self.sink.borrow().emitted()
+    }
+
+    /// Encodes the shared sink's ordering counters into a snapshot
+    /// payload (see [`TraceSink::freeze_counters_into`]).
+    pub fn freeze_counters_into(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        self.sink.borrow().freeze_counters_into(w);
+    }
+
+    /// Restores the shared sink's ordering counters from a snapshot.
+    pub fn restore_counters_from(
+        &self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.sink.borrow_mut().restore_counters_from(r)
     }
 }
 

@@ -31,8 +31,11 @@
 //! - **S1** — service-layer API discipline, scoped to `crates/simserve/`:
 //!   every public state-changing entry point (a `pub fn` taking
 //!   `&mut self`) must return `Result` — the always-on serving layer
-//!   refuses bad input, it does not panic — and D5 may not be waived
-//!   there at all (a waiver is itself an S1 finding).
+//!   refuses bad input, it does not panic — D5 may not be waived
+//!   there at all (a waiver is itself an S1 finding), and unchecked
+//!   indexing (`a[i]`, `a[i..]`) is banned in favor of `.get()`:
+//!   snapshot decode paths parse untrusted bytes and must surface
+//!   malformed input as `Result`, never as an out-of-bounds panic.
 //!
 //! Any site can be waived with a comment carrying a reason:
 //!
@@ -617,6 +620,20 @@ fn scan_s1(
             continue;
         }
         let line_no = idx + 1;
+        // Unchecked indexing: decode paths parse untrusted snapshot
+        // bytes and serving paths handle untrusted input, so `a[i]` /
+        // `a[i..]` — which panic out-of-bounds — are banned in favor of
+        // `.get()`. An index proven in range can be waived.
+        if has_unchecked_indexing(line) {
+            push(
+                findings,
+                line_no,
+                "S1",
+                "unchecked indexing in the service layer: use `.get()` and surface the \
+                 failure as a `Result` (decode paths must be panic-free)"
+                    .to_string(),
+            );
+        }
         let trimmed = line.trim_start();
         let Some(fn_pos) = find_pub_fn(trimmed) else {
             continue;
@@ -664,6 +681,54 @@ fn scan_s1(
             );
         }
     }
+}
+
+/// True when a (string-stripped) line contains an index expression —
+/// `ident[`, `call()[`, or `a[0][` — as opposed to slice types (`&[`),
+/// attributes (`#[`), array literals, or macros (`vec![`). Slice
+/// patterns (`let [a, b] =`) would also match; the service layer
+/// doesn't use them, and a waiver covers the exception.
+fn has_unchecked_indexing(line: &str) -> bool {
+    let chars: Vec<char> = line.chars().collect();
+    for i in 0..chars.len() {
+        if chars[i] != '[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && chars[j - 1].is_whitespace() {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        if chars[j - 1] == ')' || chars[j - 1] == ']' {
+            return true;
+        }
+        if !is_ident_char(chars[j - 1]) {
+            continue;
+        }
+        // Walk back over the whole identifier to tell an indexed value
+        // from a keyword (`let [a, b] =`) or a lifetime (`&'a [u8]`).
+        let mut k = j;
+        while k > 0 && is_ident_char(chars[k - 1]) {
+            k -= 1;
+        }
+        if k > 0 && chars[k - 1] == '\'' {
+            continue;
+        }
+        let word: String = chars
+            .get(k..j)
+            .map(|w| w.iter().collect())
+            .unwrap_or_default();
+        if matches!(
+            word.as_str(),
+            "let" | "ref" | "mut" | "static" | "dyn" | "in" | "as" | "box" | "const"
+        ) {
+            continue;
+        }
+        return true;
+    }
+    false
 }
 
 /// D3: float-literal equality and narrowing casts.
@@ -1149,6 +1214,49 @@ fn t() {
     #[test]
     fn s1_does_not_run_in_service_test_code() {
         let src = "#[cfg(test)]\nmod tests {\n    pub fn step(&mut self) {}\n}\n";
+        assert!(scan_str(SERVICE, src).is_empty());
+    }
+
+    /// Fixture mirroring a snapshot decode path: untrusted bytes must be
+    /// read through `.get()`, never `buf[i]` — a hostile length field
+    /// would turn the decoder into a panic.
+    #[test]
+    fn s1_flags_unchecked_indexing_in_decode_paths() {
+        for dirty in [
+            "fn thaw(&mut self, buf: &[u8]) { let b = buf[self.pos]; }\n",
+            "fn decode(b: &[u8]) { let tail = b[4..]; }\n",
+            "fn merge(&self) { let c = self.checkpoints()[self.next..].to_vec(); }\n",
+        ] {
+            let f = scan_str(SERVICE, dirty);
+            assert_eq!(rules(&f), ["S1"], "{dirty}");
+            assert!(f[0].message.contains(".get()"), "{dirty}");
+            // Outside the service layer indexing is D-rule territory
+            // (reachability arguments live in review, not the linter).
+            assert!(scan_str(SIM, dirty).is_empty(), "{dirty}");
+        }
+    }
+
+    #[test]
+    fn s1_accepts_checked_decode_and_non_index_brackets() {
+        let clean = "fn thaw(&mut self, buf: &[u8]) -> Result<u8, E> {\n\
+                     \x20   buf.get(self.pos).copied().ok_or(E::Truncated)\n\
+                     }\n\
+                     #[derive(Clone)]\n\
+                     pub struct S { v: Vec<[u8; 4]>, s: &'static [u8] }\n\
+                     fn mk() -> Vec<u8> { vec![0u8; 4] }\n\
+                     fn pat(p: &[u8]) { if let [a, ..] = p { let _ = a; } }\n";
+        assert!(scan_str(SERVICE, clean).is_empty());
+    }
+
+    #[test]
+    fn s1_indexing_is_waivable_with_a_reason() {
+        let src = "fn f(&self) { let x = self.v[0]; } // simlint: allow(S1) — v is never empty\n";
+        assert!(scan_str(SERVICE, src).is_empty());
+    }
+
+    #[test]
+    fn s1_indexing_exempt_in_service_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let x = v[0]; }\n}\n";
         assert!(scan_str(SERVICE, src).is_empty());
     }
 

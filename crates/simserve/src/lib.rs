@@ -33,7 +33,13 @@ use std::rc::Rc;
 
 use machine::{CheckpointHook, ControlHook, Machine, MachineView, RunReport};
 use odyssey::{GoalHandle, SupervisorHandle};
-use simcore::{Checkpoint, RunJournal, SimDuration, SimTime, TraceEvent, TraceHandle};
+use simcore::{
+    Checkpoint, RunJournal, SimDuration, SimTime, SnapshotError, SnapshotReader, SnapshotWriter,
+    TraceEvent, TraceHandle,
+};
+
+mod server;
+pub use server::{run_fleet, FleetOutcome, FleetSpec, Server, SessionHealth, SlotStats};
 
 /// Service-layer failure. Every state-changing entry point returns
 /// `Result<_, ServeError>`: the service never panics on caller input.
@@ -47,6 +53,16 @@ pub enum ServeError {
     /// The operation needs a serving session ([`Session::serve`]); this
     /// session was built with [`Session::adopt`].
     NotServing,
+    /// The server is at its admission bound; no further sessions.
+    AdmissionFull,
+    /// No session occupies this server slot.
+    UnknownSession,
+    /// The session faulted on this input batch and was rolled back to
+    /// its last good state; the batch was rejected, siblings untouched.
+    Faulted,
+    /// The session faulted and could not be restored; the slot refuses
+    /// all further input.
+    Quarantined,
 }
 
 impl fmt::Display for ServeError {
@@ -55,6 +71,10 @@ impl fmt::Display for ServeError {
             ServeError::InvalidConfig(what) => write!(f, "invalid session config: {what}"),
             ServeError::Finished => write!(f, "session already finished"),
             ServeError::NotServing => write!(f, "session was adopted, not served"),
+            ServeError::AdmissionFull => write!(f, "server admission bound reached"),
+            ServeError::UnknownSession => write!(f, "no session in this slot"),
+            ServeError::Faulted => write!(f, "session faulted; rolled back to last good state"),
+            ServeError::Quarantined => write!(f, "session quarantined; restore failed"),
         }
     }
 }
@@ -343,6 +363,21 @@ impl DeadLetterLedger {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Retained entry count — never exceeds [`DeadLetterLedger::capacity`].
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
 }
 
 /// A quarantine/re-admit request queued for the actuator hook.
@@ -401,6 +436,38 @@ impl ControlHook for ServiceHook {
                 Err(reason) => view.emit_trace(TraceEvent::ReconfigRejected { kind, reason }),
             }
         }
+    }
+
+    fn freeze(&self, w: &mut simcore::SnapshotWriter) -> Result<(), simcore::SnapshotError> {
+        let inbox = self.inbox.borrow();
+        w.put_usize(inbox.len());
+        for act in inbox.iter() {
+            match act {
+                Actuation::Quarantine(i) => {
+                    w.put_u64(0);
+                    w.put_usize(*i);
+                }
+                Actuation::Readmit(i) => {
+                    w.put_u64(1);
+                    w.put_usize(*i);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn thaw(&mut self, r: &mut simcore::SnapshotReader<'_>) -> Result<(), simcore::SnapshotError> {
+        let n = r.take_usize()?;
+        let mut inbox = VecDeque::new();
+        for _ in 0..n {
+            inbox.push_back(match r.take_u64()? {
+                0 => Actuation::Quarantine(r.take_usize()?),
+                1 => Actuation::Readmit(r.take_usize()?),
+                _ => return Err(simcore::SnapshotError::Corrupt("actuation tag")),
+            });
+        }
+        *self.inbox.borrow_mut() = inbox;
+        Ok(())
     }
 }
 
@@ -583,6 +650,132 @@ impl Session {
     /// proof token.
     pub fn digest(&self) -> u64 {
         self.machine.state_digest()
+    }
+
+    /// Encodes the session's full mutable state — machine, hooks,
+    /// journal, ledgers, trace counters — into a self-verifying binary
+    /// snapshot. Restoring it with [`Session::thaw`] resumes in O(state)
+    /// instead of replaying the whole sample stream.
+    ///
+    /// Fails with [`SnapshotError::Unsupported`] when any attached
+    /// workload or hook lacks a freeze implementation; callers fall back
+    /// to replay-based resume.
+    pub fn freeze(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut w = SnapshotWriter::new();
+        w.put_time(self.cursor);
+        w.put_bool(self.stopped);
+        w.put_bool(self.finished);
+        w.put_bool(self.serving.is_some());
+        if let Some(s) = &self.serving {
+            // Only the horizon is mutable config (live reconfig).
+            w.put_time(s.cfg.horizon);
+            s.trace.freeze_counters_into(&mut w);
+            w.put_u64(s.dead.total);
+            w.put_u64(s.dead.dropped);
+            w.put_usize(s.dead.entries.len());
+            for letter in &s.dead.entries {
+                w.put_f64(letter.at_s);
+                w.put_str(letter.reason);
+                w.put_opt_u64(letter.origin.map(|o| o as u64));
+            }
+            w.put_usize(s.dead_by_origin.len());
+            for (origin, count) in &s.dead_by_origin {
+                w.put_usize(*origin);
+                w.put_u64(*count);
+            }
+            w.put_u64(s.next_seq);
+            w.put_usize(s.next_ckpt);
+        }
+        self.machine.freeze(&mut w)?;
+        // Trailing self-check: thaw recomputes the digest and refuses a
+        // decode that is well-formed but semantically wrong.
+        w.put_u64(self.machine.state_digest());
+        Ok(w.seal())
+    }
+
+    /// Restores a snapshot taken by [`Session::freeze`] onto this
+    /// freshly-built session. The session must have been rebuilt from
+    /// the *identical* configuration (same rig builder, same seed, same
+    /// [`SessionConfig`]); construction-time state is not in the
+    /// snapshot.
+    ///
+    /// On any error the session is left partially mutated — discard it
+    /// and fall back to replay. Corruption (flipped bits, truncation,
+    /// version skew) is detected by the envelope checksum, field
+    /// validation, or the trailing digest self-check; none of these
+    /// paths panic.
+    pub fn thaw(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::open(bytes)?;
+        let cursor = r.take_time()?;
+        let stopped = r.take_bool()?;
+        let finished = r.take_bool()?;
+        let was_serving = r.take_bool()?;
+        if was_serving != self.serving.is_some() {
+            return Err(SnapshotError::Corrupt("serving mode mismatch"));
+        }
+        if let Some(s) = self.serving.as_mut() {
+            let horizon = r.take_time()?;
+            s.trace.restore_counters_from(&mut r)?;
+            let total = r.take_u64()?;
+            let dropped = r.take_u64()?;
+            let n = r.take_usize()?;
+            if n > s.cfg.dead_letter_capacity {
+                return Err(SnapshotError::Corrupt("dead-letter ledger overflow"));
+            }
+            if dropped.checked_add(n as u64) != Some(total) {
+                return Err(SnapshotError::Corrupt("dead-letter totals inconsistent"));
+            }
+            let mut entries = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                let at_s = r.take_f64()?;
+                let reason = r.take_static_str()?;
+                let origin = match r.take_opt_u64()? {
+                    Some(o) => Some(
+                        usize::try_from(o)
+                            .map_err(|_| SnapshotError::Corrupt("dead-letter origin"))?,
+                    ),
+                    None => None,
+                };
+                entries.push_back(DeadLetter {
+                    at_s,
+                    reason,
+                    origin,
+                });
+            }
+            let by_origin_len = r.take_usize()?;
+            let mut dead_by_origin = BTreeMap::new();
+            for _ in 0..by_origin_len {
+                let origin = r.take_usize()?;
+                let count = r.take_u64()?;
+                if dead_by_origin.insert(origin, count).is_some() {
+                    return Err(SnapshotError::Corrupt("duplicate dead-letter origin"));
+                }
+            }
+            let next_seq = r.take_u64()?;
+            let next_ckpt = r.take_usize()?;
+            s.cfg.horizon = horizon;
+            s.dead.total = total;
+            s.dead.dropped = dropped;
+            s.dead.entries = entries;
+            s.dead_by_origin = dead_by_origin;
+            s.next_seq = next_seq;
+            s.next_ckpt = next_ckpt;
+        }
+        self.machine.thaw(&mut r)?;
+        let want = r.take_u64()?;
+        r.finish()?;
+        if self.machine.state_digest() != want {
+            return Err(SnapshotError::Corrupt("restored state digest mismatch"));
+        }
+        if let Some(s) = &self.serving {
+            if s.next_ckpt > s.journal.borrow().checkpoints().len() {
+                return Err(SnapshotError::Corrupt("checkpoint cursor"));
+            }
+        }
+        self.cursor = cursor;
+        self.stopped = stopped;
+        self.finished = finished;
+        Ok(())
     }
 
     /// The session clock: the latest validated sample timestamp (or run
@@ -792,7 +985,10 @@ impl Serving {
             from_trace.push(directive);
         }
         let journal = self.journal.borrow();
-        let from_journal: Vec<Directive> = journal.checkpoints()[self.next_ckpt..]
+        let from_journal: Vec<Directive> = journal
+            .checkpoints()
+            .get(self.next_ckpt..)
+            .unwrap_or_default()
             .iter()
             .map(|ck| Directive::Checkpointed {
                 seq: ck.seq,

@@ -43,6 +43,9 @@ echo "$sup_a" | head -4
 echo "== simserve: kill/resume smoke (1x replay, mid-run checkpoint) =="
 cargo run --release -q -p experiments -- serve
 
+echo "== simserve: hostile-input fuzz smoke (30 seeded streams) =="
+cargo run --release -q -p experiments -- fuzz --streams 30
+
 echo "== simpar: serial/parallel byte-equality smoke =="
 par_1="$(cargo run --release -q -p experiments -- chaos fig18 --quick --threads 1 2>/dev/null)"
 par_8="$(cargo run --release -q -p experiments -- chaos fig18 --quick --threads 8 2>/dev/null)"

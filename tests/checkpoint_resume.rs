@@ -273,4 +273,106 @@ fn torture_kill_resume_at_every_checkpoint_boundary() {
     }
     let par = serve::torture_sweep(GOLDEN_SEED, 1, 4).expect("torture sweep at 4 threads");
     assert_eq!(serial, par, "torture sweep diverges across thread counts");
+    // Every boundary proof now covers both recovery paths: O(history)
+    // replay and O(state) snapshot thaw, digest-identical.
+    for line in &serial {
+        assert!(
+            line.contains("replay+snapshot resume OK"),
+            "boundary missing the snapshot-equivalence proof: {line}"
+        );
+    }
+}
+
+/// Hostile snapshots: a snapshot that was truncated, bit-flipped, or
+/// written by a different format version must be *detected* — a typed
+/// error, never a panic or a silently wrong session — and the caller
+/// must still be able to recover by falling back to replay.
+#[test]
+fn corrupted_snapshots_are_detected_and_replay_recovers() {
+    use energy_adaptation::experiments::serve;
+    use energy_adaptation::experiments::tracerec::GOLDEN_SEED;
+    use energy_adaptation::simcore::SnapshotError;
+
+    let samples = serve::schedule(1).expect("golden trace present");
+    let base = serve::replay(GOLDEN_SEED, &samples, None).expect("uninterrupted run");
+    let frozen = serve::freeze_at_boundary(GOLDEN_SEED, &samples, 1).expect("freeze");
+    assert!(
+        frozen.samples_fed < samples.len(),
+        "freeze landed at end of stream; no recovery left to prove"
+    );
+
+    // Truncated file: the length header promises more than is there.
+    let mut session = serve::build_session(GOLDEN_SEED).expect("build");
+    let cut = &frozen.snapshot[..frozen.snapshot.len() / 2];
+    assert!(
+        matches!(session.thaw(cut), Err(SnapshotError::Truncated)),
+        "truncated snapshot not detected"
+    );
+
+    // Single bit flipped in the trailing checksum.
+    let mut flipped = frozen.snapshot.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x01;
+    let mut session = serve::build_session(GOLDEN_SEED).expect("build");
+    assert!(
+        matches!(session.thaw(&flipped), Err(SnapshotError::ChecksumMismatch)),
+        "checksum bit-flip not detected"
+    );
+
+    // Single bit flipped in the payload: same detection, different site.
+    let mut flipped = frozen.snapshot.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x80;
+    let mut session = serve::build_session(GOLDEN_SEED).expect("build");
+    assert!(
+        session.thaw(&flipped).is_err(),
+        "payload bit-flip not detected"
+    );
+
+    // Version-mismatch header: the version field follows the 8-byte
+    // magic as a little-endian u32.
+    let mut wrong_version = frozen.snapshot.clone();
+    wrong_version[8] = 0xFF;
+    let mut session = serve::build_session(GOLDEN_SEED).expect("build");
+    assert!(
+        matches!(
+            session.thaw(&wrong_version),
+            Err(SnapshotError::VersionMismatch { .. })
+        ),
+        "version mismatch not detected"
+    );
+
+    // Recovery contract: a failed thaw poisons nothing globally — a
+    // fresh rebuild replaying the full stream still reproduces the
+    // uninterrupted run bit for bit.
+    let replayed = serve::replay(GOLDEN_SEED, &samples, None).expect("replay fallback");
+    assert_eq!(replayed.final_digest, base.final_digest);
+    assert_eq!(replayed.trace, base.trace);
+}
+
+/// Snapshot-vs-replay equivalence, pinned at 1 and 4 worker threads: a
+/// snapshot frozen at the first boundary and thawed into a fresh shell
+/// lands on the identical digest as replay-based resume, and the proof
+/// is byte-identical at both thread counts (the thaw itself is
+/// single-threaded state reconstruction; the pin guards the fan-out
+/// around it).
+#[test]
+fn snapshot_resume_digest_matches_replay_resume_at_1_and_4_threads() {
+    use energy_adaptation::experiments::serve;
+    use energy_adaptation::experiments::tracerec::GOLDEN_SEED;
+
+    let samples = serve::schedule(1).expect("golden trace present");
+    let base = serve::replay(GOLDEN_SEED, &samples, None).expect("uninterrupted run");
+    let frozen = serve::freeze_at_boundary(GOLDEN_SEED, &samples, 1).expect("freeze");
+    let thawed = serve::snapshot_resume(GOLDEN_SEED, &samples, &frozen).expect("thaw");
+    let replayed = serve::replay(GOLDEN_SEED, &samples, None).expect("replay resume");
+    assert_eq!(thawed.final_digest, replayed.final_digest);
+    assert_eq!(thawed.final_digest, base.final_digest);
+    assert_eq!(thawed.checkpoints, replayed.checkpoints);
+
+    // The multi-session fleet wraps the same machinery; its output must
+    // not depend on the worker count.
+    let at1 = serve::run_sessions(GOLDEN_SEED, &samples, 2, 1).expect("fleet at 1 thread");
+    let at4 = serve::run_sessions(GOLDEN_SEED, &samples, 2, 4).expect("fleet at 4 threads");
+    assert_eq!(at1, at4, "fleet outcome depends on thread count");
 }
