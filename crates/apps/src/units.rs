@@ -6,6 +6,11 @@
 //! two utterances; fetch-and-view one web page; fetch-and-view one map;
 //! play one minute of video). Units use relative think times so they can
 //! be built before their execution instant is known.
+//!
+//! Quantities here follow the D4 unit-suffix discipline (`_j`, `_w`,
+//! `_s`, …), which is what lets simlint's U1 pass infer a dimension for
+//! every expression and reject joules-plus-watts arithmetic statically
+//! (DESIGN.md §16).
 
 use hw560x::cpu::intensity;
 use machine::Activity;

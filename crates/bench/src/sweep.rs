@@ -85,6 +85,96 @@ pub fn render_sweep_json(records: &[BenchRecord]) -> String {
     out
 }
 
+/// Parses a `bench_sweep/v1` document back into records — the inverse
+/// of [`render_sweep_json`], hand-rolled against the same
+/// line-per-record layout so the bench crate stays dependency-free.
+pub fn parse_sweep_json(text: &str) -> Result<Vec<BenchRecord>, String> {
+    if !text.contains("\"schema\": \"bench_sweep/v1\"") {
+        return Err("not a bench_sweep/v1 document".to_string());
+    }
+    let mut records = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim().trim_end_matches(',');
+        if !trimmed.starts_with('{') || !trimmed.contains("\"scenario\"") {
+            continue;
+        }
+        records.push(BenchRecord {
+            scenario: str_field(trimmed, "scenario")?,
+            threads: num_field(trimmed, "threads")? as usize,
+            reps: num_field(trimmed, "reps")? as usize,
+            median_wall_ms: num_field(trimmed, "median_wall_ms")?,
+            min_wall_ms: num_field(trimmed, "min_wall_ms")?,
+            speedup_vs_serial: num_field(trimmed, "speedup_vs_serial")?,
+            work_per_s: num_field(trimmed, "directives_per_s").ok(),
+        });
+    }
+    if records.is_empty() {
+        return Err("bench_sweep document has no records".to_string());
+    }
+    Ok(records)
+}
+
+fn raw_field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\": ");
+    let start = line
+        .find(&pat)
+        .ok_or_else(|| format!("missing `{key}` in record line"))?
+        + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Ok(rest[..end].trim())
+}
+
+fn str_field(line: &str, key: &str) -> Result<String, String> {
+    Ok(raw_field(line, key)?.trim_matches('"').to_string())
+}
+
+fn num_field(line: &str, key: &str) -> Result<f64, String> {
+    let raw = raw_field(line, key)?;
+    raw.parse::<f64>()
+        .map_err(|e| format!("bad `{key}` value `{raw}`: {e}"))
+}
+
+/// Compares a fresh sweep against a committed baseline and returns one
+/// line per regression: a `threads > 1` row whose speedup fell more
+/// than `tolerance` below the baseline's, or a baseline scenario that
+/// silently dropped out of the sweep at a thread count the sweep did
+/// measure. Baseline thread counts the fresh sweep never ran are not
+/// regressions — CI sweeps a subset of the committed grid. Speedups are
+/// ratios of medians taken on the same machine in the same run, so the
+/// check is machine-portable — absolute wall times never participate.
+/// Serial rows are skipped (their speedup is 1.0 by construction), and
+/// speedups *above* baseline are never flagged.
+pub fn speedup_regressions(
+    current: &[BenchRecord],
+    baseline: &[BenchRecord],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for b in baseline {
+        if b.threads <= 1 || !current.iter().any(|c| c.threads == b.threads) {
+            continue;
+        }
+        let Some(c) = current
+            .iter()
+            .find(|c| c.scenario == b.scenario && c.threads == b.threads)
+        else {
+            out.push(format!(
+                "{}@{}: row missing from current sweep (baseline speedup {:.3})",
+                b.scenario, b.threads, b.speedup_vs_serial
+            ));
+            continue;
+        };
+        if c.speedup_vs_serial < b.speedup_vs_serial - tolerance {
+            out.push(format!(
+                "{}@{}: speedup {:.3} fell more than {:.2} below baseline {:.3}",
+                b.scenario, b.threads, c.speedup_vs_serial, tolerance, b.speedup_vs_serial
+            ));
+        }
+    }
+    out
+}
+
 /// Renders records as a human-readable table (stdout companion to the
 /// JSON artifact).
 pub fn render_sweep_table(records: &[BenchRecord]) -> String {
@@ -157,6 +247,118 @@ mod tests {
         assert_eq!(json.matches("},\n").count(), 1);
         // Balanced braces make it parseable by any JSON reader.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let records = vec![
+            BenchRecord {
+                scenario: "fig2".into(),
+                threads: 1,
+                reps: 3,
+                median_wall_ms: 12.5,
+                min_wall_ms: 11.0,
+                speedup_vs_serial: 1.0,
+                work_per_s: None,
+            },
+            BenchRecord {
+                scenario: "serve".into(),
+                threads: 4,
+                reps: 3,
+                median_wall_ms: 4.0,
+                min_wall_ms: 3.5,
+                speedup_vs_serial: 3.125,
+                work_per_s: Some(1234.5),
+            },
+        ];
+        let parsed = parse_sweep_json(&render_sweep_json(&records)).expect("parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].scenario, "fig2");
+        assert_eq!(parsed[0].threads, 1);
+        assert_eq!(parsed[0].work_per_s, None);
+        assert_eq!(parsed[1].scenario, "serve");
+        assert_eq!(parsed[1].reps, 3);
+        assert!((parsed[1].median_wall_ms - 4.0).abs() < 1e-9);
+        assert!((parsed[1].speedup_vs_serial - 3.125).abs() < 1e-9);
+        assert!((parsed[1].work_per_s.expect("rate") - 1234.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_and_empty_documents() {
+        assert!(parse_sweep_json("{\"schema\": \"other/v1\"}").is_err());
+        assert!(parse_sweep_json(
+            "{\n  \"schema\": \"bench_sweep/v1\",\n  \"records\": [\n  ]\n}\n"
+        )
+        .is_err());
+        // A mangled numeric field is an error, not a silent zero.
+        let bad = "{\"schema\": \"bench_sweep/v1\"}\n{\"scenario\": \"x\", \"threads\": no}\n";
+        assert!(parse_sweep_json(bad).is_err());
+    }
+
+    fn row(scenario: &str, threads: usize, speedup: f64) -> BenchRecord {
+        BenchRecord {
+            scenario: scenario.into(),
+            threads,
+            reps: 3,
+            median_wall_ms: 10.0,
+            min_wall_ms: 9.0,
+            speedup_vs_serial: speedup,
+            work_per_s: None,
+        }
+    }
+
+    #[test]
+    fn regressions_flag_only_real_speedup_drops() {
+        let baseline = vec![
+            row("fig2", 1, 1.0),
+            row("fig2", 4, 2.0),
+            row("goal", 4, 1.0),
+        ];
+        // Within tolerance, above baseline, and serial rows: all clean.
+        let ok = vec![
+            row("fig2", 1, 0.2),
+            row("fig2", 4, 1.8),
+            row("goal", 4, 1.4),
+        ];
+        assert!(speedup_regressions(&ok, &baseline, 0.30).is_empty());
+        // A drop past the band is flagged with both numbers.
+        let slow = vec![row("fig2", 4, 1.5), row("goal", 4, 0.9)];
+        let r = speedup_regressions(&slow, &baseline, 0.30);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("fig2@4"), "{}", r[0]);
+        assert!(r[0].contains("1.500"), "{}", r[0]);
+        assert!(r[0].contains("2.000"), "{}", r[0]);
+    }
+
+    #[test]
+    fn regressions_flag_missing_rows() {
+        // A scenario that dropped out of the sweep at a thread count the
+        // sweep did measure is a regression…
+        let baseline = vec![row("fig2", 4, 2.0)];
+        let current = vec![row("goal", 4, 1.0)];
+        let r = speedup_regressions(&current, &baseline, 0.30);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].contains("missing"), "{}", r[0]);
+        // …but a thread count the sweep never ran is not — CI sweeps a
+        // subset of the committed grid.
+        let narrow = vec![row("fig2", 2, 1.1)];
+        assert!(speedup_regressions(&narrow, &baseline, 0.30).is_empty());
+    }
+
+    #[test]
+    fn committed_baseline_artifact_parses() {
+        // The repo's committed baseline must stay parseable — CI hands
+        // it to `bench --check`.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/BENCH_sweep.json"
+        );
+        let text = std::fs::read_to_string(path).expect("read committed baseline");
+        let records = parse_sweep_json(&text).expect("parse committed baseline");
+        assert!(records.len() >= 20, "got {} records", records.len());
+        assert!(records
+            .iter()
+            .any(|r| r.scenario == "serve" && r.work_per_s.is_some()));
     }
 
     #[test]

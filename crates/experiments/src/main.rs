@@ -24,7 +24,10 @@
 //! event diverging from `tests/golden/`; `tracerec` rewrites the goldens
 //! after an intentional behavior change; `bench` times the canonical
 //! scenarios across thread counts (`--reps` repetitions each), verifies
-//! parallel output digests match serial, and writes `BENCH_sweep.json`;
+//! parallel output digests match serial, and writes `BENCH_sweep.json`
+//! (with `--check [BASELINE.json]` it also fails when any scenario's
+//! speedup drops more than `--tolerance` below the committed sweep,
+//! default `results/BENCH_sweep.json` at 0.30);
 //! `serve` replays the longest golden trace through an always-on
 //! session at `--multiple` density, kills it at a mid-run checkpoint,
 //! resumes, and exits non-zero on any digest or trace divergence
@@ -61,6 +64,12 @@ const BENCH_THREADS: [usize; 4] = [1, 2, 4, 8];
 /// Default timed repetitions per `bench` cell.
 const BENCH_REPS: usize = 3;
 
+/// Default slack for `bench --check`: a scenario's speedup may fall this
+/// far below the committed baseline before the gate fails. Speedups are
+/// ratios, so the band is machine-portable; it only needs to absorb
+/// scheduler noise, not absolute-speed differences between hosts.
+const BENCH_TOLERANCE: f64 = 0.30;
+
 /// Default replay multiple for the `serve` verb (the CI soak passes 100).
 const SERVE_MULTIPLE: u32 = 1;
 
@@ -70,12 +79,14 @@ const FUZZ_STREAMS: usize = 1000;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: odyssey-experiments [--trials N] [--seed S] [--quick] [--threads T[,T...]] [--reps R] [--multiple M] [--scenario NAME] [--sessions N] [--streams N] [--out DIR] [IDS...]\n  IDS: {} | all\n  golden traces: tracediff (compare against tests/golden/) | tracerec (regenerate)\n  benchmarks: bench (time scenarios across --threads counts, write BENCH_sweep.json)\n  serving: serve (replay --scenario golden stream at --multiple density through --sessions isolated sessions; kill, resume by replay and by snapshot, fail on divergence)\n  fuzzing: fuzz (drive --streams seeded hostile mutations of the golden stream through isolated sessions; fail on any panic, unsurfaced error, or unstable recovery digest)",
+        "usage: odyssey-experiments [--trials N] [--seed S] [--quick] [--threads T[,T...]] [--reps R] [--multiple M] [--scenario NAME] [--sessions N] [--streams N] [--out DIR] [IDS...]\n  IDS: {} | all\n  golden traces: tracediff (compare against tests/golden/) | tracerec (regenerate)\n  benchmarks: bench (time scenarios across --threads counts, write BENCH_sweep.json; --check [BASELINE.json] fails on speedups more than --tolerance below the committed sweep)\n  serving: serve (replay --scenario golden stream at --multiple density through --sessions isolated sessions; kill, resume by replay and by snapshot, fail on divergence)\n  fuzzing: fuzz (drive --streams seeded hostile mutations of the golden stream through isolated sessions; fail on any panic, unsurfaced error, or unstable recovery digest)",
         ALL.join(" ")
     );
     std::process::exit(2)
 }
 
+// simlint: allow(P1) — reports wall-clock duration of the serve torture
+// run for the operator; the timing never feeds a simulation result
 fn run_serve_verb(seed: u64, multiple: u32, scenario: &str, sessions: usize, threads: usize) {
     let sw = bench::Stopwatch::start();
     match serve::run_verb(seed, multiple, scenario, sessions, threads) {
@@ -97,6 +108,8 @@ fn run_serve_verb(seed: u64, multiple: u32, scenario: &str, sessions: usize, thr
     }
 }
 
+// simlint: allow(P1) — reports wall-clock duration of the fuzz run for
+// the operator; the timing never feeds a simulation result
 fn run_fuzz_verb(seed: u64, streams: usize, threads: usize, scenario: &str) {
     let sw = bench::Stopwatch::start();
     match fuzz::run_verb(seed, streams, threads, scenario) {
@@ -163,11 +176,15 @@ fn render(id: &str, trials: &Trials) -> String {
     }
 }
 
+// simlint: allow(P1) — the bench verb exists to time real execution;
+// wall-clock reach is its contract, and it stops at this boundary
 fn run_bench_verb(
     trials: &Trials,
     thread_counts: &[usize],
     reps: usize,
     out: Option<&std::path::Path>,
+    check: Option<&std::path::Path>,
+    tolerance: f64,
 ) {
     let sw = bench::Stopwatch::start();
     let outcome = benchcli::run_sweep(trials, thread_counts, reps);
@@ -192,8 +209,47 @@ fn run_bench_verb(
         );
         std::process::exit(1);
     }
+    if let Some(baseline_path) = check {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "bench --check: cannot read {}: {e}",
+                    baseline_path.display()
+                );
+                std::process::exit(2);
+            }
+        };
+        let baseline = match bench::sweep::parse_sweep_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "bench --check: cannot parse {}: {e}",
+                    baseline_path.display()
+                );
+                std::process::exit(2);
+            }
+        };
+        let regressions = bench::sweep::speedup_regressions(&outcome.records, &baseline, tolerance);
+        if !regressions.is_empty() {
+            eprintln!(
+                "SPEEDUP REGRESSION vs {} (tolerance {tolerance:.2}):",
+                baseline_path.display()
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[bench check OK: no speedup regression vs {} within tolerance {tolerance:.2}]",
+            baseline_path.display()
+        );
+    }
 }
 
+// simlint: allow(P1) — the CLI prints per-figure wall time for the
+// operator; figure bytes come from the deterministic render alone
 fn main() {
     let mut trials = Trials::default().with_threads(simcore::par::available_threads());
     let mut thread_counts: Option<Vec<usize>> = None;
@@ -204,7 +260,9 @@ fn main() {
     let mut streams = FUZZ_STREAMS;
     let mut ids: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
-    let mut args = std::env::args().skip(1);
+    let mut check: Option<std::path::PathBuf> = None;
+    let mut tolerance = BENCH_TOLERANCE;
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trials" => {
@@ -270,6 +328,24 @@ fn main() {
                 let d = args.next().unwrap_or_else(|| usage());
                 out_dir = Some(std::path::PathBuf::from(d));
             }
+            "--check" => {
+                // The baseline path is optional: a following `.json`
+                // argument names it, otherwise the committed sweep is
+                // the reference.
+                let path = match args.peek() {
+                    Some(p) if p.ends_with(".json") => args.next().unwrap_or_else(|| usage()),
+                    _ => "results/BENCH_sweep.json".to_string(),
+                };
+                check = Some(std::path::PathBuf::from(path));
+            }
+            "--tolerance" => {
+                let t = args.next().unwrap_or_else(|| usage());
+                tolerance = t.parse().unwrap_or_else(|_| usage());
+                if !tolerance.is_finite() || tolerance < 0.0 {
+                    eprintln!("--tolerance wants a finite non-negative speedup delta");
+                    std::process::exit(2);
+                }
+            }
             "--quick" => trials = Trials { n: 2, ..trials },
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
@@ -318,6 +394,8 @@ fn main() {
                 thread_counts.as_deref().unwrap_or(&BENCH_THREADS),
                 reps,
                 out_dir.as_deref(),
+                check.as_deref(),
+                tolerance,
             );
             false
         }

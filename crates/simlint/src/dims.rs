@@ -1,0 +1,262 @@
+//! The dimension algebra behind rule U1.
+//!
+//! Every quantity the energy ledger touches is a product of powers of
+//! two base dimensions: **J** (energy) and **s** (time). The D4 naming
+//! discipline makes a value's dimension recoverable from its name alone:
+//!
+//! | suffix                     | dimension | exponents (J, s) |
+//! |----------------------------|-----------|------------------|
+//! | `_j`, `_mj`, `_kj`, `_wh`  | energy    | (1, 0)           |
+//! | `_w`, `_mw`, `_kw`         | power     | (1, −1)          |
+//! | `_s`, `_ms`, `_us`, `_ns`  | time      | (0, 1)           |
+//! | `_hz`, `_bps`              | rate      | (0, −1)          |
+//! | `_frac`, `_ratio`, `_pct`  | ratio     | (0, 0)           |
+//!
+//! Scale prefixes (milli, kilo) are deliberately collapsed: U1 checks
+//! *dimensions*, not magnitudes, so `power_mw * dt_s` unifies with `_mj`
+//! and `_j` alike. Addition, subtraction, comparison, and assignment
+//! require equal dimensions; multiplication and division add and
+//! subtract the exponent vectors — which is exactly how
+//! `power_w * dt_s` comes out as J and `energy_j / dt_s` as J/s.
+
+use std::fmt;
+
+/// A dimension: the exponent vector `J^energy · s^time`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dim {
+    /// Exponent of the energy base dimension (J).
+    pub energy: i32,
+    /// Exponent of the time base dimension (s).
+    pub time: i32,
+}
+
+impl Dim {
+    /// The dimensionless unit of the algebra (ratios, fractions, counts).
+    pub const NONE: Dim = Dim { energy: 0, time: 0 };
+    /// Energy: joules.
+    pub const ENERGY: Dim = Dim { energy: 1, time: 0 };
+    /// Power: joules per second.
+    pub const POWER: Dim = Dim {
+        energy: 1,
+        time: -1,
+    };
+    /// Time: seconds.
+    pub const TIME: Dim = Dim { energy: 0, time: 1 };
+    /// Rate: events per second (`_hz`, `_bps`).
+    pub const RATE: Dim = Dim {
+        energy: 0,
+        time: -1,
+    };
+
+    /// Dimension of a reciprocal.
+    pub fn recip(self) -> Dim {
+        Dim::NONE / self
+    }
+
+    /// True for the dimensionless unit.
+    pub fn is_none(self) -> bool {
+        self == Dim::NONE
+    }
+}
+
+/// Dimension of a product: exponents add.
+impl std::ops::Mul for Dim {
+    type Output = Dim;
+    fn mul(self, other: Dim) -> Dim {
+        Dim {
+            energy: self.energy.saturating_add(other.energy),
+            time: self.time.saturating_add(other.time),
+        }
+    }
+}
+
+/// Dimension of a quotient: exponents subtract.
+impl std::ops::Div for Dim {
+    type Output = Dim;
+    fn div(self, other: Dim) -> Dim {
+        Dim {
+            energy: self.energy.saturating_sub(other.energy),
+            time: self.time.saturating_sub(other.time),
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    /// Renders the conventional name where one exists (`J`, `J/s`, `s`,
+    /// `1/s`, `dimensionless`) and the raw exponent product otherwise.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.energy, self.time) {
+            (0, 0) => write!(f, "dimensionless"),
+            (1, 0) => write!(f, "J"),
+            (1, -1) => write!(f, "J/s"),
+            (0, 1) => write!(f, "s"),
+            (0, -1) => write!(f, "1/s"),
+            (0, 2) => write!(f, "s^2"),
+            (1, 1) => write!(f, "J·s"),
+            (e, t) => write!(f, "J^{e}·s^{t}"),
+        }
+    }
+}
+
+/// Unit suffixes and the dimension each one names, longest first so a
+/// lookup can stop at the first match (`_ms` must win over `_s`).
+const SUFFIX_DIMS: [(&str, Dim); 16] = [
+    ("_ratio", Dim::NONE),
+    ("_frac", Dim::NONE),
+    ("_bps", Dim::RATE),
+    ("_pct", Dim::NONE),
+    ("_mj", Dim::ENERGY),
+    ("_kj", Dim::ENERGY),
+    ("_wh", Dim::ENERGY),
+    ("_mw", Dim::POWER),
+    ("_kw", Dim::POWER),
+    ("_ms", Dim::TIME),
+    ("_us", Dim::TIME),
+    ("_ns", Dim::TIME),
+    ("_hz", Dim::RATE),
+    ("_j", Dim::ENERGY),
+    ("_w", Dim::POWER),
+    ("_s", Dim::TIME),
+];
+
+/// Dimension carried by a name under the D4 suffix discipline, or `None`
+/// when the name says nothing about units. Case-insensitive so
+/// `IDLE_FLOOR_W` consts participate like `idle_floor_w` locals.
+pub fn suffix_dim(name: &str) -> Option<Dim> {
+    let lower = name.to_ascii_lowercase();
+    SUFFIX_DIMS
+        .iter()
+        .find(|(suffix, _)| lower.ends_with(suffix))
+        .map(|(_, dim)| *dim)
+}
+
+/// What U1's inference knows about an expression's dimension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DimState {
+    /// Dimension established by a suffixed name or composed by the
+    /// algebra; `origin` names the suffixed identifier when one exists.
+    Known { dim: Dim, origin: Option<String> },
+    /// A bare numeric literal: dimensionless under `*`/`/`, but a
+    /// wildcard under `+`/`-`/comparison — thresholds, paddings, and
+    /// scale factors written as literals are everyday idiom.
+    Lit,
+    /// Nothing known (unsuffixed names, unknown calls, opaque exprs).
+    Any,
+}
+
+impl DimState {
+    /// A known dimension with a named origin.
+    pub fn known(dim: Dim, origin: impl Into<String>) -> DimState {
+        DimState::Known {
+            dim,
+            origin: Some(origin.into()),
+        }
+    }
+
+    /// A known dimension produced by composition (no single origin).
+    pub fn derived(dim: Dim) -> DimState {
+        DimState::Known { dim, origin: None }
+    }
+
+    /// The dimension, when established.
+    pub fn dim(&self) -> Option<Dim> {
+        match self {
+            DimState::Known { dim, .. } => Some(*dim),
+            _ => None,
+        }
+    }
+
+    /// Renders `J (from `energy_j`)` / `J/s` for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            DimState::Known {
+                dim,
+                origin: Some(name),
+            } => format!("{dim} (from `{name}`)"),
+            DimState::Known { dim, origin: None } => format!("{dim}"),
+            DimState::Lit => "literal".to_string(),
+            DimState::Any => "unknown".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffixes_map_to_dimensions() {
+        assert_eq!(suffix_dim("energy_j"), Some(Dim::ENERGY));
+        assert_eq!(suffix_dim("idle_mj"), Some(Dim::ENERGY));
+        assert_eq!(suffix_dim("capacity_wh"), Some(Dim::ENERGY));
+        assert_eq!(suffix_dim("power_w"), Some(Dim::POWER));
+        assert_eq!(suffix_dim("floor_mw"), Some(Dim::POWER));
+        assert_eq!(suffix_dim("dt_s"), Some(Dim::TIME));
+        assert_eq!(suffix_dim("latency_ms"), Some(Dim::TIME));
+        assert_eq!(suffix_dim("clock_hz"), Some(Dim::RATE));
+        assert_eq!(suffix_dim("rate_bps"), Some(Dim::RATE));
+        assert_eq!(suffix_dim("share_frac"), Some(Dim::NONE));
+        assert_eq!(suffix_dim("hit_ratio"), Some(Dim::NONE));
+    }
+
+    #[test]
+    fn longest_suffix_wins() {
+        // `_ms` is time, not a stray `_s`; `_mw` is power, not `_w` twice.
+        assert_eq!(suffix_dim("gap_ms"), Some(Dim::TIME));
+        assert_eq!(suffix_dim("base_mw"), Some(Dim::POWER));
+        // `_bps` must not fall through to `_s`.
+        assert_eq!(suffix_dim("link_bps"), Some(Dim::RATE));
+    }
+
+    #[test]
+    fn unsuffixed_names_carry_nothing() {
+        assert_eq!(suffix_dim("count"), None);
+        assert_eq!(suffix_dim("threads"), None);
+        assert_eq!(suffix_dim("words"), None);
+        assert_eq!(suffix_dim("x"), None);
+    }
+
+    #[test]
+    fn const_names_match_case_insensitively() {
+        assert_eq!(suffix_dim("IDLE_FLOOR_W"), Some(Dim::POWER));
+        assert_eq!(suffix_dim("GOAL_HORIZON_S"), Some(Dim::TIME));
+    }
+
+    #[test]
+    fn algebra_composes() {
+        // power * time = energy — the canonical `power_w * dt_s` story.
+        assert_eq!((Dim::POWER * Dim::TIME), Dim::ENERGY);
+        // energy / time = power.
+        assert_eq!((Dim::ENERGY / Dim::TIME), Dim::POWER);
+        // rate is reciprocal time.
+        assert_eq!(Dim::TIME.recip(), Dim::RATE);
+        // dimensionless is the identity.
+        assert_eq!((Dim::ENERGY * Dim::NONE), Dim::ENERGY);
+    }
+
+    #[test]
+    fn display_names_the_common_dimensions() {
+        assert_eq!(Dim::ENERGY.to_string(), "J");
+        assert_eq!(Dim::POWER.to_string(), "J/s");
+        assert_eq!(Dim::TIME.to_string(), "s");
+        assert_eq!(Dim::RATE.to_string(), "1/s");
+        assert_eq!(Dim::NONE.to_string(), "dimensionless");
+        assert_eq!((Dim::ENERGY * Dim::TIME).to_string(), "J·s");
+        assert_eq!(
+            Dim {
+                energy: 2,
+                time: -3
+            }
+            .to_string(),
+            "J^2·s^-3"
+        );
+    }
+
+    #[test]
+    fn describe_carries_origin() {
+        let k = DimState::known(Dim::ENERGY, "energy_j");
+        assert_eq!(k.describe(), "J (from `energy_j`)");
+        assert_eq!(DimState::derived(Dim::POWER).describe(), "J/s");
+        assert_eq!(DimState::Any.describe(), "unknown");
+    }
+}

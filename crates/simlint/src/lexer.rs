@@ -1,0 +1,308 @@
+//! Line-aware tokenizer feeding the U1/P1 parser.
+//!
+//! Input is *stripped* source (see `strip` in the crate root): string
+//! literals are already blanked to `""`, char literals to `' '`, and
+//! comments removed, so the lexer only has to deal with identifiers,
+//! numbers, lifetimes, and operators. Every token carries the 1-based
+//! line it starts on — that line is what findings point at.
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (the parser tells them apart by spelling).
+    Ident(String),
+    /// Numeric literal, verbatim (`1_000`, `0.5f64`, `0x1f`).
+    Num(String),
+    /// A (blanked) string literal.
+    Str,
+    /// A (blanked) char literal.
+    Char,
+    /// Lifetime such as `'a` (tick included in the name? no — name only).
+    Lifetime(String),
+    /// Operator or punctuation, normalized to one spelling.
+    Punct(&'static str),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const PUNCTS: [&str; 34] = [
+    "<<=", ">>=", "..=", "...", "->", "=>", "::", "..", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "=", "<", ">",
+    "&", "|",
+];
+
+/// Single-character punctuation not covered by [`PUNCTS`].
+const SINGLES: [(char, &str); 13] = [
+    ('^', "^"),
+    ('!', "!"),
+    ('?', "?"),
+    ('@', "@"),
+    ('#', "#"),
+    ('.', "."),
+    (',', ","),
+    (';', ";"),
+    (':', ":"),
+    ('(', "("),
+    (')', ")"),
+    ('[', "["),
+    (']', "]"),
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes stripped code lines (1-based numbering follows the slice).
+pub fn lex(code_lines: &[String]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, line) in code_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            // Blanked string literal: exactly `""` after stripping.
+            if c == '"' {
+                out.push(Token {
+                    tok: Tok::Str,
+                    line: line_no,
+                });
+                i += 1;
+                while i < chars.len() && chars[i] != '"' {
+                    i += 1;
+                }
+                i += 1;
+                continue;
+            }
+            // Blanked char literal (`' '`) or lifetime (`'a`).
+            if c == '\'' {
+                if chars.get(i + 1) == Some(&' ') && chars.get(i + 2) == Some(&'\'') {
+                    out.push(Token {
+                        tok: Tok::Char,
+                        line: line_no,
+                    });
+                    i += 3;
+                    continue;
+                }
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                let name: String = chars[i + 1..j].iter().collect();
+                out.push(Token {
+                    tok: Tok::Lifetime(name),
+                    line: line_no,
+                });
+                i = j;
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                if c == '0' && matches!(chars.get(i + 1), Some('x') | Some('b') | Some('o')) {
+                    i += 2;
+                    while i < chars.len() && (chars[i].is_ascii_hexdigit() || chars[i] == '_') {
+                        i += 1;
+                    }
+                } else {
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    // Fraction: a dot NOT starting a `..` range and NOT a
+                    // method call on the literal (`1.max(2)`).
+                    if chars.get(i) == Some(&'.')
+                        && chars.get(i + 1) != Some(&'.')
+                        && !chars.get(i + 1).copied().is_some_and(is_ident_start)
+                    {
+                        i += 1;
+                        while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                    // Exponent.
+                    if matches!(chars.get(i), Some('e') | Some('E')) {
+                        let sign = matches!(chars.get(i + 1), Some('+') | Some('-')) as usize;
+                        if chars
+                            .get(i + 1 + sign)
+                            .copied()
+                            .is_some_and(|d| d.is_ascii_digit())
+                        {
+                            i += 1 + sign;
+                            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_')
+                            {
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+                // Type suffix (`f64`, `u32`, `usize`).
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Num(chars[start..i].iter().collect()),
+                    line: line_no,
+                });
+                continue;
+            }
+            if is_ident_start(c) {
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(chars[start..i].iter().collect()),
+                    line: line_no,
+                });
+                continue;
+            }
+            // Braces keep their own spelling for the parser's depth logic.
+            if c == '{' || c == '}' {
+                out.push(Token {
+                    tok: Tok::Punct(if c == '{' { "{" } else { "}" }),
+                    line: line_no,
+                });
+                i += 1;
+                continue;
+            }
+            let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+            if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
+                out.push(Token {
+                    tok: Tok::Punct(p),
+                    line: line_no,
+                });
+                i += p.len();
+                continue;
+            }
+            if let Some((_, p)) = SINGLES.iter().find(|(s, _)| *s == c) {
+                out.push(Token {
+                    tok: Tok::Punct(p),
+                    line: line_no,
+                });
+                i += 1;
+                continue;
+            }
+            // Anything else (stray unicode) is skipped.
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_str(src: &str) -> Vec<Tok> {
+        let lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+        lex(&lines).into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_ops() {
+        let toks = lex_str("let x_j = 2.5 * rate_hz;");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x_j".into()),
+                Tok::Punct("="),
+                Tok::Num("2.5".into()),
+                Tok::Punct("*"),
+                Tok::Ident("rate_hz".into()),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_on_operators() {
+        assert_eq!(
+            lex_str("a >>= b ..= c -> d => e :: f"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct(">>="),
+                Tok::Ident("b".into()),
+                Tok::Punct("..="),
+                Tok::Ident("c".into()),
+                Tok::Punct("->"),
+                Tok::Ident("d".into()),
+                Tok::Punct("=>"),
+                Tok::Ident("e".into()),
+                Tok::Punct("::"),
+                Tok::Ident("f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_do_not_eat_float_dots() {
+        assert_eq!(
+            lex_str("0..n"),
+            vec![
+                Tok::Num("0".into()),
+                Tok::Punct(".."),
+                Tok::Ident("n".into()),
+            ]
+        );
+        assert_eq!(lex_str("1.5e-3f64"), vec![Tok::Num("1.5e-3f64".into())]);
+        // A method call on an integer literal keeps the dot separate.
+        assert_eq!(
+            lex_str("1.max(2)"),
+            vec![
+                Tok::Num("1".into()),
+                Tok::Punct("."),
+                Tok::Ident("max".into()),
+                Tok::Punct("("),
+                Tok::Num("2".into()),
+                Tok::Punct(")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_and_blanked_literals() {
+        assert_eq!(
+            lex_str("&'a str"),
+            vec![
+                Tok::Punct("&"),
+                Tok::Lifetime("a".into()),
+                Tok::Ident("str".into()),
+            ]
+        );
+        // Stripped string and char literals.
+        assert_eq!(lex_str("\"\""), vec![Tok::Str]);
+        assert_eq!(lex_str("' '"), vec![Tok::Char]);
+    }
+
+    #[test]
+    fn tokens_carry_their_line() {
+        let lines: Vec<String> = vec!["let a".into(), " = b;".into()];
+        let toks = lex(&lines);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 1);
+        assert_eq!(toks[2].line, 2); // '='
+        assert_eq!(toks[3].line, 2); // 'b'
+    }
+
+    #[test]
+    fn hex_and_suffixed_literals_are_single_tokens() {
+        assert_eq!(lex_str("0x1f_u32"), vec![Tok::Num("0x1f_u32".into())]);
+        assert_eq!(lex_str("1_000usize"), vec![Tok::Num("1_000usize".into())]);
+    }
+}

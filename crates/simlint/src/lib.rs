@@ -6,8 +6,10 @@
 //! digests all assume that a fixed seed replays the same bytes. Ecosystem
 //! tools (rustc lints, clippy) cannot express the project-specific rules
 //! that make that true, so this crate scans every workspace source file
-//! at the token/line level — no `syn`, the repo builds offline — and
-//! enforces five rules:
+//! with a dependency-free lexer and tolerant Pratt parser — no `syn`,
+//! the repo builds offline — and enforces the rules below. D1–D5 and S1
+//! work at the token/line level; U1 and P1 run on a lightweight AST and
+//! see the whole workspace at once:
 //!
 //! - **D1** — no wall-clock, thread, or environment reads in simulation
 //!   code (`Instant`, `SystemTime`, `std::thread`, `env::var`). Simulated
@@ -36,6 +38,22 @@
 //!   indexing (`a[i]`, `a[i..]`) is banned in favor of `.get()`:
 //!   snapshot decode paths parse untrusted bytes and must surface
 //!   malformed input as `Result`, never as an out-of-bounds panic.
+//! - **U1** — dimensional consistency: the D4 suffixes make every
+//!   quantity's dimension recoverable from its name (`_j` = J, `_w` =
+//!   J/s, `_s` = s, `_hz` = 1/s, `_frac`/`_ratio` dimensionless), so the
+//!   checker infers a dimension for every expression and rejects
+//!   `energy_j + power_w` while accepting `power_w * dt_s` as J.
+//!   Addition, subtraction, comparison, and assignment require equal
+//!   dimensions; multiplication and division compose them. Checked at
+//!   `let` bindings, assignments, struct-literal fields, call arguments
+//!   against the (workspace-wide) callee signature, and returns. See
+//!   [`dims`] for the algebra and [`unit`] for the walker.
+//! - **P1** — transitive purity: D1 catches a *direct* `Instant::now()`;
+//!   P1 builds a per-crate symbol table and call graph so a simulation
+//!   function that reaches a banned API through any chain of workspace
+//!   helpers is flagged too, with the full call path in the message.
+//!   Waivers are boundaries: a waived function is unflagged and stops
+//!   propagation to its callers. See [`purity`].
 //!
 //! Any site can be waived with a comment carrying a reason:
 //!
@@ -46,12 +64,18 @@
 //! either trailing on the offending line or standing alone on the line
 //! above it. A waiver without a reason is itself a finding (**W0**).
 
+pub mod dims;
+pub mod lexer;
+pub mod parse;
+pub mod purity;
+pub mod unit;
+
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Rule identifiers, in report order.
-pub const RULE_IDS: [&str; 7] = ["D1", "D2", "D3", "D4", "D5", "S1", "W0"];
+pub const RULE_IDS: [&str; 9] = ["D1", "D2", "D3", "D4", "D5", "P1", "S1", "U1", "W0"];
 
 /// One diagnostic: a rule violated at a file:line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -88,6 +112,16 @@ impl Finding {
             json_escape(&self.message)
         )
     }
+}
+
+/// Renders a whole report as the machine-readable JSON array consumed by
+/// CI: one object per finding in report order, each with the keys
+/// `path`, `line`, `rule`, `message` in exactly that order, no
+/// insignificant whitespace. The schema is pinned by an integration
+/// test; downstream tooling may rely on it byte for byte.
+pub fn render_json(report: &Report) -> String {
+    let objects: Vec<String> = report.findings.iter().map(Finding::to_json).collect();
+    format!("[{}]", objects.join(","))
 }
 
 fn json_escape(s: &str) -> String {
@@ -508,9 +542,44 @@ fn d4_name_violates(name: &str) -> bool {
     triggered && !D4_SUFFIXES.iter().any(|s| name.ends_with(s))
 }
 
-/// Scans one file's source text. `ctx.is_test` plus `#[cfg(test)]`
-/// regions decide which rules run on which lines.
+/// Everything one file contributes to the workspace passes: the
+/// line-rule findings plus the parsed inputs U1 and P1 need. Produced by
+/// [`analyze_str`] (fanned across simpar workers in the workspace scan)
+/// and consumed by [`cross_pass`].
+#[derive(Clone, Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Line-rule findings (D1–D5, S1, W0), waivers already applied.
+    pub line_findings: Vec<Finding>,
+    /// Waived rules per line (U1/P1 filtering happens in the cross pass).
+    waived: BTreeMap<usize, BTreeSet<&'static str>>,
+    /// Parsed AST — empty for test-path files, which U1/P1 skip.
+    ast: parse::FileAst,
+    /// Stripped code lines (P1 scans fn bodies for banned tokens).
+    code: Vec<String>,
+    /// Per-line `#[cfg(test)]` membership.
+    test_lines: Vec<bool>,
+    is_test: bool,
+    par: bool,
+    bench: bool,
+}
+
+/// Scans one file's source text. Equivalent to [`analyze_str`] +
+/// [`cross_pass`] over just this file — fixtures exercise every rule
+/// through this one entry point.
 pub fn scan_str(ctx: FileCtx<'_>, source: &str) -> Vec<Finding> {
+    let analysis = analyze_str(ctx, source);
+    let mut findings = cross_pass(std::slice::from_ref(&analysis), 1);
+    findings.extend(analysis.line_findings);
+    findings.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
+    findings
+}
+
+/// Runs the line rules on one file and parses it for the cross-file
+/// passes. `ctx.is_test` plus `#[cfg(test)]` regions decide which rules
+/// run on which lines.
+pub fn analyze_str(ctx: FileCtx<'_>, source: &str) -> FileAnalysis {
     let stripped = strip(source);
     let in_test_region = test_regions(&stripped.code);
     let (waived, mut findings) = parse_waivers(ctx, &stripped);
@@ -601,6 +670,106 @@ pub fn scan_str(ctx: FileCtx<'_>, source: &str) -> Vec<Finding> {
         }
     }
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    // Parse the AST for the cross-file passes; test-path files are out
+    // of U1/P1's scope, so skip the work there.
+    let mut ast = parse::FileAst::default();
+    if !ctx.is_test {
+        ast = parse::parse_file(&lexer::lex(&stripped.code));
+        for f in &mut ast.fns {
+            f.in_test = in_test_region
+                .get(f.line.saturating_sub(1))
+                .copied()
+                .unwrap_or(false);
+        }
+    }
+    FileAnalysis {
+        rel: ctx.path.to_string(),
+        line_findings: findings,
+        waived,
+        ast,
+        code: stripped.code,
+        test_lines: in_test_region,
+        is_test: ctx.is_test,
+        par: ctx.thread_ok,
+        bench: is_bench_path(ctx.path),
+    }
+}
+
+/// The workspace-wide passes over per-file analyses: U1 checks each
+/// file against the shared symbol table (fanned across `threads` simpar
+/// workers, index-ordered so the merge is deterministic), then P1 runs
+/// its call-graph fixpoint (serial — the propagation is global). Returns
+/// the unwaived U1/P1 findings, unsorted.
+pub fn cross_pass(analyses: &[FileAnalysis], threads: usize) -> Vec<Finding> {
+    let tabled: Vec<(String, parse::FileAst)> = analyses
+        .iter()
+        .filter(|a| !a.is_test)
+        .map(|a| (a.rel.clone(), a.ast.clone()))
+        .collect();
+    let table = unit::SymbolTable::build(&tabled);
+    let outcomes = simpar::map(threads, analyses, |_, a| {
+        if a.is_test {
+            (unit::UnitOutcome::default(), Vec::new())
+        } else {
+            (
+                unit::check_file(&a.ast, &table, &a.test_lines),
+                purity::direct_sites(&a.rel, &a.code, &a.ast.fns),
+            )
+        }
+    });
+    let mut findings = Vec::new();
+    for (a, (out, _)) in analyses.iter().zip(&outcomes) {
+        for (line, msg) in &out.findings {
+            if a.waived.get(line).is_some_and(|set| set.contains("U1")) {
+                continue;
+            }
+            findings.push(Finding {
+                path: a.rel.clone(),
+                line: *line,
+                rule: "U1",
+                message: msg.clone(),
+            });
+        }
+    }
+    // P1 sees every non-test file: sanctioned crates (simpar, bench)
+    // still conduct impurity through to their callers even though
+    // findings are never reported inside them.
+    let mut pfiles = Vec::new();
+    let mut owners = Vec::new();
+    for (ai, (a, (out, direct))) in analyses.iter().zip(&outcomes).enumerate() {
+        if a.is_test {
+            continue;
+        }
+        pfiles.push(purity::PurityFile {
+            rel: a.rel.clone(),
+            eligible: !a.par && !a.bench,
+            fns: a
+                .ast
+                .fns
+                .iter()
+                .enumerate()
+                .map(|(i, f)| purity::PurityFn {
+                    name: f.name.clone(),
+                    qual: f.qual.clone(),
+                    line: f.line,
+                    in_test: f.in_test,
+                    waived: a.waived.get(&f.line).is_some_and(|set| set.contains("P1")),
+                    direct: direct.get(i).cloned().flatten(),
+                    calls: out.fn_calls.get(i).cloned().unwrap_or_default(),
+                })
+                .collect(),
+        });
+        owners.push(ai);
+    }
+    for (file_idx, line, message) in purity::analyze(&pfiles) {
+        let a = &analyses[owners[file_idx]];
+        findings.push(Finding {
+            path: a.rel.clone(),
+            line,
+            rule: "P1",
+            message,
+        });
+    }
     findings
 }
 
@@ -685,9 +854,11 @@ fn scan_s1(
 
 /// True when a (string-stripped) line contains an index expression —
 /// `ident[`, `call()[`, or `a[0][` — as opposed to slice types (`&[`),
-/// attributes (`#[`), array literals, or macros (`vec![`). Slice
-/// patterns (`let [a, b] =`) would also match; the service layer
-/// doesn't use them, and a waiver covers the exception.
+/// attributes (`#[`), array literals, macros (`vec![`), or slice
+/// patterns and keyword-position brackets (`let [a, b] =`,
+/// `for [a, b] in`, `return [0; 4]`, `match [x, y] {`). A bracket after
+/// a keyword opens a pattern or an array literal, never an indexing
+/// base — a keyword cannot name a value.
 fn has_unchecked_indexing(line: &str) -> bool {
     let chars: Vec<char> = line.chars().collect();
     for i in 0..chars.len() {
@@ -716,13 +887,37 @@ fn has_unchecked_indexing(line: &str) -> bool {
         if k > 0 && chars[k - 1] == '\'' {
             continue;
         }
+        if k > 0 && chars[k - 1] == '.' {
+            // A field or postfix access (`self.vals[i]`, `fut.await[i]`)
+            // is a value even when its last segment spells a keyword.
+            return true;
+        }
         let word: String = chars
             .get(k..j)
             .map(|w| w.iter().collect())
             .unwrap_or_default();
         if matches!(
             word.as_str(),
-            "let" | "ref" | "mut" | "static" | "dyn" | "in" | "as" | "box" | "const"
+            "let"
+                | "ref"
+                | "mut"
+                | "static"
+                | "dyn"
+                | "in"
+                | "as"
+                | "box"
+                | "const"
+                | "for"
+                | "if"
+                | "while"
+                | "match"
+                | "return"
+                | "else"
+                | "break"
+                | "continue"
+                | "loop"
+                | "move"
+                | "yield"
         ) {
             continue;
         }
@@ -908,8 +1103,26 @@ fn is_service_path(rel: &str) -> bool {
     rel.starts_with("crates/simserve/")
 }
 
-/// Scans every `.rs` file under `root` (a workspace checkout).
+/// True for the sanctioned wall-clock timing crate: P1 never reports
+/// findings there (holding the stopwatch is its whole job), though
+/// impurity still conducts through it to simulation-crate callers.
+fn is_bench_path(rel: &str) -> bool {
+    rel.starts_with("crates/bench/")
+}
+
+/// Scans every `.rs` file under `root` (a workspace checkout) serially.
+/// See [`scan_workspace_threads`] for the fanned version; both produce
+/// byte-identical reports.
 pub fn scan_workspace(root: &Path) -> Result<Report, String> {
+    scan_workspace_threads(root, 1)
+}
+
+/// Scans every `.rs` file under `root`, fanning the per-file work
+/// across `threads` simpar workers. File discovery and reads stay
+/// serial (ordered by path); per-file analysis and the U1 pass run in
+/// the pool with an index-ordered merge, so the report is byte-identical
+/// at any thread count.
+pub fn scan_workspace_threads(root: &Path, threads: usize) -> Result<Report, String> {
     if !root.join("Cargo.toml").is_file() {
         return Err(format!(
             "{} does not look like a workspace root (no Cargo.toml)",
@@ -918,7 +1131,7 @@ pub fn scan_workspace(root: &Path) -> Result<Report, String> {
     }
     let mut files = BTreeSet::new();
     collect_rs(root, &mut files)?;
-    let mut report = Report::default();
+    let mut inputs: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -927,19 +1140,28 @@ pub fn scan_workspace(root: &Path) -> Result<Report, String> {
             .replace('\\', "/");
         let source = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let ctx = FileCtx {
-            path: &rel,
-            is_test: is_test_path(&rel),
-            thread_ok: is_par_path(&rel),
-            service: is_service_path(&rel),
-        };
-        report.findings.extend(scan_str(ctx, &source));
-        report.files_scanned += 1;
+        inputs.push((rel, source));
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(report)
+    let analyses: Vec<FileAnalysis> = simpar::map(threads, &inputs, |_, (rel, source)| {
+        let ctx = FileCtx {
+            path: rel,
+            is_test: is_test_path(rel),
+            thread_ok: is_par_path(rel),
+            service: is_service_path(rel),
+        };
+        analyze_str(ctx, source)
+    });
+    let mut findings = cross_pass(&analyses, threads);
+    for analysis in &analyses {
+        findings.extend(analysis.line_findings.iter().cloned());
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    Ok(Report {
+        findings,
+        files_scanned: analyses.len(),
+    })
 }
 
 #[cfg(test)]
@@ -1336,7 +1558,116 @@ fn t() {
         assert_eq!(rules(&f), ["D5"]);
     }
 
+    // ---- U1 through the public entry point ----
+
+    #[test]
+    fn u1_flags_energy_plus_power_through_scan_str() {
+        let src = "fn f(energy_j: f64, power_w: f64) -> f64 { energy_j + power_w }\n";
+        let f = scan_str(SIM, src);
+        assert_eq!(rules(&f), ["U1"]);
+        assert!(f[0].message.contains("J (from `energy_j`)"), "{}", f[0]);
+        assert!(f[0].message.contains("J/s (from `power_w`)"), "{}", f[0]);
+    }
+
+    #[test]
+    fn u1_accepts_dimensionally_sound_energy_math() {
+        let src = "fn f(power_w: f64, dt_s: f64) -> f64 {\n\
+                   \x20   let step_j = power_w * dt_s;\n\
+                   \x20   step_j / dt_s\n\
+                   }\n";
+        assert!(scan_str(SIM, src).is_empty());
+    }
+
+    #[test]
+    fn u1_is_waivable_and_skips_test_paths() {
+        let waived = "fn f(e_j: f64, p_w: f64) -> f64 { e_j + p_w } \
+                      // simlint: allow(U1) — fixture mixes units on purpose\n";
+        assert!(scan_str(SIM, waived).is_empty());
+        let src = "fn f(e_j: f64, p_w: f64) -> f64 { e_j + p_w }\n";
+        assert!(scan_str(TEST, src).is_empty());
+    }
+
+    // ---- P1 through the public entry point ----
+
+    #[test]
+    fn p1_flags_two_hop_wall_clock_reach_with_path() {
+        let src = "fn leaf() -> f64 { Instant::now().elapsed().as_secs_f64() } \
+                   // simlint: allow(D1) — fixture\n\
+                   fn mid() -> f64 { leaf() }\n\
+                   fn top() -> f64 { mid() }\n";
+        let f = scan_str(SIM, src);
+        // `leaf` is direct (and D1-waived); `mid` and `top` reach the
+        // clock transitively and are P1's findings.
+        assert_eq!(rules(&f), ["P1", "P1"]);
+        assert!(f[1].message.contains("`top`"), "{}", f[1]);
+        assert!(f[1].message.contains("`mid`"), "{}", f[1]);
+        assert!(f[1].message.contains("Instant"), "{}", f[1]);
+    }
+
+    #[test]
+    fn p1_waiver_is_a_propagation_boundary() {
+        let src = "fn leaf() -> f64 { Instant::now().elapsed().as_secs_f64() } \
+                   // simlint: allow(D1) — fixture\n\
+                   // simlint: allow(P1) — sanctioned timing boundary\n\
+                   fn mid() -> f64 { leaf() }\n\
+                   fn top() -> f64 { mid() }\n";
+        assert!(scan_str(SIM, src).is_empty());
+    }
+
+    // ---- S1 bracket classification (slice patterns vs indexing) ----
+
+    #[test]
+    fn s1_keyword_position_brackets_are_not_indexing() {
+        let clean = "fn pairs(ps: &[[f64; 2]]) {\n\
+                     \x20   for [a_j, b_j] in ps.iter().copied() {\n\
+                     \x20       let _sum_j = a_j + b_j;\n\
+                     \x20   }\n\
+                     }\n\
+                     fn mk() -> [u8; 4] { return [0; 4]; }\n\
+                     fn classify(xs: &[u8]) -> usize { match [xs.len(), 1] { _ => 0 } }\n\
+                     fn arm(x: bool) -> [u8; 1] { if x { [1] } else { [0] } }\n\
+                     fn pat(xs: [u8; 2]) { let [a, b] = xs; let _ = (a, b); }\n";
+        assert!(scan_str(SERVICE, clean).is_empty());
+    }
+
+    #[test]
+    fn s1_indexing_after_fields_and_calls_still_flags() {
+        for dirty in [
+            "fn f(&self) -> u8 { self.vals[0] }\n",
+            "fn g(xs: &[u8]) -> u8 { xs.to_vec()[1] }\n",
+        ] {
+            assert_eq!(rules(&scan_str(SERVICE, dirty)), ["S1"], "{dirty}");
+        }
+    }
+
     // ---- Output formats ----
+
+    #[test]
+    fn render_json_is_a_stable_array() {
+        let report = Report {
+            findings: vec![
+                Finding {
+                    path: "a.rs".to_string(),
+                    line: 1,
+                    rule: "D1",
+                    message: "m1".to_string(),
+                },
+                Finding {
+                    path: "b.rs".to_string(),
+                    line: 2,
+                    rule: "U1",
+                    message: "m2".to_string(),
+                },
+            ],
+            files_scanned: 2,
+        };
+        assert_eq!(
+            render_json(&report),
+            "[{\"path\":\"a.rs\",\"line\":1,\"rule\":\"D1\",\"message\":\"m1\"},\
+             {\"path\":\"b.rs\",\"line\":2,\"rule\":\"U1\",\"message\":\"m2\"}]"
+        );
+        assert_eq!(render_json(&Report::default()), "[]");
+    }
 
     #[test]
     fn display_and_json_forms() {

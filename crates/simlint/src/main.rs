@@ -1,25 +1,37 @@
 #![forbid(unsafe_code)]
-//! CLI driver: `cargo run -p simlint [--json] [ROOT]`.
+//! CLI driver: `cargo run -p simlint [--json] [--threads N] [ROOT]`.
 //!
 //! Scans every `.rs` file under `ROOT` (default: the current directory,
 //! which is the workspace root when invoked through `cargo run`) and
 //! prints one diagnostic per violation. Exits 0 when the tree is clean,
 //! 1 when there are findings, 2 on usage or I/O errors — so it slots
 //! directly into `scripts/verify.sh` and CI as a hard gate.
+//!
+//! `--threads N` fans the per-file analysis across N simpar workers
+//! (default: the pool's own sizing). The merge is index-ordered, so the
+//! output is byte-identical at any thread count.
 
 use std::path::PathBuf;
 
 fn usage() -> ! {
-    eprintln!("usage: simlint [--json] [ROOT]");
+    eprintln!("usage: simlint [--json] [--threads N] [ROOT]");
     std::process::exit(2)
 }
 
 fn main() {
     let mut json = false;
+    let mut threads: Option<usize> = None;
     let mut root: Option<PathBuf> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--threads" => {
+                threads = match args.next().map(|n| n.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 1 => Some(n),
+                    _ => usage(),
+                };
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => {
@@ -31,7 +43,8 @@ fn main() {
         }
     }
     let root = root.unwrap_or_else(|| PathBuf::from("."));
-    let report = match simlint::scan_workspace(&root) {
+    let threads = threads.unwrap_or_else(simpar::available_threads);
+    let report = match simlint::scan_workspace_threads(&root, threads) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("simlint: {e}");
@@ -39,8 +52,7 @@ fn main() {
         }
     };
     if json {
-        let objects: Vec<String> = report.findings.iter().map(|f| f.to_json()).collect();
-        println!("[{}]", objects.join(","));
+        println!("{}", simlint::render_json(&report));
     } else {
         for f in &report.findings {
             println!("{f}");

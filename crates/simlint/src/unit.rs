@@ -1,0 +1,1029 @@
+//! Rule U1 — dimensional consistency over unit-suffixed arithmetic.
+//!
+//! The D4 naming discipline makes dimensions recoverable from names:
+//! `energy_j` is J, `power_w` is J/s, `dt_s` is s (see `dims`). U1 walks
+//! the parsed AST and checks that the arithmetic between such names is
+//! dimensionally coherent:
+//!
+//! - `+`, `-`, `%`, and comparisons require both sides to share a
+//!   dimension when both are inferable;
+//! - `*` and `/` compose dimensions by adding/subtracting exponents, so
+//!   `power_w * dt_s` unifies with `_j` without complaint;
+//! - `let name_suffix = expr`, `=`, `+=`, `-=` unify binding and value;
+//!   `*=` and `/=` demand a dimensionless scale factor;
+//! - struct-literal fields check the field's suffix against the value;
+//! - call arguments check against parameter-name suffixes whenever the
+//!   callee's bare name resolves to exactly **one** workspace function;
+//! - `return` and tail expressions check against the function's own
+//!   name suffix (`fn total_j` must produce J).
+//!
+//! Inference is name-driven and deliberately incomplete: bare numeric
+//! literals are wildcards under `+`/`-`/comparison (thresholds and
+//! paddings are everyday idiom) but dimensionless under `*`/`/`;
+//! unsuffixed names are unknown and never flagged. The bias is strongly
+//! toward zero false positives — a missed inference costs a diagnostic,
+//! a wrong one costs a waiver in innocent code.
+//!
+//! The same walk records every call edge (callee bare name + line) per
+//! function, which is exactly the input the P1 purity pass needs — one
+//! traversal serves both rules.
+
+use crate::dims::{suffix_dim, Dim, DimState};
+use crate::parse::{Expr, FileAst, FnAst, Stmt};
+use std::collections::BTreeMap;
+
+/// One function signature as seen by U1/P1.
+#[derive(Clone, Debug)]
+pub struct FnSig {
+    /// Qualified display name (`Session::ingest`).
+    pub qual: String,
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// 1-based definition line.
+    pub line: usize,
+    /// Index into the defining file's `FileAst::fns`.
+    pub idx: usize,
+    /// Parameter names (receiver excluded; `None` for patterns).
+    pub param_names: Vec<Option<String>>,
+    /// Per-parameter dimension from the name suffix.
+    pub params: Vec<Option<Dim>>,
+    /// Return dimension from the function's own name suffix.
+    pub ret: Option<Dim>,
+}
+
+/// Workspace-wide function index keyed by bare name.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    /// All non-test function definitions sharing each bare name.
+    pub fns: BTreeMap<String, Vec<FnSig>>,
+}
+
+impl SymbolTable {
+    /// Builds the table from parsed files (`(relative path, ast)`),
+    /// skipping `#[cfg(test)]` definitions.
+    pub fn build(files: &[(String, FileAst)]) -> SymbolTable {
+        let mut fns: BTreeMap<String, Vec<FnSig>> = BTreeMap::new();
+        for (rel, ast) in files {
+            for (idx, f) in ast.fns.iter().enumerate() {
+                if f.in_test {
+                    continue;
+                }
+                fns.entry(f.name.clone()).or_default().push(FnSig {
+                    qual: f.qual.clone(),
+                    file: rel.clone(),
+                    line: f.line,
+                    idx,
+                    param_names: f.params.iter().map(|p| p.name.clone()).collect(),
+                    params: f
+                        .params
+                        .iter()
+                        .map(|p| p.name.as_deref().and_then(suffix_dim))
+                        .collect(),
+                    ret: suffix_dim_of_fn(&f.name),
+                });
+            }
+        }
+        SymbolTable { fns }
+    }
+
+    /// The signature when the bare name has exactly one definition —
+    /// the only case U1 trusts for call-site checks.
+    pub fn unique(&self, name: &str) -> Option<&FnSig> {
+        match self.fns.get(name).map(|v| v.as_slice()) {
+            Some([one]) => Some(one),
+            _ => None,
+        }
+    }
+}
+
+/// Return dimension implied by a function's name suffix.
+fn suffix_dim_of_fn(name: &str) -> Option<Dim> {
+    suffix_dim(name)
+}
+
+/// The result of checking one file: U1 findings plus the call edges
+/// (per function, in `FileAst::fns` order) that P1 consumes.
+#[derive(Clone, Debug, Default)]
+pub struct UnitOutcome {
+    /// `(line, message)` pairs for rule U1.
+    pub findings: Vec<(usize, String)>,
+    /// For each function (by index), its `(callee bare name, line)` edges.
+    pub fn_calls: Vec<Vec<(String, usize)>>,
+}
+
+/// Methods that preserve their receiver's dimension.
+const PRESERVE_METHODS: [&str; 8] = [
+    "abs", "floor", "ceil", "round", "trunc", "clone", "copysign", "to_owned",
+];
+
+/// Methods that require receiver and arguments to share a dimension and
+/// return it (`a_j.min(b_j)`).
+const UNIFY_METHODS: [&str; 5] = ["min", "max", "clamp", "rem_euclid", "hypot"];
+
+/// Math methods whose result dimension is not representable in the
+/// algebra (`sqrt` would need s^½) — their result is unknown.
+const OPAQUE_METHODS: [&str; 15] = [
+    "powi", "powf", "sqrt", "exp", "exp2", "ln", "log", "log2", "log10", "sin", "cos", "tan",
+    "atan", "atan2", "tanh",
+];
+
+/// Checks one parsed file. `test_lines[line-1]` marks `#[cfg(test)]`
+/// regions; statements there (and `in_test` functions) are skipped.
+pub fn check_file(ast: &FileAst, table: &SymbolTable, test_lines: &[bool]) -> UnitOutcome {
+    let mut out = UnitOutcome::default();
+    let in_test = |line: usize| {
+        test_lines
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    };
+    for stmt in &ast.consts {
+        let line = match stmt {
+            Stmt::Let { line, .. } | Stmt::Return { line, .. } => *line,
+            Stmt::Expr { .. } => 0,
+        };
+        if line > 0 && in_test(line) {
+            continue;
+        }
+        let mut w = Walker {
+            table,
+            ret: None,
+            findings: &mut out.findings,
+            calls: &mut Vec::new(),
+        };
+        w.check_stmt(stmt, false);
+    }
+    for f in &ast.fns {
+        let mut calls = Vec::new();
+        if !f.in_test {
+            let mut w = Walker {
+                table,
+                ret: suffix_dim_of_fn(&f.name),
+                findings: &mut out.findings,
+                calls: &mut calls,
+            };
+            w.check_fn(f);
+        }
+        out.fn_calls.push(calls);
+    }
+    out.findings.sort();
+    out
+}
+
+struct Walker<'a> {
+    table: &'a SymbolTable,
+    /// Return dimension of the enclosing function, when its name says.
+    ret: Option<Dim>,
+    findings: &'a mut Vec<(usize, String)>,
+    calls: &'a mut Vec<(String, usize)>,
+}
+
+impl<'a> Walker<'a> {
+    fn check_fn(&mut self, f: &FnAst) {
+        let n = f.body.len();
+        for (i, stmt) in f.body.iter().enumerate() {
+            let is_tail = i + 1 == n;
+            self.check_stmt(stmt, is_tail);
+        }
+    }
+
+    /// Checks one statement; `is_tail` marks the function's final
+    /// statement, whose value (when semicolon-less) is the return value.
+    fn check_stmt(&mut self, stmt: &Stmt, is_tail: bool) {
+        match stmt {
+            Stmt::Let { name, line, init } => {
+                let Some(init) = init else { return };
+                let value = self.infer(init);
+                if let Some(bind_dim) = name.as_deref().and_then(suffix_dim) {
+                    if let Some(vd) = value.dim() {
+                        if vd != bind_dim {
+                            self.findings.push((
+                                *line,
+                                format!(
+                                    "dimension mismatch: `let {}` expects {} but is bound to {}",
+                                    name.as_deref().unwrap_or(""),
+                                    bind_dim,
+                                    value.describe()
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            Stmt::Return { expr, line } => {
+                let Some(expr) = expr else { return };
+                let value = self.infer(expr);
+                self.check_return(&value, *line);
+            }
+            Stmt::Expr { expr, has_semi } => {
+                let value = self.infer(expr);
+                if is_tail && !*has_semi {
+                    let line = expr_line(expr);
+                    self.check_return(&value, line);
+                }
+            }
+        }
+    }
+
+    fn check_return(&mut self, value: &DimState, line: usize) {
+        let (Some(want), Some(got)) = (self.ret, value.dim()) else {
+            return;
+        };
+        if want != got && line > 0 {
+            self.findings.push((
+                line,
+                format!(
+                    "dimension mismatch: function name promises {want} but returns {}",
+                    value.describe()
+                ),
+            ));
+        }
+    }
+
+    /// Infers an expression's dimension, recording findings and call
+    /// edges along the way.
+    fn infer(&mut self, expr: &Expr) -> DimState {
+        match expr {
+            Expr::Lit => DimState::Lit,
+            Expr::StrLit | Expr::Opaque => DimState::Any,
+            Expr::Path { segs, line: _ } => {
+                let last = segs.last().map(String::as_str).unwrap_or("");
+                if last == "self" {
+                    return DimState::Any;
+                }
+                match suffix_dim(last) {
+                    Some(d) => DimState::known(d, last),
+                    None => DimState::Any,
+                }
+            }
+            Expr::Field { base, name, .. } => {
+                self.infer(base);
+                match suffix_dim(name) {
+                    Some(d) => DimState::known(d, name.as_str()),
+                    None => DimState::Any,
+                }
+            }
+            Expr::Cast { inner } => self.infer(inner),
+            Expr::Unary { op, inner } => {
+                let d = self.infer(inner);
+                match *op {
+                    "-" | "*" | "&" => d,
+                    _ => DimState::Any,
+                }
+            }
+            Expr::Index { base, index } => {
+                self.infer(index);
+                // `bucket_j[i]` is still joules: element dimension
+                // follows the container's name.
+                self.infer(base)
+            }
+            Expr::Binary { op, lhs, rhs, line } => self.infer_binary(op, lhs, rhs, *line),
+            Expr::Assign { op, lhs, rhs, line } => {
+                let target = self.infer(lhs);
+                let value = self.infer(rhs);
+                match *op {
+                    "=" | "+=" | "-=" | "%=" => {
+                        if let (Some(td), Some(vd)) = (target.dim(), value.dim()) {
+                            if td != vd {
+                                self.findings.push((
+                                    *line,
+                                    format!(
+                                        "dimension mismatch: `{op}` assigns {} to {}",
+                                        value.describe(),
+                                        target.describe()
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    "*=" | "/=" => {
+                        if let (Some(_), Some(vd)) = (target.dim(), value.dim()) {
+                            if !vd.is_none() {
+                                self.findings.push((
+                                    *line,
+                                    format!(
+                                        "dimension mismatch: `{op}` scales {} by {}; scale \
+                                         factors must be dimensionless",
+                                        target.describe(),
+                                        value.describe()
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                DimState::Any
+            }
+            Expr::MethodCall {
+                base,
+                name,
+                args,
+                line,
+            } => self.infer_method(base, name, args, *line),
+            Expr::Call { segs, args, line } => self.infer_call(segs, args, *line),
+            Expr::CallExpr { base, args } => {
+                self.infer(base);
+                for a in args {
+                    self.infer(a);
+                }
+                DimState::Any
+            }
+            Expr::StructLit {
+                name,
+                fields,
+                base,
+                line: _,
+            } => {
+                for (fname, value, f_line) in fields {
+                    let v = self.infer(value);
+                    if let (Some(fd), Some(vd)) = (suffix_dim(fname), v.dim()) {
+                        if fd != vd {
+                            self.findings.push((
+                                *f_line,
+                                format!(
+                                    "dimension mismatch: field `{fname}` of `{name}` expects \
+                                     {fd} but is initialized with {}",
+                                    v.describe()
+                                ),
+                            ));
+                        }
+                    }
+                }
+                if let Some(b) = base {
+                    self.infer(b);
+                }
+                DimState::Any
+            }
+            Expr::Array(items) | Expr::Tuple(items) => {
+                for item in items {
+                    self.infer(item);
+                }
+                DimState::Any
+            }
+            Expr::Closure { body } => {
+                self.infer(body);
+                DimState::Any
+            }
+            Expr::Scope(stmts) => {
+                for stmt in stmts {
+                    self.check_stmt(stmt, false);
+                }
+                DimState::Any
+            }
+            Expr::Range { lo, hi } => {
+                if let Some(lo) = lo {
+                    self.infer(lo);
+                }
+                if let Some(hi) = hi {
+                    self.infer(hi);
+                }
+                DimState::Any
+            }
+        }
+    }
+
+    fn infer_binary(&mut self, op: &str, lhs: &Expr, rhs: &Expr, line: usize) -> DimState {
+        let a = self.infer(lhs);
+        let b = self.infer(rhs);
+        match op {
+            "+" | "-" | "%" => {
+                if let (Some(da), Some(db)) = (a.dim(), b.dim()) {
+                    if da != db {
+                        self.findings.push((
+                            line,
+                            format!(
+                                "dimension mismatch: `{op}` combines {} with {}",
+                                a.describe(),
+                                b.describe()
+                            ),
+                        ));
+                        return DimState::Any;
+                    }
+                }
+                // The known side carries the result (`e_j + 1.0` is J).
+                match (&a, &b) {
+                    (DimState::Known { .. }, _) => a,
+                    (_, DimState::Known { .. }) => b,
+                    (DimState::Lit, DimState::Lit) => DimState::Lit,
+                    _ => DimState::Any,
+                }
+            }
+            "==" | "!=" | "<" | ">" | "<=" | ">=" => {
+                if let (Some(da), Some(db)) = (a.dim(), b.dim()) {
+                    if da != db {
+                        self.findings.push((
+                            line,
+                            format!(
+                                "dimension mismatch: `{op}` compares {} with {}",
+                                a.describe(),
+                                b.describe()
+                            ),
+                        ));
+                    }
+                }
+                DimState::Any
+            }
+            // Literal-only arithmetic stays a literal: `32_000.0 * 8.0`
+            // carries no more dimension evidence than `256_000.0` does.
+            "*" if a == DimState::Lit && b == DimState::Lit => DimState::Lit,
+            "/" if a == DimState::Lit && b == DimState::Lit => DimState::Lit,
+            "*" => match (dim_as_factor(&a), dim_as_factor(&b)) {
+                (Some(da), Some(db)) => DimState::derived(da * db),
+                _ => DimState::Any,
+            },
+            "/" => match (dim_as_factor(&a), dim_as_factor(&b)) {
+                (Some(da), Some(db)) => DimState::derived(da / db),
+                _ => DimState::Any,
+            },
+            _ => DimState::Any,
+        }
+    }
+
+    fn infer_method(&mut self, base: &Expr, name: &str, args: &[Expr], line: usize) -> DimState {
+        self.calls.push((name.to_string(), line));
+        let recv = self.infer(base);
+        let arg_states: Vec<DimState> = args.iter().map(|a| self.infer(a)).collect();
+        if UNIFY_METHODS.contains(&name) {
+            // Receiver and arguments must agree; the result keeps the
+            // shared dimension.
+            let mut result = recv.clone();
+            for s in &arg_states {
+                if let (Some(a), Some(b)) = (recv.dim(), s.dim()) {
+                    if a != b {
+                        self.findings.push((
+                            line,
+                            format!(
+                                "dimension mismatch: `.{name}()` combines {} with {}",
+                                recv.describe(),
+                                s.describe()
+                            ),
+                        ));
+                        return DimState::Any;
+                    }
+                }
+                if result.dim().is_none() {
+                    if let DimState::Known { .. } = s {
+                        result = s.clone();
+                    }
+                }
+            }
+            return result;
+        }
+        if PRESERVE_METHODS.contains(&name) {
+            return recv;
+        }
+        if name == "recip" {
+            return match recv.dim() {
+                Some(d) => DimState::derived(d.recip()),
+                None => DimState::Any,
+            };
+        }
+        if name == "mul_add" && arg_states.len() == 2 {
+            // `a.mul_add(b, c)` is `a * b + c`.
+            let prod = match (dim_as_factor(&recv), dim_as_factor(&arg_states[0])) {
+                (Some(a), Some(b)) => DimState::derived(a * b),
+                _ => DimState::Any,
+            };
+            if let (Some(p), Some(c)) = (prod.dim(), arg_states[1].dim()) {
+                if p != c {
+                    self.findings.push((
+                        line,
+                        format!(
+                            "dimension mismatch: `.mul_add()` adds {} to a {} product",
+                            arg_states[1].describe(),
+                            prod.describe()
+                        ),
+                    ));
+                    return DimState::Any;
+                }
+            }
+            return prod;
+        }
+        if OPAQUE_METHODS.contains(&name) {
+            return DimState::Any;
+        }
+        // A suffixed accessor names its own dimension (`.elapsed_s()`).
+        if let Some(d) = suffix_dim(name) {
+            self.check_args_against_sig(name, &arg_states, line);
+            return DimState::known(d, format!("{name}()"));
+        }
+        self.check_args_against_sig(name, &arg_states, line);
+        match self.table.unique(name).and_then(|sig| sig.ret) {
+            Some(d) => DimState::derived(d),
+            None => DimState::Any,
+        }
+    }
+
+    fn infer_call(&mut self, segs: &[String], args: &[Expr], line: usize) -> DimState {
+        let name = segs.last().map(String::as_str).unwrap_or("");
+        self.calls.push((name.to_string(), line));
+        let arg_states: Vec<DimState> = args.iter().map(|a| self.infer(a)).collect();
+        if UNIFY_METHODS.contains(&name) && arg_states.len() >= 2 {
+            // `f64::max(a, b)` and friends.
+            if let (Some(a), Some(b)) = (arg_states[0].dim(), arg_states[1].dim()) {
+                if a != b {
+                    self.findings.push((
+                        line,
+                        format!(
+                            "dimension mismatch: `{name}()` combines {} with {}",
+                            arg_states[0].describe(),
+                            arg_states[1].describe()
+                        ),
+                    ));
+                    return DimState::Any;
+                }
+            }
+            return arg_states[0].clone();
+        }
+        self.check_args_against_sig(name, &arg_states, line);
+        if let Some(d) = suffix_dim(name) {
+            return DimState::known(d, format!("{name}()"));
+        }
+        match self.table.unique(name).and_then(|sig| sig.ret) {
+            Some(d) => DimState::derived(d),
+            None => DimState::Any,
+        }
+    }
+
+    /// Call-site vs signature: only when the bare name resolves to
+    /// exactly one workspace function with a matching arity.
+    fn check_args_against_sig(&mut self, name: &str, args: &[DimState], line: usize) {
+        let Some(sig) = self.table.unique(name) else {
+            return;
+        };
+        if sig.params.len() != args.len() {
+            return;
+        }
+        let param_names = sig.param_names.clone();
+        let params = sig.params.clone();
+        for (i, (pdim, astate)) in params.iter().zip(args).enumerate() {
+            let (Some(pd), Some(ad)) = (pdim, astate.dim()) else {
+                continue;
+            };
+            if *pd != ad {
+                let pname = param_names[i].as_deref().unwrap_or("_");
+                self.findings.push((
+                    line,
+                    format!(
+                        "dimension mismatch: argument {} of `{name}` is `{pname}` ({pd}) but \
+                         the call passes {}",
+                        i + 1,
+                        astate.describe()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// A multiplication/division factor: literals are dimensionless, known
+/// dimensions are themselves, everything else blocks composition.
+fn dim_as_factor(s: &DimState) -> Option<Dim> {
+    match s {
+        DimState::Known { dim, .. } => Some(*dim),
+        DimState::Lit => Some(Dim::NONE),
+        DimState::Any => None,
+    }
+}
+
+/// First line carried anywhere inside an expression (0 when none).
+fn expr_line(e: &Expr) -> usize {
+    match e {
+        Expr::Path { line, .. }
+        | Expr::Field { line, .. }
+        | Expr::MethodCall { line, .. }
+        | Expr::Call { line, .. }
+        | Expr::Binary { line, .. }
+        | Expr::Assign { line, .. }
+        | Expr::StructLit { line, .. } => *line,
+        Expr::Unary { inner, .. } | Expr::Cast { inner } => expr_line(inner),
+        Expr::Index { base, .. } | Expr::CallExpr { base, .. } => expr_line(base),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+
+    /// Parses `src`, builds a one-file symbol table, and runs U1.
+    fn check(src: &str) -> Vec<(usize, String)> {
+        check_multi(&[("lib.rs", src)])
+    }
+
+    /// Same, across several files sharing one symbol table.
+    fn check_multi(files: &[(&str, &str)]) -> Vec<(usize, String)> {
+        let parsed: Vec<(String, FileAst)> = files
+            .iter()
+            .map(|(rel, src)| {
+                let stripped = crate::strip(src);
+                (rel.to_string(), parse_file(&lex(&stripped.code)))
+            })
+            .collect();
+        let table = SymbolTable::build(&parsed);
+        let mut findings = Vec::new();
+        for (_, ast) in &parsed {
+            let lines = vec![false; 10_000];
+            findings.extend(check_file(ast, &table, &lines).findings);
+        }
+        findings
+    }
+
+    fn assert_clean(src: &str) {
+        let f = check(src);
+        assert!(f.is_empty(), "expected clean, got {f:?}");
+    }
+
+    fn assert_hit(src: &str, needle: &str) -> Vec<(usize, String)> {
+        let f = check(src);
+        assert!(
+            f.iter().any(|(_, m)| m.contains(needle)),
+            "expected a finding containing {needle:?}, got {f:?}"
+        );
+        f
+    }
+
+    // -- the canonical catches -------------------------------------------
+
+    #[test]
+    fn energy_plus_power_is_the_canonical_finding() {
+        let f = assert_hit(
+            "fn f(energy_j: f64, power_w: f64) -> f64 { energy_j + power_w }\n",
+            "`+` combines J (from `energy_j`) with J/s (from `power_w`)",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].0, 1);
+    }
+
+    #[test]
+    fn power_times_dt_unifies_with_energy() {
+        assert_clean("fn f(power_w: f64, dt_s: f64) -> f64 { let e_j = power_w * dt_s; e_j }\n");
+    }
+
+    #[test]
+    fn missing_dt_factor_is_caught_at_the_let() {
+        assert_hit(
+            "fn f(power_w: f64) { let total_j = power_w; }\n",
+            "`let total_j` expects J but is bound to J/s (from `power_w`)",
+        );
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        assert_clean("fn f(e_j: f64, dt_s: f64) { let p_w = e_j / dt_s; }\n");
+        assert_hit(
+            "fn f(e_j: f64, dt_s: f64) { let p_w = e_j * dt_s; }\n",
+            "`let p_w` expects J/s but is bound to J·s",
+        );
+    }
+
+    // -- operators --------------------------------------------------------
+
+    #[test]
+    fn subtraction_and_modulo_require_equal_dims() {
+        assert_hit(
+            "fn f(a_j: f64, b_s: f64) { let d = a_j - b_s; }\n",
+            "`-` combines J (from `a_j`) with s (from `b_s`)",
+        );
+        assert_hit(
+            "fn f(t_s: f64, rate_hz: f64) { let r = t_s % rate_hz; }\n",
+            "`%` combines s (from `t_s`) with 1/s (from `rate_hz`)",
+        );
+        assert_clean("fn f(t_s: f64, period_s: f64) { let r = t_s % period_s; }\n");
+    }
+
+    #[test]
+    fn comparisons_require_equal_dims() {
+        assert_hit(
+            "fn f(e_j: f64, p_w: f64) -> bool { e_j < p_w }\n",
+            "`<` compares J (from `e_j`) with J/s (from `p_w`)",
+        );
+        assert_clean("fn f(e_j: f64, cap_j: f64) -> bool { e_j <= cap_j }\n");
+    }
+
+    #[test]
+    fn literals_are_wildcards_in_linear_positions() {
+        // Thresholds, paddings, clamps: never flagged.
+        assert_clean("fn f(e_j: f64, dt_s: f64) -> bool { e_j > 0.0 && dt_s + 0.5 < 9.0 }\n");
+    }
+
+    #[test]
+    fn literals_are_dimensionless_factors() {
+        // `* 0.5` keeps the dimension, so the sum stays coherent.
+        assert_clean("fn f(e_j: f64, r_j: f64) { let h_j = e_j * 0.5 + r_j * 0.5; }\n");
+        // …which also means a literal cannot bridge J and s.
+        assert_hit(
+            "fn f(e_j: f64, t_s: f64) { let x_j = t_s * 2.0; }\n",
+            "`let x_j` expects J but is bound to s",
+        );
+    }
+
+    #[test]
+    fn chained_composition_carries_through() {
+        // (J/s * s) + J compares equal; ((J/s * s) - J) / s is J/s.
+        assert_clean(
+            "fn f(p_w: f64, dt_s: f64, e_j: f64) { let r_w = (p_w * dt_s - e_j) / dt_s; }\n",
+        );
+    }
+
+    #[test]
+    fn rate_is_reciprocal_time() {
+        assert_clean("fn f(n: f64, dt_s: f64) { let r_hz = n / dt_s; }\n");
+        assert_clean("fn f(clock_hz: f64) { let period_s = 1.0 / clock_hz; }\n");
+    }
+
+    #[test]
+    fn ratios_are_dimensionless() {
+        assert_clean("fn f(e_j: f64, cap_j: f64) { let soc_frac = e_j / cap_j; }\n");
+        assert_hit(
+            "fn f(e_j: f64, dt_s: f64) { let soc_frac = e_j / dt_s; }\n",
+            "`let soc_frac` expects dimensionless but is bound to J/s",
+        );
+    }
+
+    // -- assignments ------------------------------------------------------
+
+    #[test]
+    fn assignment_unifies_target_and_value() {
+        assert_hit(
+            "fn f(p_w: f64) { let mut e_j = 0.0; e_j = p_w; }\n",
+            "`=` assigns J/s (from `p_w`) to J (from `e_j`)",
+        );
+        assert_clean("fn f(p_w: f64, dt_s: f64) { let mut e_j = 0.0; e_j = p_w * dt_s; }\n");
+    }
+
+    #[test]
+    fn compound_add_assign_unifies() {
+        assert_hit(
+            "fn f(p_w: f64) { let mut e_j = 0.0; e_j += p_w; }\n",
+            "`+=` assigns J/s (from `p_w`) to J (from `e_j`)",
+        );
+        assert_clean("fn f(p_w: f64, dt_s: f64) { let mut e_j = 0.0; e_j += p_w * dt_s; }\n");
+    }
+
+    #[test]
+    fn scale_assign_requires_dimensionless_factor() {
+        assert_hit(
+            "fn f(dt_s: f64) { let mut e_j = 1.0; e_j *= dt_s; }\n",
+            "scale factors must be dimensionless",
+        );
+        assert_clean(
+            "fn f(decay_frac: f64) { let mut e_j = 1.0; e_j *= decay_frac; e_j *= 0.5; }\n",
+        );
+    }
+
+    #[test]
+    fn field_assignments_are_checked() {
+        assert_hit(
+            "fn f(s: &mut State, p_w: f64) { s.used_j += p_w; }\n",
+            "`+=` assigns J/s (from `p_w`) to J (from `used_j`)",
+        );
+        assert_clean("fn f(s: &mut State, p_w: f64, dt: f64) { s.floor_w = p_w; }\n");
+    }
+
+    #[test]
+    fn indexed_stores_follow_the_container_suffix() {
+        assert_hit(
+            "fn f(bucket_j: &mut [f64], p_w: f64, i: usize) { bucket_j[i] += p_w; }\n",
+            "`+=` assigns J/s (from `p_w`) to J (from `bucket_j`)",
+        );
+        assert_clean(
+            "fn f(bucket_j: &mut [f64], p_w: f64, dt_s: f64, i: usize) { bucket_j[i] += p_w * dt_s; }\n",
+        );
+    }
+
+    // -- struct literals --------------------------------------------------
+
+    #[test]
+    fn struct_fields_check_their_suffix() {
+        assert_hit(
+            "fn f(p_w: f64) -> Sample { Sample { energy_j: p_w, seq: 0 } }\n",
+            "field `energy_j` of `Sample` expects J but is initialized with J/s (from `p_w`)",
+        );
+        assert_clean(
+            "fn f(p_w: f64, dt_s: f64) -> Sample { Sample { energy_j: p_w * dt_s, seq: 0 } }\n",
+        );
+    }
+
+    #[test]
+    fn shorthand_struct_fields_check_too() {
+        assert_clean("fn f(energy_j: f64) -> Sample { Sample { energy_j } }\n");
+        // Shorthand with a mismatched suffix cannot happen (same name),
+        // but a functional-update base must still be walked.
+        assert_clean(
+            "fn f(base: Sample, e_j: f64) -> Sample { Sample { energy_j: e_j, ..base } }\n",
+        );
+    }
+
+    // -- functions: returns, params, call sites ---------------------------
+
+    #[test]
+    fn tail_expression_checks_the_fn_name_suffix() {
+        assert_hit(
+            "fn total_j(p_w: f64) -> f64 { p_w }\n",
+            "function name promises J but returns J/s (from `p_w`)",
+        );
+        assert_clean("fn total_j(p_w: f64, dt_s: f64) -> f64 { p_w * dt_s }\n");
+    }
+
+    #[test]
+    fn return_statements_check_the_fn_name_suffix() {
+        assert_hit(
+            "fn idle_w(e_j: f64) -> f64 { if e_j > 0.0 { return e_j; } 0.0 }\n",
+            "function name promises J/s but returns J (from `e_j`)",
+        );
+    }
+
+    #[test]
+    fn call_arguments_check_against_unique_signatures() {
+        assert_hit(
+            "fn drain(e_j: f64, dt_s: f64) {}\nfn g(p_w: f64) { drain(p_w, 0.1); }\n",
+            "argument 1 of `drain` is `e_j` (J) but the call passes J/s (from `p_w`)",
+        );
+        // A composed argument with the right dimension is fine, and the
+        // literal second argument is a wildcard.
+        assert_clean(
+            "fn drain(e_j: f64, dt_s: f64) {}\nfn g(p_w: f64, dt_s: f64) { drain(p_w * dt_s, 0.1); }\n",
+        );
+    }
+
+    #[test]
+    fn literal_only_arithmetic_stays_a_wildcard() {
+        // `32_000.0 * 8.0` carries no more dimension evidence than the
+        // folded constant would — binding it to a suffixed const is fine
+        // (the real-workspace `SPEECH_WAVEFORM_BPS` idiom).
+        assert_clean("const WAVEFORM_BPS: f64 = 32_000.0 * 8.0;\n");
+        assert_clean("fn f() { let cap_j = 3600.0 * 2.5 / 10.0; let _ = cap_j; }\n");
+        // One suffixed operand is evidence again.
+        assert_hit(
+            "fn f(p_w: f64) { let e_j = p_w * 2.0; let _ = e_j; }\n",
+            "`let e_j` expects J but is bound to J/s",
+        );
+    }
+
+    #[test]
+    fn method_call_arguments_check_against_unique_signatures() {
+        assert_hit(
+            "impl M { fn charge(&mut self, add_j: f64) {} }\nfn g(m: &mut M, p_w: f64) { m.charge(p_w); }\n",
+            "argument 1 of `charge` is `add_j` (J) but the call passes J/s (from `p_w`)",
+        );
+    }
+
+    #[test]
+    fn ambiguous_names_are_never_checked_at_call_sites() {
+        // Two `reset` definitions with conflicting parameter suffixes:
+        // call sites must stay silent.
+        let f = check_multi(&[
+            ("a.rs", "impl A { fn reset(&mut self, v_j: f64) {} }\n"),
+            ("b.rs", "impl B { fn reset(&mut self, v_s: f64) {} }\n"),
+            ("c.rs", "fn g(a: &mut A, p_w: f64) { a.reset(p_w); }\n"),
+        ]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unique_fn_return_dims_flow_to_call_sites() {
+        assert_hit(
+            "fn window_s(n: usize) -> f64 { n as f64 * 0.5 }\nfn g() { let e_j = window_s(4); }\n",
+            "`let e_j` expects J but is bound to s",
+        );
+    }
+
+    #[test]
+    fn cross_file_calls_share_the_symbol_table() {
+        let f = check_multi(&[
+            (
+                "power.rs",
+                "pub fn smoothed_w(raw_w: f64) -> f64 { raw_w * 0.9 }\n",
+            ),
+            (
+                "ledger.rs",
+                "fn g(p_w: f64) { let e_j = smoothed_w(p_w); }\n",
+            ),
+        ]);
+        assert!(
+            f.iter()
+                .any(|(_, m)| m.contains("`let e_j` expects J but is bound to J/s")),
+            "{f:?}"
+        );
+    }
+
+    // -- method semantics -------------------------------------------------
+
+    #[test]
+    fn min_max_clamp_unify_and_preserve() {
+        assert_clean("fn f(e_j: f64, cap_j: f64) { let r_j = e_j.min(cap_j).max(0.0); }\n");
+        assert_hit(
+            "fn f(e_j: f64, dt_s: f64) { let r = e_j.min(dt_s); }\n",
+            "`.min()` combines J (from `e_j`) with s (from `dt_s`)",
+        );
+        assert_hit(
+            "fn f(e_j: f64, lo_j: f64, hi_s: f64) { let r = e_j.clamp(lo_j, hi_s); }\n",
+            "`.clamp()` combines",
+        );
+    }
+
+    #[test]
+    fn abs_floor_preserve_while_sqrt_is_opaque() {
+        assert_clean("fn f(e_j: f64) { let a_j = e_j.abs().floor(); }\n");
+        // sqrt's dimension is unrepresentable: downstream stays silent.
+        assert_clean("fn f(e_j: f64) { let x_s = e_j.sqrt(); }\n");
+    }
+
+    #[test]
+    fn recip_and_mul_add_compose() {
+        assert_clean("fn f(dt_s: f64) { let r_hz = dt_s.recip(); }\n");
+        assert_clean("fn f(p_w: f64, dt_s: f64, e_j: f64) { let t_j = p_w.mul_add(dt_s, e_j); }\n");
+        assert_hit(
+            "fn f(p_w: f64, dt_s: f64, x_s: f64) { let t = p_w.mul_add(dt_s, x_s); }\n",
+            "`.mul_add()` adds s (from `x_s`) to a J product",
+        );
+    }
+
+    #[test]
+    fn suffixed_accessor_methods_carry_their_dimension() {
+        assert_hit(
+            "fn f(m: &Meter) { let e_j = m.elapsed_s(); }\n",
+            "`let e_j` expects J but is bound to s (from `elapsed_s()`)",
+        );
+        assert_clean("fn f(m: &Meter) { let t_s = m.elapsed_s(); }\n");
+    }
+
+    // -- insulation: places U1 must stay silent ---------------------------
+
+    #[test]
+    fn unsuffixed_names_never_participate() {
+        assert_clean(
+            "fn f(count: usize, total: f64, e_j: f64) { let x = total + e_j; let y = count as f64 * e_j; }\n",
+        );
+    }
+
+    #[test]
+    fn test_fns_and_test_regions_are_skipped() {
+        let src = "fn deliberate(e_j: f64, p_w: f64) -> f64 { e_j + p_w }\n";
+        let stripped = crate::strip(src);
+        let mut ast = parse_file(&lex(&stripped.code));
+        ast.fns[0].in_test = true;
+        let table = SymbolTable::build(&[("t.rs".to_string(), ast.clone())]);
+        let out = check_file(&ast, &table, &[false; 10]);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn const_initializers_are_checked() {
+        assert_hit(
+            "const FLOOR_W: f64 = 2.5;\nfn f() { let x_j = FLOOR_W; }\n",
+            "`let x_j` expects J but is bound to J/s (from `FLOOR_W`)",
+        );
+    }
+
+    #[test]
+    fn closures_are_walked() {
+        assert_hit(
+            "fn f(xs: &[f64]) { let t = xs.iter().map(|p_w| { let e_j = p_w + 0.0; e_j }); }\n",
+            "`let e_j` expects J but is bound to J/s (from `p_w`)",
+        );
+    }
+
+    #[test]
+    fn control_flow_bodies_are_walked() {
+        assert_hit(
+            "fn f(e_j: f64, p_w: f64, go: bool) { if go { let x_j = p_w; } }\n",
+            "`let x_j` expects J but is bound to J/s",
+        );
+        assert_hit(
+            "fn f(v: Option<f64>, p_w: f64) { match v { Some(x) => { let y_j = p_w; } None => {} } }\n",
+            "`let y_j` expects J but is bound to J/s",
+        );
+    }
+
+    #[test]
+    fn call_edges_are_recorded_for_p1() {
+        let stripped = crate::strip("fn f() { helper(); obj.step(1.0); }\nfn helper() {}\n");
+        let ast = parse_file(&lex(&stripped.code));
+        let table = SymbolTable::build(&[("x.rs".to_string(), ast.clone())]);
+        let out = check_file(&ast, &table, &[false; 10]);
+        let names: Vec<&str> = out.fn_calls[0].iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["helper", "step"]);
+        assert!(out.fn_calls[1].is_empty());
+    }
+
+    #[test]
+    fn casts_preserve_dimension() {
+        assert_hit(
+            "fn f(p_w: f64) { let e_j = p_w as f64; }\n",
+            "`let e_j` expects J but is bound to J/s (from `p_w`)",
+        );
+        assert_clean("fn f(n_ms: u64) { let t_ms = n_ms as f64; }\n");
+    }
+
+    #[test]
+    fn findings_are_sorted_by_line() {
+        let f = check("fn f(p_w: f64) { let z_j = p_w; }\nfn g(e_j: f64) { let q_s = e_j; }\n");
+        assert_eq!(f.len(), 2);
+        assert!(f[0].0 <= f[1].0);
+    }
+}

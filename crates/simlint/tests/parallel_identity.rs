@@ -1,0 +1,76 @@
+//! Satellite: the fanned workspace scan must be byte-identical at any
+//! thread count. Discovery and reads are serial, the per-file analysis
+//! and the U1 pass fan across simpar workers, and the merge is
+//! index-ordered — so `--threads 8` may only be faster, never different.
+
+use std::path::PathBuf;
+
+/// A fixture tree wide enough that the per-file fan-out actually
+/// schedules work on every worker: many files, mixed finding kinds,
+/// plus a cross-file P1 chain so the workspace passes run for real.
+fn write_tree() -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("simlint_parallel_identity");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(root.join("crates/sim/src")).expect("mkdir");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("Cargo.toml");
+    for i in 0..24 {
+        let src = format!(
+            "use std::collections::HashMap;\n\
+             pub fn step_{i}(e_j: f64, p_w: f64, dt_s: f64) -> f64 {{\n\
+             \x20   let gain_j = p_w * dt_s;\n\
+             \x20   e_j + p_w + gain_j\n\
+             }}\n\
+             fn relay_{i}() {{ {callee}(); }}\n",
+            i = i,
+            callee = if i == 0 {
+                "clocked".to_string()
+            } else {
+                format!("relay_{}", i - 1)
+            },
+        );
+        std::fs::write(root.join(format!("crates/sim/src/m{i:02}.rs")), src).expect("write");
+    }
+    std::fs::write(
+        root.join("crates/sim/src/lib.rs"),
+        "fn clocked() { let t = Instant::now(); }\n",
+    )
+    .expect("write lib");
+    root
+}
+
+#[test]
+fn fixture_scan_is_byte_identical_across_thread_counts() {
+    let root = write_tree();
+    let serial = simlint::scan_workspace_threads(&root, 1).expect("serial scan");
+    // D2 + U1 per module, P1 down the whole relay chain: the scan has
+    // real cross-file work to merge deterministically.
+    assert!(
+        serial.findings.len() >= 24 * 3,
+        "fixture should be loud, got {}",
+        serial.findings.len()
+    );
+    let baseline = simlint::render_json(&serial);
+    for threads in [2, 8] {
+        let fanned = simlint::scan_workspace_threads(&root, threads).expect("fanned scan");
+        assert_eq!(
+            fanned.files_scanned, serial.files_scanned,
+            "threads={threads}"
+        );
+        assert_eq!(simlint::render_json(&fanned), baseline, "threads={threads}");
+    }
+}
+
+#[test]
+fn live_workspace_scan_is_byte_identical_across_thread_counts() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let serial = simlint::scan_workspace_threads(&root, 1).expect("serial scan");
+    let baseline = simlint::render_json(&serial);
+    for threads in [2, 8] {
+        let fanned = simlint::scan_workspace_threads(&root, threads).expect("fanned scan");
+        assert_eq!(
+            fanned.files_scanned, serial.files_scanned,
+            "threads={threads}"
+        );
+        assert_eq!(simlint::render_json(&fanned), baseline, "threads={threads}");
+    }
+}

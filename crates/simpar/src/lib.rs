@@ -9,6 +9,10 @@
 //! byte-identical to the serial one (`tests/parallel_equivalence.rs`
 //! enforces this against the golden traces).
 //!
+//! Consumers beyond the experiment sweeps: `simserve` fans whole session
+//! lifecycles across the pool, and `simlint` fans its per-file analysis
+//! (`--threads`), both with the same index-ordered-merge guarantee.
+//!
 //! # The determinism contract (DESIGN.md §13)
 //!
 //! - **Pure jobs.** `f(i)` must be a pure function of its index and of

@@ -16,8 +16,16 @@ cargo fmt --check
 echo "== lint: clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== lint: simlint (determinism & unit-suffix rules) =="
+echo "== lint: simlint (determinism, dimensional-analysis & purity rules) =="
 cargo run --release -q -p simlint
+
+echo "== lint: simlint fanned scan byte-equality (1 vs 8 threads) =="
+lint_1="$(cargo run --release -q -p simlint -- --json --threads 1)"
+lint_8="$(cargo run --release -q -p simlint -- --json --threads 8)"
+if [ "$lint_1" != "$lint_8" ]; then
+    echo "fanned simlint scan diverges from serial (merge-order bug)" >&2
+    exit 1
+fi
 
 echo "== chaos: fixed-seed determinism smoke =="
 out_a="$(cargo run --release -q -p experiments -- chaos --trials 1 --seed 7 2>/dev/null)"
