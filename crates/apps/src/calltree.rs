@@ -1,0 +1,261 @@
+//! Deterministic call-trees of named costed blocks.
+//!
+//! The real PowerScope resolved sampled PCs through symbol tables into
+//! *procedures*, and procedures nest: `sftp_DataArrived` runs inside
+//! Xanim's frame pipeline, which runs inside the playback loop. Our
+//! workload models emit flat procedure labels on their
+//! [`machine::Activity`] costs; this module gives each label a fixed
+//! position in a per-application call-tree so the profiler can roll
+//! samples up into parent/child inclusive–exclusive energy accounting
+//! (DESIGN.md §17).
+//!
+//! The trees are static data, not captured stacks: a workload model is a
+//! phase machine, so the path from the application root to each costed
+//! block is known at build time and never varies between runs. That is
+//! what keeps path-level profiles deterministic — resolution draws no
+//! randomness and consults no runtime state.
+
+/// One frame of a call path: a procedure-like name, root first.
+pub type CallFrame = &'static str;
+
+/// A costed block: one leaf procedure label and its full call path
+/// (root frame first, the leaf label last).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostedBlock {
+    /// Attribution bucket the block's samples land in (the workload name
+    /// or a service bucket such as `"janus"` or `"proxy"`).
+    pub bucket: &'static str,
+    /// Call path, root first; the last frame is the leaf label the
+    /// workload attaches to its [`machine::Activity`].
+    pub path: &'static [CallFrame],
+}
+
+impl CostedBlock {
+    /// The leaf procedure label (the last path frame).
+    pub fn leaf(&self) -> CallFrame {
+        self.path.last().copied().unwrap_or("")
+    }
+}
+
+/// Deepest call path any block declares. The profiler's sample stacks
+/// have a fixed capacity; keeping the bound here (with a test) means a
+/// new deep block fails fast instead of silently truncating.
+pub const MAX_PATH_DEPTH: usize = 4;
+
+/// Every costed block the workload models emit, grouped by application.
+///
+/// Each application gets a root frame (the paper's process level), an
+/// intermediate pipeline frame where the model has distinct phases, and
+/// the leaf labels the workloads already attach to their activities.
+/// System buckets (`Idle`, `X Server`, …) are single-frame: the paper's
+/// profiles never decompose them further. The `fault_injection` frames
+/// cover the misbehavior wrapper's wedged spin, which bills to the
+/// wrapped application's bucket.
+pub const CALL_TREE: &[CostedBlock] = &[
+    // Xanim (video): fetch → decode inside the per-frame pipeline.
+    CostedBlock {
+        bucket: "xanim",
+        path: &["video_playback", "frame_pipeline", "sftp_DataArrived"],
+    },
+    CostedBlock {
+        bucket: "xanim",
+        path: &["video_playback", "frame_pipeline", "decode_frame"],
+    },
+    CostedBlock {
+        bucket: "xanim",
+        path: &["fault_injection", "wedged"],
+    },
+    // Anvil (map): fetch and rasterise legs of one map view.
+    CostedBlock {
+        bucket: "anvil",
+        path: &["map_view", "map_fetch", "fetch_map"],
+    },
+    CostedBlock {
+        bucket: "anvil",
+        path: &["map_view", "map_render", "rasterise"],
+    },
+    CostedBlock {
+        bucket: "anvil",
+        path: &["fault_injection", "wedged"],
+    },
+    // Netscape (web): fetch and render legs of one page view.
+    CostedBlock {
+        bucket: "netscape",
+        path: &["browse_page", "page_fetch", "http_get"],
+    },
+    CostedBlock {
+        bucket: "netscape",
+        path: &["browse_page", "page_render", "render_image"],
+    },
+    CostedBlock {
+        bucket: "netscape",
+        path: &["fault_injection", "wedged"],
+    },
+    // Speech front half (billed to the speech process).
+    CostedBlock {
+        bucket: "speech",
+        path: &["recognize_utterance", "frontend_dsp"],
+    },
+    CostedBlock {
+        bucket: "speech",
+        path: &["recognize_utterance", "remote_recognize"],
+    },
+    CostedBlock {
+        bucket: "speech",
+        path: &["recognize_utterance", "first_phase"],
+    },
+    CostedBlock {
+        bucket: "speech",
+        path: &["recognize_utterance", "hybrid_recognize"],
+    },
+    CostedBlock {
+        bucket: "speech",
+        path: &["fault_injection", "wedged"],
+    },
+    // The local Janus search engine the speech front-end drives.
+    CostedBlock {
+        bucket: "janus",
+        path: &["recognize_utterance", "viterbi_search"],
+    },
+    // The client web proxy.
+    CostedBlock {
+        bucket: "proxy",
+        path: &["proxy_relay", "relay_reply"],
+    },
+    // System buckets: single-frame, as in the paper's summary table.
+    CostedBlock {
+        bucket: "X Server",
+        path: &["render"],
+    },
+    CostedBlock {
+        bucket: "Idle",
+        path: &["idle_hlt"],
+    },
+    CostedBlock {
+        bucket: "WaveLAN",
+        path: &["wavelan_intr"],
+    },
+    CostedBlock {
+        bucket: "Odyssey",
+        path: &["viceroy_datapath"],
+    },
+    CostedBlock {
+        bucket: "Kernel",
+        path: &["disk_intr"],
+    },
+];
+
+/// Resolves a `(bucket, leaf procedure)` pair to its full call path, or
+/// `None` when no block declares it (the profiler then records the leaf
+/// as a single-frame path — the same lossy fallback as a stripped
+/// binary's `(unknown)` symbols).
+pub fn call_path(bucket: &str, leaf: &str) -> Option<&'static [CallFrame]> {
+    CALL_TREE
+        .iter()
+        .find(|b| b.bucket == bucket && b.leaf() == leaf)
+        .map(|b| b.path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every `(bucket, procedure)` label the production workloads emit.
+    /// Grep-maintained: extend this list (and the tree) when adding a
+    /// costed block to a workload model.
+    const EMITTED: &[(&str, &str)] = &[
+        ("xanim", "sftp_DataArrived"),
+        ("xanim", "decode_frame"),
+        ("xanim", "wedged"),
+        ("anvil", "fetch_map"),
+        ("anvil", "rasterise"),
+        ("anvil", "wedged"),
+        ("netscape", "http_get"),
+        ("netscape", "render_image"),
+        ("netscape", "wedged"),
+        ("speech", "frontend_dsp"),
+        ("speech", "remote_recognize"),
+        ("speech", "first_phase"),
+        ("speech", "hybrid_recognize"),
+        ("janus", "viterbi_search"),
+        ("proxy", "relay_reply"),
+        ("X Server", "render"),
+        ("Idle", "idle_hlt"),
+        ("WaveLAN", "wavelan_intr"),
+        ("Odyssey", "viceroy_datapath"),
+        ("Kernel", "disk_intr"),
+    ];
+
+    #[test]
+    fn every_emitted_procedure_has_a_call_path() {
+        for (bucket, leaf) in EMITTED {
+            let path = call_path(bucket, leaf);
+            assert!(path.is_some(), "no call path for ({bucket}, {leaf})");
+        }
+    }
+
+    #[test]
+    fn paths_end_at_their_leaf_and_fit_the_stack() {
+        for b in CALL_TREE {
+            assert!(!b.path.is_empty(), "empty path in bucket {}", b.bucket);
+            assert!(
+                b.path.len() <= MAX_PATH_DEPTH,
+                "path {:?} deeper than {MAX_PATH_DEPTH}",
+                b.path
+            );
+            assert_eq!(
+                call_path(b.bucket, b.leaf()),
+                Some(b.path),
+                "({}, {}) does not resolve to its own path",
+                b.bucket,
+                b.leaf()
+            );
+        }
+    }
+
+    #[test]
+    fn blocks_are_unique_per_bucket_and_leaf() {
+        for (i, a) in CALL_TREE.iter().enumerate() {
+            for b in &CALL_TREE[i + 1..] {
+                assert!(
+                    !(a.bucket == b.bucket && a.leaf() == b.leaf()),
+                    "duplicate block ({}, {})",
+                    a.bucket,
+                    a.leaf()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_names_are_consistent_within_a_bucket() {
+        // Two paths sharing a prefix frame must agree on everything
+        // before it: the tree is a tree, not a DAG of homonyms.
+        for a in CALL_TREE {
+            for b in CALL_TREE {
+                if a.bucket != b.bucket {
+                    continue;
+                }
+                for (da, fa) in a.path.iter().enumerate() {
+                    for (db, fb) in b.path.iter().enumerate() {
+                        if fa == fb {
+                            assert_eq!(
+                                a.path[..da],
+                                b.path[..db],
+                                "frame {fa} appears under different ancestors in {}",
+                                a.bucket
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_pairs_resolve_to_none() {
+        assert_eq!(call_path("xanim", "rasterise"), None);
+        assert_eq!(call_path("ghost", "decode_frame"), None);
+        assert_eq!(call_path("xanim", "unknown"), None);
+    }
+}

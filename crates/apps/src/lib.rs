@@ -22,6 +22,7 @@
 //! composite, and the bursty workload so results stay comparable.
 
 pub mod bursty;
+pub mod calltree;
 pub mod composite;
 pub mod datasets;
 pub mod map;
@@ -32,6 +33,7 @@ pub mod video;
 pub mod web;
 
 pub use bursty::{BurstyMember, BurstyRole};
+pub use calltree::{call_path, CallFrame, CostedBlock};
 pub use composite::{Baton, CompositeMember, CompositeMode, CompositeRole};
 pub use map::{MapFidelity, MapViewer};
 pub use misbehavior::Misbehavior;

@@ -99,6 +99,10 @@ pub struct VideoPlayer {
     /// When set, the clip loops until this horizon (Section 5's
     /// background newsfeed); otherwise one playback finishes the workload.
     horizon: Option<SimTime>,
+    /// Multiplier on the decode block's CPU time. Always 1.0 in
+    /// production; the energy-regression harness seeds a small inflation
+    /// here to prove its gate bites ([`Self::with_decode_inflation`]).
+    decode_inflation: f64,
 }
 
 impl std::fmt::Debug for VideoPlayer {
@@ -128,6 +132,24 @@ impl VideoPlayer {
         self
     }
 
+    /// Test-only hook: scales the decode block's CPU time by `ratio`.
+    /// The energy-regression gate uses this to inject a known per-path
+    /// energy drift and assert the gate names the diverging path; it is
+    /// never set on a production rig.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the ratio is finite and positive.
+    #[doc(hidden)]
+    pub fn with_decode_inflation(mut self, ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "invalid decode inflation: {ratio}"
+        );
+        self.decode_inflation = ratio;
+        self
+    }
+
     fn build(clip: VideoClip, ladder: Vec<VideoVariant>, level: usize, rng: &mut SimRng) -> Self {
         let frames_total = (clip.duration_s * VIDEO_FPS).round() as u64;
         VideoPlayer {
@@ -140,6 +162,7 @@ impl VideoPlayer {
             next_frame_at: SimTime::ZERO,
             jitter: 1.0 + rng.uniform(-TRIAL_JITTER, TRIAL_JITTER),
             horizon: None,
+            decode_inflation: 1.0,
         }
     }
 
@@ -184,7 +207,9 @@ impl Workload for VideoPlayer {
                 self.phase = Phase::Render;
                 Step::Run(Activity::Cpu {
                     duration: SimDuration::from_secs_f64(
-                        self.bytes_per_frame() as f64 * VIDEO_DECODE_S_PER_BYTE,
+                        self.bytes_per_frame() as f64
+                            * VIDEO_DECODE_S_PER_BYTE
+                            * self.decode_inflation,
                     ),
                     intensity: intensity::VIDEO_DECODE,
                     procedure: "decode_frame",

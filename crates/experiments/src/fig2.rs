@@ -21,19 +21,26 @@ const PROFILE_SECS: f64 = 30.0;
 /// full-fidelity video with a PowerScope session attached. The trace
 /// recorder uses this too, so the rng draw order here defines the run.
 pub fn build(seed: u64) -> (PowerScope, Machine) {
+    build_with(seed, 1.0)
+}
+
+/// [`build`] with a seeded inflation of the decode block's CPU time —
+/// the energy-regression gate's negative control. Production callers
+/// pass 1.0 (and get byte-identical behavior to [`build`]).
+pub fn build_with(seed: u64, decode_inflation: f64) -> (PowerScope, Machine) {
     let mut rng = SimRng::new(seed).fork("fig2");
     let clip = VideoClip {
         duration_s: PROFILE_SECS,
         ..VIDEO_CLIPS[0]
     };
-    let (scope, observer) = PowerScope::new(seed);
+    let (mut scope, observer) = PowerScope::new(seed);
+    scope.set_resolver(odyssey_apps::call_path);
     let mut m = Machine::new(MachineConfig::baseline());
     m.add_observer(observer);
-    m.add_process(Box::new(VideoPlayer::fixed(
-        clip,
-        VideoVariant::Full,
-        &mut rng,
-    )));
+    m.add_process(Box::new(
+        VideoPlayer::fixed(clip, VideoVariant::Full, &mut rng)
+            .with_decode_inflation(decode_inflation),
+    ));
     (scope, m)
 }
 

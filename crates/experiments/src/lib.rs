@@ -29,11 +29,13 @@
 //! | [`chaos`] | Fault-intensity sweep: paper vs hardened controller   |
 //! | [`supervise`] | Misbehaving apps: unsupervised vs supervised viceroy |
 //! | [`serve`] | Always-on serving session: golden-trace replay with kill/resume proof |
+//! | [`energymap`] | Per-call-path energy tables + regression gate   |
 
 pub mod ablate;
 pub mod barchart;
 pub mod benchcli;
 pub mod chaos;
+pub mod energymap;
 pub mod fig10;
 pub mod fig11;
 pub mod fig13;

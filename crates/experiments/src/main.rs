@@ -31,7 +31,13 @@
 //! `serve` replays the longest golden trace through an always-on
 //! session at `--multiple` density, kills it at a mid-run checkpoint,
 //! resumes, and exits non-zero on any digest or trace divergence
-//! (writing the report to `target/serve/divergence.txt`).
+//! (writing the report to `target/serve/divergence.txt`);
+//! `energymap` renders the per-call-path energy table of each canonical
+//! scenario into `--out` (default `results/`), or with `--check`
+//! compares fresh tables against `tests/golden/energymap_*.txt` and
+//! exits non-zero naming any path whose energy drifted beyond
+//! tolerance; `energymaprec` rewrites those goldens after an
+//! intentional energy change.
 
 use experiments::{benchcli, harness::Trials, *};
 
@@ -79,7 +85,7 @@ const FUZZ_STREAMS: usize = 1000;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: odyssey-experiments [--trials N] [--seed S] [--quick] [--threads T[,T...]] [--reps R] [--multiple M] [--scenario NAME] [--sessions N] [--streams N] [--out DIR] [IDS...]\n  IDS: {} | all\n  golden traces: tracediff (compare against tests/golden/) | tracerec (regenerate)\n  benchmarks: bench (time scenarios across --threads counts, write BENCH_sweep.json; --check [BASELINE.json] fails on speedups more than --tolerance below the committed sweep)\n  serving: serve (replay --scenario golden stream at --multiple density through --sessions isolated sessions; kill, resume by replay and by snapshot, fail on divergence)\n  fuzzing: fuzz (drive --streams seeded hostile mutations of the golden stream through isolated sessions; fail on any panic, unsurfaced error, or unstable recovery digest)",
+        "usage: odyssey-experiments [--trials N] [--seed S] [--quick] [--threads T[,T...]] [--reps R] [--multiple M] [--scenario NAME] [--sessions N] [--streams N] [--out DIR] [IDS...]\n  IDS: {} | all\n  golden traces: tracediff (compare against tests/golden/) | tracerec (regenerate)\n  benchmarks: bench (time scenarios across --threads counts, write BENCH_sweep.json; --check [BASELINE.json] fails on speedups more than --tolerance below the committed sweep)\n  serving: serve (replay --scenario golden stream at --multiple density through --sessions isolated sessions; kill, resume by replay and by snapshot, fail on divergence)\n  fuzzing: fuzz (drive --streams seeded hostile mutations of the golden stream through isolated sessions; fail on any panic, unsurfaced error, or unstable recovery digest)\n  energy: energymap (write per-call-path energy tables to --out, default results/; with --check, gate against tests/golden/energymap_*.txt) | energymaprec (regenerate those goldens)",
         ALL.join(" ")
     );
     std::process::exit(2)
@@ -262,6 +268,7 @@ fn main() {
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut check: Option<std::path::PathBuf> = None;
     let mut tolerance = BENCH_TOLERANCE;
+    let mut inflate_decode = 1.0f64;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -346,6 +353,17 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            // Undocumented test hook: scales the video decode block so
+            // the energy-regression gate's negative path is exercisable
+            // from the CLI (tests/energy_regression.rs drives it).
+            "--inflate-decode" => {
+                let r = args.next().unwrap_or_else(|| usage());
+                inflate_decode = r.parse().unwrap_or_else(|_| usage());
+                if !inflate_decode.is_finite() || inflate_decode <= 0.0 {
+                    eprintln!("--inflate-decode wants a finite positive ratio");
+                    std::process::exit(2);
+                }
+            }
             "--quick" => trials = Trials { n: 2, ..trials },
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
@@ -405,6 +423,39 @@ fn main() {
         }
         "fuzz" => {
             run_fuzz_verb(trials.seed, streams, trials.threads, &scenario);
+            false
+        }
+        "energymap" => {
+            if check.is_some() {
+                match energymap::check_all(inflate_decode) {
+                    Ok(summary) => print!("{summary}"),
+                    Err(report) => {
+                        eprintln!("{report}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                let dir = out_dir
+                    .clone()
+                    .unwrap_or_else(|| std::path::PathBuf::from("results"));
+                match energymap::write_results(&dir, trials.threads) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            false
+        }
+        "energymaprec" => {
+            match energymap::regenerate() {
+                Ok(summary) => print!("{summary}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
             false
         }
         _ => true,

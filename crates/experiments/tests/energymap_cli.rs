@@ -1,0 +1,44 @@
+//! CLI-level contract of the `energymap --check` gate: exit codes and
+//! divergence naming, driven through the real binary. The library-level
+//! gate behavior lives in `tests/energy_regression.rs` at the workspace
+//! root; this pins what CI actually invokes.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_odyssey-experiments"))
+}
+
+/// Seeded +2 % decode inflation makes `energymap --check` exit non-zero
+/// and print the exact diverging call path on stderr.
+#[test]
+fn check_exits_nonzero_naming_the_inflated_path() {
+    let out = bin()
+        .args(["energymap", "--check", "--inflate-decode", "1.02"])
+        .output()
+        .expect("spawn odyssey-experiments");
+    assert!(
+        !out.status.success(),
+        "inflated energymap --check exited zero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("xanim path video_playback/frame_pipeline/decode_frame"),
+        "stderr does not name the inflated block:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("fresh table saved to"),
+        "no CI artifact path reported:\n{stderr}"
+    );
+}
+
+/// Flag validation: a non-positive inflation ratio is a usage error
+/// (exit 2), not a silent no-op.
+#[test]
+fn inflate_decode_rejects_nonpositive_ratios() {
+    let out = bin()
+        .args(["energymap", "--check", "--inflate-decode", "0"])
+        .output()
+        .expect("spawn odyssey-experiments");
+    assert_eq!(out.status.code(), Some(2), "expected usage error");
+}

@@ -103,6 +103,18 @@ impl Ledger {
         self.buckets.get(name).copied().unwrap_or(0.0)
     }
 
+    /// The procedure with the most attributed energy inside one bucket,
+    /// with its energy, J — the live counterpart of the profile detail's
+    /// top row (ties break toward the lexicographically first name, so
+    /// the answer is replay-stable).
+    pub(crate) fn hot_procedure_j(&self, bucket: &str) -> Option<(&'static str, f64)> {
+        self.detail
+            .iter()
+            .filter(|((b, _), _)| *b == bucket)
+            .map(|((_, procedure), (_, j))| (*procedure, *j))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+    }
+
     pub(crate) fn snapshot_buckets(&self) -> Vec<(String, f64)> {
         let mut v: Vec<(String, f64)> = self
             .buckets

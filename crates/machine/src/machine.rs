@@ -270,6 +270,16 @@ impl MachineView<'_> {
         self.m.ledger.bucket_j(self.m.procs[pid.0].workload.name())
     }
 
+    /// The procedure PowerScope attribution bills most of the process's
+    /// energy to so far, with that energy, J — the demand-accounting
+    /// detail a supervisor cites when it strikes an app whose power
+    /// exceeds its declaration. `None` before any energy is attributed.
+    pub fn attributed_hot_procedure(&self, pid: Pid) -> Option<(&'static str, f64)> {
+        self.m
+            .ledger
+            .hot_procedure_j(self.m.procs[pid.0].workload.name())
+    }
+
     /// Quarantines a process: aborts any in-flight network attempt,
     /// removes it from the CPU queue, and parks it so it draws no power
     /// until [`MachineView::restart`]. Returns `false` if the process is

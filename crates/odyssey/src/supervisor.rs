@@ -32,6 +32,7 @@
 //! paper's controller does.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use machine::{AdaptDirection, ControlHook, MachineView, Pid};
@@ -127,6 +128,11 @@ pub struct SupervisorStats {
     /// Declared watts released back to surviving apps by quarantines and
     /// crash collections.
     pub redistributed_w: f64,
+    /// Per-procedure overdraw attribution: for each overdraw strike, the
+    /// procedure PowerScope billed most of the lying app's energy to —
+    /// the operator-facing answer to "where did the undeclared power
+    /// go?". Keys are procedure names, values strike counts.
+    pub overdraw_hot_procedures: BTreeMap<&'static str, usize>,
 }
 
 #[derive(Debug, Default)]
@@ -414,6 +420,11 @@ impl ControlHook for Supervisor {
         w.put_usize(inner.stats.retired);
         w.put_usize(inner.stats.crash_releases);
         w.put_f64(inner.stats.redistributed_w);
+        w.put_usize(inner.stats.overdraw_hot_procedures.len());
+        for (procedure, count) in &inner.stats.overdraw_hot_procedures {
+            w.put_str(procedure);
+            w.put_usize(*count);
+        }
         inner.ledger.freeze_into(w);
         w.put_usize(inner.external_strikes.len());
         for idx in &inner.external_strikes {
@@ -462,6 +473,22 @@ impl ControlHook for Supervisor {
         inner.stats.retired = r.take_usize()?;
         inner.stats.crash_releases = r.take_usize()?;
         inner.stats.redistributed_w = r.take_f64()?;
+        let hot = r.take_usize()?;
+        inner.stats.overdraw_hot_procedures.clear();
+        for _ in 0..hot {
+            let procedure = r.take_static_str()?;
+            let count = r.take_usize()?;
+            if inner
+                .stats
+                .overdraw_hot_procedures
+                .insert(procedure, count)
+                .is_some()
+            {
+                return Err(simcore::SnapshotError::Corrupt(
+                    "duplicate overdraw procedure",
+                ));
+            }
+        }
         inner.ledger = DemandLedger::thaw_from(r)?;
         let n = r.take_usize()?;
         inner.external_strikes.clear();
@@ -575,6 +602,16 @@ impl ControlHook for Supervisor {
                         && power > self.cfg.hang_power_w
                     {
                         inner.stats.overdraw_strikes += 1;
+                        // Demand accounting: name the procedure the
+                        // undeclared power is actually going to, so the
+                        // strike is actionable and not just punitive.
+                        if let Some((procedure, _)) = view.attributed_hot_procedure(pid) {
+                            *inner
+                                .stats
+                                .overdraw_hot_procedures
+                                .entry(procedure)
+                                .or_insert(0) += 1;
+                        }
                         strike = true;
                         view.emit_trace(TraceEvent::SupervisorStrike {
                             pid: pid.index() as u64,
@@ -773,5 +810,13 @@ mod tests {
         assert!(stats.overdraw_strikes >= 3, "{stats:?}");
         assert_eq!(stats.hang_strikes, 0, "kept polling: {stats:?}");
         assert_eq!(stats.quarantines, 1, "{stats:?}");
+        // Demand accounting names the procedure the undeclared power
+        // went to, once per overdraw strike.
+        let hot: usize = stats.overdraw_hot_procedures.values().sum();
+        assert_eq!(hot, stats.overdraw_strikes, "{stats:?}");
+        assert!(
+            stats.overdraw_hot_procedures.contains_key("burn"),
+            "{stats:?}"
+        );
     }
 }

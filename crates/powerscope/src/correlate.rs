@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::profile::{EnergyProfile, ProcedureRow, ProcessRow};
+use crate::profile::{EnergyProfile, PathProfile, PathRow, ProcedureRow, ProcessPaths, ProcessRow};
 use crate::sample::CollectedRun;
 use crate::symbols::UNKNOWN_PROCEDURE;
 use crate::SUPPLY_VOLTS;
@@ -62,7 +62,7 @@ pub fn correlate_with(run: &CollectedRun, opts: CorrelateOptions) -> EnergyProfi
         let procedure = run
             .symbols
             .get(s.process)
-            .map(|t| t.resolve(s.pc))
+            .map(|t| t.resolve(s.pc()))
             .unwrap_or(UNKNOWN_PROCEDURE);
         let entry = by_proc
             .entry(s.process)
@@ -107,6 +107,106 @@ pub fn correlate_with(run: &CollectedRun, opts: CorrelateOptions) -> EnergyProfi
     }
 }
 
+/// Correlates a collected run into a per-call-path energy profile with
+/// parent/child inclusive–exclusive accounting.
+///
+/// Each sample's quantum is attributed *exclusively* to its leaf frame
+/// and *inclusively* to every ancestor on its stack, so a parent row's
+/// inclusive energy is exactly the sum of its own exclusive energy and
+/// its children's inclusive energies, and the leaf-exclusive energies of
+/// one process sum to that process's total. Rows come out in
+/// lexicographic path order (parents immediately before their subtrees).
+pub fn correlate_paths(run: &CollectedRun) -> PathProfile {
+    correlate_paths_with(run, CorrelateOptions::default())
+}
+
+/// [`correlate_paths`] with explicit [`CorrelateOptions`].
+pub fn correlate_paths_with(run: &CollectedRun, opts: CorrelateOptions) -> PathProfile {
+    #[derive(Clone, Copy, Default)]
+    struct Node {
+        samples: u64,
+        self_time_s: f64,
+        self_energy_j: f64,
+        inclusive_time_s: f64,
+        inclusive_energy_j: f64,
+    }
+    let trace = &run.trace;
+    let cap_secs = opts.max_quantum.map(|q| q.as_secs_f64());
+    // BTreeMaps for the same reason as the flat stage: row order must
+    // not depend on a hash seed. Path keys sort parents immediately
+    // before their children ("a" < "a/b" < "a/b/c" < "a/c").
+    let mut by_proc: BTreeMap<&'static str, BTreeMap<String, Node>> = BTreeMap::new();
+    let mut duration = 0.0;
+    for (i, s) in trace.samples.iter().enumerate() {
+        let next_at = trace
+            .samples
+            .get(i + 1)
+            .map(|n| n.at)
+            .unwrap_or(trace.end.max(s.at));
+        let mut dt = next_at.since(s.at).as_secs_f64();
+        if let Some(cap) = cap_secs {
+            dt = dt.min(cap);
+        }
+        let energy = s.current_a * SUPPLY_VOLTS * dt;
+        duration += dt;
+        let table = run.symbols.get(s.process);
+        let nodes = by_proc.entry(s.process).or_default();
+        let mut path = String::new();
+        let frames = s.stack.frames();
+        for (depth, pc) in frames.iter().enumerate() {
+            let name = table.map(|t| t.resolve(*pc)).unwrap_or(UNKNOWN_PROCEDURE);
+            if depth > 0 {
+                path.push('/');
+            }
+            path.push_str(name);
+            let node = nodes.entry(path.clone()).or_default();
+            node.inclusive_time_s += dt;
+            node.inclusive_energy_j += energy;
+            if depth + 1 == frames.len() {
+                node.samples += 1;
+                node.self_time_s += dt;
+                node.self_energy_j += energy;
+            }
+        }
+        if frames.is_empty() {
+            // A degenerate empty stack still has to keep the books
+            // balanced: bill the quantum to the unknown procedure.
+            let node = nodes.entry(UNKNOWN_PROCEDURE.to_string()).or_default();
+            node.samples += 1;
+            node.self_time_s += dt;
+            node.self_energy_j += energy;
+            node.inclusive_time_s += dt;
+            node.inclusive_energy_j += energy;
+        }
+    }
+    let processes: Vec<ProcessPaths> = by_proc
+        .into_iter()
+        .map(|(process, nodes)| {
+            let rows: Vec<PathRow> = nodes
+                .into_iter()
+                .map(|(path, n)| PathRow {
+                    path,
+                    samples: n.samples,
+                    self_time_s: n.self_time_s,
+                    self_energy_j: n.self_energy_j,
+                    inclusive_time_s: n.inclusive_time_s,
+                    inclusive_energy_j: n.inclusive_energy_j,
+                })
+                .collect();
+            let energy_j = rows.iter().map(|r| r.self_energy_j).sum();
+            ProcessPaths {
+                process: process.to_string(),
+                rows,
+                energy_j,
+            }
+        })
+        .collect();
+    PathProfile {
+        processes,
+        duration_s: duration,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,7 +224,31 @@ mod tests {
                 at: SimTime::from_micros(at_ms * 1000),
                 current_a: current,
                 process,
-                pc,
+                stack: crate::sample::CallStack::leaf_only(pc),
+            });
+        }
+        run.trace.end = SimTime::from_micros(end_ms * 1000);
+        run
+    }
+
+    /// A run whose samples carry full call paths (root first).
+    fn run_with_paths(
+        samples: Vec<(u64, f64, &'static str, &'static [&'static str])>,
+        end_ms: u64,
+    ) -> CollectedRun {
+        let mut run = CollectedRun::default();
+        for (at_ms, current, process, path) in samples {
+            let table = run.symbols.entry(process).or_insert_with(SymbolTable::new);
+            let mut stack = crate::sample::CallStack::default();
+            for frame in path {
+                table.intern(frame);
+                stack.push(table.pc_within(frame, 7));
+            }
+            run.trace.samples.push(Sample {
+                at: SimTime::from_micros(at_ms * 1000),
+                current_a: current,
+                process,
+                stack,
             });
         }
         run.trace.end = SimTime::from_micros(end_ms * 1000);
@@ -174,7 +298,7 @@ mod tests {
             at: SimTime::from_micros(100 * 1000),
             current_a: 1.0,
             process: "stripped",
-            pc: 0xdead_beef,
+            stack: crate::sample::CallStack::leaf_only(0xdead_beef),
         });
         let p = correlate(&run);
         let stripped = p
@@ -217,6 +341,96 @@ mod tests {
         let order_r: Vec<&str> = pr.processes.iter().map(|r| r.process.as_str()).collect();
         assert_eq!(order_f, order_r);
         assert_eq!(order_f, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn paths_roll_up_inclusive_and_exclusive_energy() {
+        // 12 W throughout; four 0.25 s quanta: two on a/b/c, one on
+        // a/b/d, one on a (a root-level leaf).
+        let run = run_with_paths(
+            vec![
+                (0, 1.0, "p", &["a", "b", "c"]),
+                (250, 1.0, "p", &["a", "b", "d"]),
+                (500, 1.0, "p", &["a", "b", "c"]),
+                (750, 1.0, "p", &["a"]),
+            ],
+            1000,
+        );
+        let prof = correlate_paths(&run);
+        assert_eq!(prof.processes.len(), 1);
+        let p = &prof.processes[0];
+        let row = |path: &str| {
+            p.rows
+                .iter()
+                .find(|r| r.path == path)
+                .unwrap_or_else(|| panic!("missing row {path}"))
+        };
+        let q = 12.0 * 0.25; // one quantum's energy, J
+        assert!((row("a/b/c").self_energy_j - 2.0 * q).abs() < 1e-9);
+        assert_eq!(row("a/b/c").samples, 2);
+        assert!((row("a/b/d").self_energy_j - q).abs() < 1e-9);
+        // Interior node: no exclusive samples, inclusive = children.
+        assert_eq!(row("a/b").samples, 0);
+        assert!((row("a/b").self_energy_j).abs() < 1e-12);
+        assert!((row("a/b").inclusive_energy_j - 3.0 * q).abs() < 1e-9);
+        // Root: one exclusive quantum plus the subtree.
+        assert_eq!(row("a").samples, 1);
+        assert!((row("a").self_energy_j - q).abs() < 1e-9);
+        assert!((row("a").inclusive_energy_j - 4.0 * q).abs() < 1e-9);
+        // Parent inclusive == own exclusive + children inclusive.
+        assert!(
+            (row("a").inclusive_energy_j - row("a").self_energy_j - row("a/b").inclusive_energy_j)
+                .abs()
+                < 1e-9
+        );
+        // Process total == sum of leaf exclusives == root inclusive.
+        assert!((p.energy_j - 4.0 * q).abs() < 1e-9);
+        assert!((prof.total_energy_j() - 4.0 * q).abs() < 1e-9);
+        // Rows are in lexicographic order: parents before children.
+        let order: Vec<&str> = p.rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(order, ["a", "a/b", "a/b/c", "a/b/d"]);
+    }
+
+    #[test]
+    fn path_profile_agrees_with_flat_profile_totals() {
+        let run = run_with_paths(
+            vec![
+                (0, 1.0, "p", &["root", "f"]),
+                (100, 2.0, "q", &["g"]),
+                (200, 1.0, "p", &["root", "h"]),
+            ],
+            300,
+        );
+        let flat = correlate(&run);
+        let paths = correlate_paths(&run);
+        assert!((flat.total_energy_j() - paths.total_energy_j()).abs() < 1e-9);
+        for proc in &paths.processes {
+            assert!(
+                (proc.energy_j - flat.process_energy_j(&proc.process)).abs() < 1e-9,
+                "{} disagrees",
+                proc.process
+            );
+        }
+        assert!((flat.duration_s - paths.duration_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_table_renders_with_d4_headers() {
+        let run = run_with_paths(vec![(0, 1.0, "p", &["a", "b"])], 100);
+        let text = correlate_paths(&run).format_table();
+        let header = text.lines().next().unwrap_or("");
+        for field in [
+            "process",
+            "path",
+            "samples",
+            "self_time_s",
+            "self_energy_j",
+            "inclusive_time_s",
+            "inclusive_energy_j",
+        ] {
+            assert!(header.contains(field), "missing {field} in {header}");
+        }
+        assert!(text.contains("a/b"), "{text}");
     }
 
     #[test]

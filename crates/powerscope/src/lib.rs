@@ -25,12 +25,14 @@ pub mod sample;
 pub mod symbols;
 
 pub use attribution::AttributionFeed;
-pub use correlate::{correlate, correlate_with, CorrelateOptions};
+pub use correlate::{
+    correlate, correlate_paths, correlate_paths_with, correlate_with, CorrelateOptions,
+};
 pub use faults::{FaultyEnergySensor, MeterFaultPlan};
-pub use multimeter::PowerScope;
+pub use multimeter::{FrameResolver, PowerScope};
 pub use online::OnlinePowerMeter;
-pub use profile::{EnergyProfile, ProcedureRow, ProcessRow};
-pub use sample::{CollectedRun, RawTrace, Sample};
+pub use profile::{EnergyProfile, PathProfile, PathRow, ProcedureRow, ProcessPaths, ProcessRow};
+pub use sample::{CallStack, CollectedRun, RawTrace, Sample};
 pub use symbols::SymbolTable;
 
 /// Supply voltage of the profiled machine. The paper notes input voltage

@@ -14,8 +14,14 @@ use std::rc::Rc;
 use machine::{IntervalObserver, IntervalRecord};
 use simcore::{SimDuration, SimRng, SimTime, TraceEvent, TraceHandle};
 
-use crate::sample::{CollectedRun, Sample};
+use crate::sample::{CallStack, CollectedRun, Sample};
 use crate::{SAMPLE_HZ, SUPPLY_VOLTS};
+
+/// Resolves a `(bucket, leaf procedure)` pair to its static call path
+/// (root frame first, ending in the leaf), or `None` for a leaf with no
+/// declared tree. Injected by the rig — the profiler cannot depend on
+/// the workload crates, so the call-tree data arrives as a function.
+pub type FrameResolver = fn(&str, &str) -> Option<&'static [&'static str]>;
 
 struct Collector {
     rng: SimRng,
@@ -23,6 +29,7 @@ struct Collector {
     next_at: SimTime,
     run: CollectedRun,
     trace: Option<TraceHandle>,
+    resolver: Option<FrameResolver>,
 }
 
 impl Collector {
@@ -32,12 +39,29 @@ impl Collector {
                 let current_a = rec.power_w / SUPPLY_VOLTS;
                 let weights: Vec<f64> = rec.shares.iter().map(|s| s.fraction).collect();
                 let pick = &rec.shares[self.rng.weighted_index(&weights)];
-                // The system monitor captures a raw PC inside the running
-                // procedure; the offline stage resolves it later.
+                // The system monitor captures one raw PC per call-stack
+                // frame inside the running procedure; the offline stage
+                // resolves them later. Frame resolution is pure table
+                // data — the rng draws stay identical with or without a
+                // resolver (one skew per trigger), so attaching one
+                // never perturbs the machine's golden traces.
+                let fallback = [pick.procedure];
+                let frames: &[&'static str] = match self
+                    .resolver
+                    .and_then(|resolve| resolve(pick.bucket, pick.procedure))
+                {
+                    Some(path) if !path.is_empty() => path,
+                    _ => &fallback,
+                };
                 let table = self.run.symbols.entry(pick.bucket).or_default();
-                table.intern(pick.procedure);
+                for frame in frames {
+                    table.intern(frame);
+                }
                 let skew = self.rng.uniform_u64(0, u32::MAX as u64) as u32;
-                let pc = table.pc_within(pick.procedure, skew);
+                let mut stack = CallStack::default();
+                for frame in frames {
+                    stack.push(table.pc_within(frame, skew));
+                }
                 if let Some(tr) = &self.trace {
                     tr.emit(
                         self.next_at,
@@ -51,7 +75,7 @@ impl Collector {
                     at: self.next_at,
                     current_a,
                     process: pick.bucket,
-                    pc,
+                    stack,
                 });
             }
             // ±5% trigger jitter around the nominal period.
@@ -131,6 +155,7 @@ impl PowerScope {
                 ..Default::default()
             },
             trace: None,
+            resolver: None,
         }));
         (
             PowerScope {
@@ -144,6 +169,15 @@ impl PowerScope {
     /// as a `meter_sample` event (high-frequency — the `Meter` category).
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.shared.borrow_mut().trace = Some(trace);
+    }
+
+    /// Attaches a call-path resolver: each sample then captures one PC
+    /// per declared call-tree frame instead of the leaf alone, enabling
+    /// [`crate::correlate_paths`]. Resolution draws no randomness, so
+    /// the sample stream's timing and attribution are identical with or
+    /// without a resolver. Attach before the run starts.
+    pub fn set_resolver(&mut self, resolver: FrameResolver) {
+        self.shared.borrow_mut().resolver = Some(resolver);
     }
 
     /// Consumes the session, returning the collected streams and symbol
@@ -276,6 +310,56 @@ mod tests {
             }
             other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    #[test]
+    fn resolver_adds_frames_without_perturbing_sampling() {
+        const PATH: &[&str] = &["app_main", "inner_loop", "work"];
+        fn resolve(bucket: &str, leaf: &str) -> Option<&'static [&'static str]> {
+            (bucket == "app" && leaf == "work").then_some(PATH)
+        }
+        let shares = [ShareEntry {
+            bucket: "app",
+            procedure: "work",
+            fraction: 1.0,
+        }];
+        let rec = IntervalRecord {
+            t0: SimTime::ZERO,
+            t1: SimTime::from_secs(2),
+            power_w: 12.0,
+            breakdown: PowerBreakdown::default(),
+            states: DeviceStates::full_on_idle(),
+            shares: &shares,
+        };
+        let (plain_scope, mut plain_obs) = PowerScope::new(7);
+        plain_obs.on_interval(&rec);
+        drop(plain_obs);
+        let plain = plain_scope.into_run();
+        let (mut scope, mut obs) = PowerScope::new(7);
+        scope.set_resolver(resolve);
+        obs.on_interval(&rec);
+        drop(obs);
+        let run = scope.into_run();
+        // Same trigger instants and attribution, deeper stacks.
+        assert_eq!(plain.trace.len(), run.trace.len());
+        for (a, b) in plain.trace.samples.iter().zip(&run.trace.samples) {
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.current_a, b.current_a);
+            assert_eq!(a.process, b.process);
+            assert_eq!(a.stack.depth(), 1);
+            assert_eq!(b.stack.depth(), 3);
+        }
+        // Every frame resolves through the symbol table, leaf last.
+        let table = &run.symbols["app"];
+        let s = &run.trace.samples[0];
+        let names: Vec<&str> = s
+            .stack
+            .frames()
+            .iter()
+            .map(|pc| table.resolve(*pc))
+            .collect();
+        assert_eq!(names, PATH);
+        assert_eq!(table.resolve(s.pc()), "work");
     }
 
     #[test]

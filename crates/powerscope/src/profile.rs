@@ -134,6 +134,91 @@ impl EnergyProfile {
     }
 }
 
+/// One call-path row of a path profile: a node of one process's
+/// call-tree with inclusive (node plus descendants) and exclusive
+/// (samples landing exactly here) accounting. Field names follow the D4
+/// unit-suffix discipline so the rendered tables carry their dimensions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathRow {
+    /// Slash-joined call path from the process root, e.g.
+    /// `video_playback/frame_pipeline/decode_frame`.
+    pub path: String,
+    /// Samples whose leaf landed exactly on this node (0 for a pure
+    /// interior node).
+    pub samples: u64,
+    /// Exclusive attributed time, s: quanta of samples landing here.
+    pub self_time_s: f64,
+    /// Exclusive attributed energy, J.
+    pub self_energy_j: f64,
+    /// Inclusive attributed time, s: this node plus all descendants.
+    pub inclusive_time_s: f64,
+    /// Inclusive attributed energy, J.
+    pub inclusive_energy_j: f64,
+}
+
+/// One process's call-path table, rows in lexicographic path order
+/// (every parent sorts immediately before its subtree).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcessPaths {
+    /// Process name.
+    pub process: String,
+    /// Path rows, sorted by path.
+    pub rows: Vec<PathRow>,
+    /// Total attributed energy, J (the sum of root rows' inclusive
+    /// energy, equal to the sum of leaf rows' exclusive energy).
+    pub energy_j: f64,
+}
+
+/// A per-path energy profile — the procedure-level rollup of one
+/// collected run, with parent/child inclusive–exclusive accounting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PathProfile {
+    /// Per-process tables, sorted by process name (stable independent
+    /// of energy ties, unlike the flat profile's energy ordering).
+    pub processes: Vec<ProcessPaths>,
+    /// Total profiled duration, seconds.
+    pub duration_s: f64,
+}
+
+impl PathProfile {
+    /// Total energy across all processes, J.
+    pub fn total_energy_j(&self) -> f64 {
+        self.processes.iter().map(|p| p.energy_j).sum()
+    }
+
+    /// One process's table (`None` when absent).
+    pub fn process(&self, name: &str) -> Option<&ProcessPaths> {
+        self.processes.iter().find(|p| p.process == name)
+    }
+
+    /// Renders the profile as a tab-separated table with a D4
+    /// unit-suffixed header — the `energymap` artifact format. Row order
+    /// is (process, path), both lexicographic, so the bytes are stable
+    /// across runs and thread counts.
+    pub fn format_table(&self) -> String {
+        let mut out = String::from(
+            "process\tpath\tsamples\tself_time_s\tself_energy_j\t\
+             inclusive_time_s\tinclusive_energy_j\n",
+        );
+        for p in &self.processes {
+            for r in &p.rows {
+                let _ = writeln!(
+                    out,
+                    "{}\t{}\t{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}",
+                    p.process,
+                    r.path,
+                    r.samples,
+                    r.self_time_s,
+                    r.self_energy_j,
+                    r.inclusive_time_s,
+                    r.inclusive_energy_j
+                );
+            }
+        }
+        out
+    }
+}
+
 /// One row of a profile comparison.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DiffRow {

@@ -4,15 +4,68 @@
 //! the multimeter and PC/PID observations from the system monitor. We keep
 //! them zipped in one [`Sample`] per trigger, mirroring the paper's
 //! trigger-synchronised design (the multimeter's trigger output drives the
-//! PC/PID sampler). A sample carries a *raw program counter*; procedure
-//! names only appear after the offline stage resolves the PC through the
-//! symbol tables collected alongside ([`CollectedRun`]).
+//! PC/PID sampler). A sample carries *raw program counters* — one per
+//! call-stack frame, leaf last; procedure names only appear after the
+//! offline stage resolves the PCs through the symbol tables collected
+//! alongside ([`CollectedRun`]).
 
 use std::collections::BTreeMap;
 
 use simcore::SimTime;
 
 use crate::symbols::SymbolTable;
+
+/// Deepest call stack a sample can carry. Matches the workload models'
+/// declared call-tree depth; frames above a deeper stack's capacity are
+/// dropped root-first so the leaf always survives.
+pub const MAX_STACK_DEPTH: usize = 4;
+
+/// The raw program counters captured at one trigger, root frame first,
+/// leaf (the running procedure) last. A fixed-capacity value type so
+/// samples stay `Copy` and the collector never allocates per trigger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CallStack {
+    depth: u8,
+    pcs: [u32; MAX_STACK_DEPTH],
+}
+
+impl CallStack {
+    /// A single-frame stack: just the leaf PC (a stripped binary, or a
+    /// run collected without frame resolution).
+    pub fn leaf_only(pc: u32) -> Self {
+        let mut s = CallStack::default();
+        s.push(pc);
+        s
+    }
+
+    /// Appends one frame below the current deepest. When the stack is
+    /// full the *root* frame is dropped to make room: the leaf is what
+    /// flat correlation resolves, so it must always survive.
+    pub fn push(&mut self, pc: u32) {
+        if (self.depth as usize) == MAX_STACK_DEPTH {
+            self.pcs.rotate_left(1);
+            self.pcs[MAX_STACK_DEPTH - 1] = pc;
+            return;
+        }
+        self.pcs[self.depth as usize] = pc;
+        self.depth += 1;
+    }
+
+    /// The captured frames, root first.
+    pub fn frames(&self) -> &[u32] {
+        &self.pcs[..self.depth as usize]
+    }
+
+    /// The leaf frame's PC (0 for an empty stack).
+    pub fn leaf(&self) -> u32 {
+        self.frames().last().copied().unwrap_or(0)
+    }
+
+    /// Number of captured frames.
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+}
 
 /// One correlated (current, PC/PID) observation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -23,8 +76,16 @@ pub struct Sample {
     pub current_a: f64,
     /// Process the PID monitor attributed the instant to.
     pub process: &'static str,
-    /// Raw program counter captured at the trigger.
-    pub pc: u32,
+    /// Raw program counters captured at the trigger, root frame first.
+    pub stack: CallStack,
+}
+
+impl Sample {
+    /// The leaf program counter — what the original single-PC sampler
+    /// captured, and what flat correlation resolves.
+    pub fn pc(&self) -> u32 {
+        self.stack.leaf()
+    }
 }
 
 /// The product of one data-collection run.
@@ -84,7 +145,7 @@ mod tests {
                 at: SimTime::from_micros(i * 100_000),
                 current_a: 1.0,
                 process: "p",
-                pc: 0,
+                stack: CallStack::leaf_only(0),
             });
         }
         t.end = SimTime::from_secs(1);
@@ -102,8 +163,38 @@ mod tests {
             at: SimTime::ZERO,
             current_a: 1.0,
             process: "p",
-            pc: 0,
+            stack: CallStack::leaf_only(0),
         });
         assert_eq!(one.mean_rate_hz(), 0.0);
+    }
+
+    #[test]
+    fn stack_keeps_frames_root_first() {
+        let mut s = CallStack::default();
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.leaf(), 0);
+        s.push(10);
+        s.push(20);
+        s.push(30);
+        assert_eq!(s.frames(), &[10, 20, 30]);
+        assert_eq!(s.leaf(), 30);
+        assert_eq!(s.depth(), 3);
+    }
+
+    #[test]
+    fn overfull_stack_drops_the_root_not_the_leaf() {
+        let mut s = CallStack::default();
+        for pc in [1, 2, 3, 4, 5, 6] {
+            s.push(pc);
+        }
+        assert_eq!(s.frames(), &[3, 4, 5, 6]);
+        assert_eq!(s.leaf(), 6);
+    }
+
+    #[test]
+    fn leaf_only_is_one_deep() {
+        let s = CallStack::leaf_only(0xbeef);
+        assert_eq!(s.frames(), &[0xbeef]);
+        assert_eq!(s.leaf(), 0xbeef);
     }
 }

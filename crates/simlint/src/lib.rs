@@ -1357,6 +1357,40 @@ fn t() {
         assert!(f[1].message.contains("raw_power"));
     }
 
+    /// Fixture mirroring the energymap path-row schema: the per-call-path
+    /// energy table's field names (`self_energy_j`, `inclusive_energy_j`,
+    /// `self_time_s`, `inclusive_time_s`, plus the unitless `samples`
+    /// count, which is a u64 and out of D4's scope) pass, and dropping
+    /// the unit suffix from either energy field is flagged. Guards the
+    /// energy-regression gate's table schema.
+    #[test]
+    fn d4_energymap_path_row_schema_fixture() {
+        let clean = "pub struct PathRow {\n\
+                     \x20   pub path: String,\n\
+                     \x20   pub samples: u64,\n\
+                     \x20   pub self_time_s: f64,\n\
+                     \x20   pub self_energy_j: f64,\n\
+                     \x20   pub inclusive_time_s: f64,\n\
+                     \x20   pub inclusive_energy_j: f64,\n\
+                     }\n\
+                     pub struct ProcessPaths {\n\
+                     \x20   pub energy_j: f64,\n\
+                     }\n\
+                     pub fn total_energy_j(&self) -> f64 { 0.0 }\n";
+        assert!(scan_str(SIM, clean).is_empty());
+
+        let dirty = "pub struct PathRow {\n\
+                     \x20   pub self_energy: f64,\n\
+                     \x20   pub inclusive_energy: f64,\n\
+                     \x20   pub inclusive_time: f64,\n\
+                     }\n";
+        let f = scan_str(SIM, dirty);
+        assert_eq!(rules(&f), ["D4", "D4", "D4"]);
+        assert!(f[0].message.contains("self_energy"));
+        assert!(f[1].message.contains("inclusive_energy"));
+        assert!(f[2].message.contains("inclusive_time"));
+    }
+
     // ---- D5: panics in non-test code ----
 
     #[test]

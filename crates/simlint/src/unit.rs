@@ -1026,4 +1026,33 @@ mod tests {
         assert_eq!(f.len(), 2);
         assert!(f[0].0 <= f[1].0);
     }
+
+    /// Fixture mirroring the energymap roll-up's dimensional shape: a
+    /// sample's energy quantum is power x dt, exclusive and inclusive
+    /// energies accumulate in J, and the gate's drift check compares J
+    /// against J. Dropping the dt factor or mixing an inclusive energy
+    /// with an inclusive time must be flagged.
+    #[test]
+    fn energymap_roll_up_signatures_are_dimensionally_sound() {
+        assert_clean(
+            "fn roll_up(power_w: f64, dt_s: f64, self_energy_j: f64, inclusive_energy_j: f64) {\n\
+             \x20   let quantum_j = power_w * dt_s;\n\
+             \x20   let new_self_j = self_energy_j + quantum_j;\n\
+             \x20   let new_inclusive_j = inclusive_energy_j + quantum_j;\n\
+             \x20   let drifted = new_self_j > new_inclusive_j;\n\
+             }\n",
+        );
+        assert_hit(
+            "fn roll_up(power_w: f64, self_energy_j: f64) {\n\
+             \x20   let new_self_j = self_energy_j + power_w;\n\
+             }\n",
+            "`+` combines J (from `self_energy_j`) with J/s (from `power_w`)",
+        );
+        assert_hit(
+            "fn drift(inclusive_energy_j: f64, inclusive_time_s: f64) {\n\
+             \x20   let over = inclusive_energy_j > inclusive_time_s;\n\
+             }\n",
+            "compares J (from `inclusive_energy_j`) with s (from `inclusive_time_s`)",
+        );
+    }
 }

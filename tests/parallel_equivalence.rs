@@ -9,7 +9,7 @@
 //! 1, 2, and 8 threads.
 
 use experiments::harness::{run_trials, Trials};
-use experiments::{benchcli, chaos, fig16, supervise, tracerec};
+use experiments::{benchcli, chaos, energymap, fig16, supervise, tracerec};
 use machine::workload::ScriptedWorkload;
 use machine::{Machine, MachineConfig};
 use simcore::{SimDuration, SimRng};
@@ -133,5 +133,28 @@ fn rendered_figure_bytes_identical_across_thread_counts() {
             fig16::render(&quick().with_threads(threads)),
             "fig16 rendering diverges at {threads} threads"
         );
+    }
+}
+
+/// Per-call-path energy tables are byte-identical at every thread
+/// count: `energymap::render_all` fans the four scenarios out over the
+/// pool, and each scenario's profile is a pure function of its seed.
+#[test]
+fn energymap_tables_identical_across_thread_counts() {
+    let [serial_threads, ref fanned @ ..] = THREAD_COUNTS;
+    let serial = energymap::render_all(serial_threads).expect("serial energymap render");
+    assert_eq!(serial.len(), tracerec::SCENARIOS.len());
+    for &threads in fanned {
+        let parallel = energymap::render_all(threads).expect("parallel energymap render");
+        for ((s_name, s_table), (p_name, p_table)) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s_name, p_name,
+                "scenario order diverged at {threads} threads"
+            );
+            assert_eq!(
+                s_table, p_table,
+                "{s_name}: energymap table diverges at {threads} threads"
+            );
+        }
     }
 }

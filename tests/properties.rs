@@ -315,3 +315,74 @@ fn trial_stats_scale() {
         assert!((scaled.ci90 - base.ci90 * k).abs() < 1e-6 * (base.ci90 * k).max(1.0));
     });
 }
+
+/// Call-path attribution reconciles bottom-up: for every canonical
+/// scenario and seed, (1) each process's leaf-exclusive energies sum to
+/// its process energy, (2) every interior frame's inclusive energy
+/// equals its own exclusive energy plus its direct children's inclusive
+/// energies, and (3) per-process energies sum to the multimeter total
+/// the flat (per-procedure) correlation reports for the same run. Path
+/// splitting loses no energy and invents none.
+#[test]
+fn energy_paths_reconcile_to_multimeter_total() {
+    use energy_adaptation::experiments::{energymap, tracerec};
+    use energy_adaptation::powerscope::{correlate, correlate_paths};
+
+    for scenario in tracerec::SCENARIOS {
+        for seed in [1u64, 7, 42] {
+            let run = energymap::collect(scenario, seed, 1.0)
+                .unwrap_or_else(|e| panic!("{scenario}/{seed}: {e}"));
+            let flat = correlate(&run);
+            let paths = correlate_paths(&run);
+            let tag = format!("{scenario} seed {seed}");
+
+            let mut process_sum = 0.0;
+            for proc_paths in &paths.processes {
+                // Leaf rows are exactly the sampled rows; exclusive
+                // energy lives only there.
+                let leaf_sum: f64 = proc_paths
+                    .rows
+                    .iter()
+                    .filter(|r| r.samples > 0)
+                    .map(|r| r.self_energy_j)
+                    .sum();
+                assert!(
+                    (leaf_sum - proc_paths.energy_j).abs() <= 1e-9 * leaf_sum.abs().max(1.0),
+                    "{tag}: {}: leaf exclusive sum {leaf_sum} != process {}",
+                    proc_paths.process,
+                    proc_paths.energy_j
+                );
+                // Interior inclusive = own exclusive + children inclusive.
+                for row in &proc_paths.rows {
+                    let child_prefix = format!("{}/", row.path);
+                    let children: f64 = proc_paths
+                        .rows
+                        .iter()
+                        .filter(|c| {
+                            c.path.starts_with(&child_prefix)
+                                && !c.path[child_prefix.len()..].contains('/')
+                        })
+                        .map(|c| c.inclusive_energy_j)
+                        .sum();
+                    let expect = row.self_energy_j + children;
+                    assert!(
+                        (row.inclusive_energy_j - expect).abs() <= 1e-9 * expect.abs().max(1.0),
+                        "{tag}: {} path {}: inclusive {} != self+children {expect}",
+                        proc_paths.process,
+                        row.path,
+                        row.inclusive_energy_j
+                    );
+                }
+                process_sum += proc_paths.energy_j;
+            }
+            // Process energies sum to the multimeter total (the flat
+            // correlation integrates the same sample stream).
+            let meter_total = flat.total_energy_j();
+            assert!(
+                (process_sum - meter_total).abs() <= 1e-9 * meter_total.abs().max(1.0),
+                "{tag}: path process sum {process_sum} != multimeter total {meter_total}"
+            );
+            assert!(meter_total > 0.0, "{tag}: zero-energy run");
+        }
+    }
+}
