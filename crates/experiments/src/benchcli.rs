@@ -5,10 +5,10 @@
 //!
 //! | id        | workload                                                |
 //! |-----------|---------------------------------------------------------|
-//! | fig2      | network benchmark table (trial fan-out per row)         |
-//! | fig16     | web sweep at one think time (trial fan-out per cell)    |
+//! | fig2      | one PowerScope profiling session (inherently serial)    |
+//! | fig16     | web sweep at one think time (one wide cell fan-out)     |
 //! | goal      | one hardened composite goal run (inherently serial)     |
-//! | supervise | supervised/unsupervised k=2 pair (cell fan-out)         |
+//! | supervise | supervised/unsupervised k=2 pair (trial-flattened fan)  |
 //! | serve     | always-on session replaying the supervise golden trace (sustained directive throughput, inherently serial) |
 //!
 //! Besides timing, every parallel run's output digest is checked against
@@ -109,9 +109,15 @@ pub fn run_sweep(trials: &Trials, thread_counts: &[usize], reps: usize) -> Sweep
         let mut serial_median_ms = 0.0f64;
         for &threads in &counts {
             let t = trials.with_threads(threads);
+            // The divergence-check run doubles as the telemetry probe:
+            // bracketing exactly one digest() with reset/snapshot
+            // yields the pool's dispatch metadata for this
+            // (scenario, threads) cell, untouched by the timing reps.
+            simcore::par::telemetry::reset();
             if digest(scenario, &t) != serial_digest {
                 divergent.push(format!("{scenario}@{threads}"));
             }
+            let pool = simcore::par::telemetry::snapshot();
             let (median_ms, min_ms) = time_reps(reps, || {
                 std::hint::black_box(digest(scenario, std::hint::black_box(&t)));
             });
@@ -131,6 +137,11 @@ pub fn run_sweep(trials: &Trials, thread_counts: &[usize], reps: usize) -> Sweep
                 },
                 work_per_s: work_units
                     .and_then(|units| (median_ms > 0.0).then(|| units as f64 / (median_ms / 1e3))),
+                host_threads: simcore::par::available_threads(),
+                pool_dispatches: pool.dispatches,
+                pool_inline_runs: pool.inline_runs,
+                pool_chunks: pool.chunks,
+                pool_workers: pool.workers,
             });
         }
     }

@@ -96,9 +96,12 @@ pub fn run(trials: &Trials) -> Chaos {
 
 /// Runs an arbitrary intensity sweep.
 ///
-/// Cells are independent — every trial stream is keyed purely by
-/// `(seed, intensity, trial)` — so they fan out across `trials.threads`
-/// workers and merge in sweep order, byte-identical to the serial run.
+/// The fan-out unit is one *(cell, trial)* run — every trial stream is
+/// keyed purely by `(seed, intensity, trial)`, so all `cells × trials.n`
+/// runs are independent jobs. Flattening to trial granularity keeps
+/// every worker busy even on narrow sweeps, and the index-ordered merge
+/// reduces each cell from its trials in trial order — byte-identical to
+/// the serial run at any thread count.
 pub fn run_sweep(
     trials: &Trials,
     intensities: &[f64],
@@ -109,37 +112,16 @@ pub fn run_sweep(
         .iter()
         .flat_map(|&intensity| [(intensity, false), (intensity, true)])
         .collect();
-    let cells = simcore::par::map(trials.threads, &specs, |_, &(intensity, hardened)| {
-        run_cell(trials, intensity, hardened, goal_s, initial_energy_j)
-    });
-    Chaos {
-        cells,
-        initial_energy_j,
-        goal_s,
+    let n = trials.n.max(1);
+    let mut jobs: Vec<(f64, bool, usize)> = Vec::with_capacity(specs.len() * n);
+    for &(intensity, hardened) in &specs {
+        for i in 0..n {
+            jobs.push((intensity, hardened, i));
+        }
     }
-}
-
-/// Runs one (intensity, controller) cell: `trials.n` paired trials.
-fn run_cell(
-    trials: &Trials,
-    intensity: f64,
-    hardened: bool,
-    goal_s: u64,
-    initial_energy_j: f64,
-) -> ChaosCell {
     let root = SimRng::new(trials.seed);
     let goal = SimDuration::from_secs(goal_s);
-    let mut met = 0usize;
-    let mut hit95 = 0usize;
-    let mut infeasible = Vec::new();
-    let mut shortfall = Vec::new();
-    let mut residual = Vec::new();
-    let mut energy = Vec::new();
-    let mut adaptations = Vec::new();
-    let mut timeouts = Vec::new();
-    let mut retries = Vec::new();
-    let mut stale = Vec::new();
-    for i in 0..trials.n {
+    let runs = simcore::par::map(trials.threads, &jobs, |_, &(intensity, hardened, i)| {
         // Workload and fault streams are keyed by intensity and
         // trial only, so the naive and hardened controllers face
         // the identical substrate — a paired comparison.
@@ -159,7 +141,42 @@ fn run_cell(
         if hardened {
             cfg = cfg.with_hardening(Hardening::standard());
         }
-        let run = run_composite_goal_faulted(cfg, faults, &mut rng);
+        run_composite_goal_faulted(cfg, faults, &mut rng)
+    });
+    let cells = specs
+        .iter()
+        .zip(runs.chunks(n))
+        .map(|(&(intensity, hardened), cell_runs)| {
+            reduce_cell(trials, intensity, hardened, goal_s, cell_runs)
+        })
+        .collect();
+    Chaos {
+        cells,
+        initial_energy_j,
+        goal_s,
+    }
+}
+
+/// Reduces one (intensity, controller) cell from its `trials.n` paired
+/// trial runs (in trial order).
+fn reduce_cell(
+    trials: &Trials,
+    intensity: f64,
+    hardened: bool,
+    goal_s: u64,
+    runs: &[crate::goalrig::GoalRun],
+) -> ChaosCell {
+    let mut met = 0usize;
+    let mut hit95 = 0usize;
+    let mut infeasible = Vec::new();
+    let mut shortfall = Vec::new();
+    let mut residual = Vec::new();
+    let mut energy = Vec::new();
+    let mut adaptations = Vec::new();
+    let mut timeouts = Vec::new();
+    let mut retries = Vec::new();
+    let mut stale = Vec::new();
+    for run in runs {
         let dur = run.report.duration_s();
         if run.outcome.goal_met {
             met += 1;

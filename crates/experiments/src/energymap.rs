@@ -120,9 +120,11 @@ pub fn table(scenario: &str, seed: u64, decode_inflation: f64) -> Result<String,
 
 /// Renders every scenario's table at [`GOLDEN_SEED`], fanned out over
 /// `threads` workers. Output is byte-identical at any thread count (the
-/// parallel-identity test pins this).
+/// parallel-identity test pins this). A handful of whole-scenario
+/// profiles with very different runtimes: grain 1, one chunk each.
 pub fn render_all(threads: usize) -> Result<Vec<(&'static str, String)>, String> {
-    let outputs = simcore::par::map(threads, &SCENARIOS, |_, scenario| {
+    let cfg = simcore::par::PoolConfig::new(threads).grain(1);
+    let (outputs, _) = simcore::par::map_stats(&cfg, &SCENARIOS, |_, scenario| {
         table(scenario, GOLDEN_SEED, 1.0)
     });
     SCENARIOS

@@ -189,33 +189,46 @@ fn web_machine(obj: usize, c: Condition, think_s: f64, rng: &mut SimRng) -> Mach
     m
 }
 
-fn summarize(
-    trials: &Trials,
-    app: &'static str,
-    think_s: Option<f64>,
-    mut energy: impl FnMut(usize, Condition, &Trials) -> f64,
-) -> SummaryRow {
-    let mut bands = Vec::new();
-    let mut means = Vec::new();
-    // Baseline energies per object, the normalizers.
-    let baselines: Vec<f64> = (0..4)
-        .map(|o| energy(o, Condition::Baseline, trials))
-        .collect();
-    for c in Condition::all() {
-        let normalized: Vec<f64> = (0..4)
-            .map(|o| energy(o, c, trials) / baselines[o])
-            .collect();
-        let lo = normalized.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi = normalized.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mean = normalized.iter().sum::<f64>() / normalized.len() as f64;
-        bands.push((c, lo, hi));
-        means.push((c, mean));
-    }
-    SummaryRow {
-        app,
-        think_s,
-        bands,
-        means,
+/// An application row of the summary, carrying its think time where the
+/// workload has one. Each `(row, object, condition)` triple is one
+/// independent fan-out cell.
+#[derive(Clone, Copy, Debug)]
+enum RowKind {
+    Video,
+    Speech,
+    Map(f64),
+    Web(f64),
+}
+
+/// Mean trial energy of one `(row, object, condition)` cell, J.
+///
+/// The trial label is a pure function of the cell, so the cell is a
+/// pure function of `(trials.seed, trials.n, cell)` — which is what
+/// lets the whole summary fan cells across the pool in any order.
+fn cell_energy_j(trials: &Trials, kind: RowKind, o: usize, c: Condition) -> f64 {
+    match kind {
+        RowKind::Video => {
+            let label = format!("fig16/video/{o}/{c:?}");
+            energy_stats(&run_trials(trials, &label, |rng| video_machine(o, c, rng))).mean
+        }
+        RowKind::Speech => {
+            let label = format!("fig16/speech/{o}/{c:?}");
+            energy_stats(&run_trials(trials, &label, |rng| speech_machine(o, c, rng))).mean
+        }
+        RowKind::Map(think) => {
+            let label = format!("fig16/map/{o}/{c:?}/{think}");
+            energy_stats(&run_trials(trials, &label, |rng| {
+                map_machine(o, c, think, rng)
+            }))
+            .mean
+        }
+        RowKind::Web(think) => {
+            let label = format!("fig16/web/{o}/{c:?}/{think}");
+            energy_stats(&run_trials(trials, &label, |rng| {
+                web_machine(o, c, think, rng)
+            }))
+            .mean
+        }
     }
 }
 
@@ -226,27 +239,66 @@ pub fn run(trials: &Trials) -> Fig16 {
 }
 
 /// Runs the summary with a chosen set of think times (tests use fewer).
+///
+/// The fan-out unit is one `(row, object, condition)` cell — a whole
+/// trial set — so the summary parallelizes as a single wide dispatch of
+/// coarse jobs instead of dozens of tiny per-trial dispatches (the
+/// shape that used to *lose* wall-clock to spawn overhead; see
+/// DESIGN.md §18). Cells run their trials serially; parallelism lives
+/// at this level only. Each object's baseline-condition cell is also
+/// computed exactly once and reused as the normalizer, where the old
+/// per-row closure recomputed it — same pure value, same output bytes,
+/// less work.
 pub fn run_with_thinks(trials: &Trials, thinks: &[f64]) -> Fig16 {
-    let mut rows = Vec::new();
-    rows.push(summarize(trials, "Video", None, |o, c, t| {
-        let label = format!("fig16/video/{o}/{c:?}");
-        energy_stats(&run_trials(t, &label, |rng| video_machine(o, c, rng))).mean
-    }));
-    rows.push(summarize(trials, "Speech", None, |o, c, t| {
-        let label = format!("fig16/speech/{o}/{c:?}");
-        energy_stats(&run_trials(t, &label, |rng| speech_machine(o, c, rng))).mean
-    }));
+    let mut kinds: Vec<(&'static str, Option<f64>, RowKind)> = vec![
+        ("Video", None, RowKind::Video),
+        ("Speech", None, RowKind::Speech),
+    ];
     for &think in thinks {
-        rows.push(summarize(trials, "Map", Some(think), |o, c, t| {
-            let label = format!("fig16/map/{o}/{c:?}/{think}");
-            energy_stats(&run_trials(t, &label, |rng| map_machine(o, c, think, rng))).mean
-        }));
+        kinds.push(("Map", Some(think), RowKind::Map(think)));
     }
     for &think in thinks {
-        rows.push(summarize(trials, "Web", Some(think), |o, c, t| {
-            let label = format!("fig16/web/{o}/{c:?}/{think}");
-            energy_stats(&run_trials(t, &label, |rng| web_machine(o, c, think, rng))).mean
-        }));
+        kinds.push(("Web", Some(think), RowKind::Web(think)));
+    }
+
+    let conditions = Condition::all();
+    let mut cells: Vec<(RowKind, usize, Condition)> = Vec::new();
+    for (_, _, kind) in &kinds {
+        for o in 0..4 {
+            for c in conditions {
+                cells.push((*kind, o, c));
+            }
+        }
+    }
+    let inner = trials.with_threads(1);
+    let energies = simcore::par::map(trials.threads, &cells, |_, &(kind, o, c)| {
+        cell_energy_j(&inner, kind, o, c)
+    });
+    // Cell value lookup: cells are row-major, object-major, condition-
+    // minor, so the flat index is a pure function of the coordinates.
+    let value = |row: usize, o: usize, ci: usize| energies[(row * 4 + o) * conditions.len() + ci];
+
+    let mut rows = Vec::new();
+    for (row, &(app, think_s, _)) in kinds.iter().enumerate() {
+        // Baseline energies per object, the normalizers (Baseline is
+        // condition index 0 in `Condition::all()` order).
+        let baselines: Vec<f64> = (0..4).map(|o| value(row, o, 0)).collect();
+        let mut bands = Vec::new();
+        let mut means = Vec::new();
+        for (ci, c) in conditions.into_iter().enumerate() {
+            let normalized: Vec<f64> = (0..4).map(|o| value(row, o, ci) / baselines[o]).collect();
+            let lo = normalized.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = normalized.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mean = normalized.iter().sum::<f64>() / normalized.len() as f64;
+            bands.push((c, lo, hi));
+            means.push((c, mean));
+        }
+        rows.push(SummaryRow {
+            app,
+            think_s,
+            bands,
+            means,
+        });
     }
     Fig16 { rows }
 }

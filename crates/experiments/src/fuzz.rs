@@ -459,7 +459,10 @@ pub fn run_verb(
         .map_err(|e| format!("fuzz: clean baseline failed: {e}"))?
         .digest;
     let idxs: Vec<u64> = (0..streams as u64).collect();
-    let results = simcore::par::map(threads, &idxs, |_, &i| {
+    // Hostile streams have wildly uneven cost (one may freeze/thaw,
+    // another dies early), so grain 1 keeps the chunked pool balanced.
+    let cfg = simcore::par::PoolConfig::new(threads).grain(1);
+    let (results, _) = simcore::par::map_stats(&cfg, &idxs, |_, &i| {
         fuzz_one(seed, &base, &alt, clean_digest, i)
     });
     let mut agg = StreamStats::default();

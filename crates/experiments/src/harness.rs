@@ -76,6 +76,11 @@ impl Trials {
 /// master — a pure function of `(seed, label, i)` — so neither the trial
 /// count nor the execution order (serial or parallel) can perturb the
 /// draws any trial sees.
+///
+/// Trials are few and expensive with skewed costs (a trial that adapts
+/// often runs much longer than one that coasts), so the pool is pinned
+/// to grain 1: each chunk is a single trial, and a worker stuck on a
+/// long trial never holds undone trials hostage.
 pub fn run_trials(
     trials: &Trials,
     label: &str,
@@ -86,7 +91,8 @@ pub fn run_trials(
     let streams: Vec<SimRng> = (0..trials.n)
         .map(|i| root.fork_indexed(label, i as u64))
         .collect();
-    simcore::par::map(trials.threads, &streams, |_, stream| {
+    let cfg = simcore::par::PoolConfig::new(trials.threads).grain(1);
+    simcore::par::map_stats(&cfg, &streams, |_, stream| {
         let mut rng = stream.clone();
         let machine = build(&mut rng);
         // simlint: allow(D5) — adopt/run on a fresh session cannot fail
@@ -94,6 +100,7 @@ pub fn run_trials(
         // simlint: allow(D5) — first run of a fresh session cannot fail
         session.run_to_completion().expect("run adopted session")
     })
+    .0
 }
 
 /// Total-energy statistics over a set of reports.

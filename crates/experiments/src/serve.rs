@@ -342,6 +342,10 @@ fn verify_boundary(
 /// each resume bit-identical, fanned out over `threads` workers.
 /// Returns one proof line per boundary (identical at any thread count)
 /// or the first divergence report.
+///
+/// Boundary cost rises with the boundary index (a later crash replays a
+/// longer prefix), so the pool is pinned to grain 1: the guided chunks
+/// never lump the expensive tail boundaries onto one worker.
 pub fn torture_sweep(seed: u64, multiple: u32, threads: usize) -> Result<Vec<String>, String> {
     let samples = schedule(multiple)?;
     let base = replay(seed, &samples, None)?;
@@ -352,7 +356,8 @@ pub fn torture_sweep(seed: u64, multiple: u32, threads: usize) -> Result<Vec<Str
         ));
     }
     let boundaries: Vec<usize> = (0..base.checkpoints.len()).collect();
-    let results = simcore::par::map(threads, &boundaries, |_, &k| {
+    let cfg = simcore::par::PoolConfig::new(threads).grain(1);
+    let (results, _) = simcore::par::map_stats(&cfg, &boundaries, |_, &k| {
         verify_boundary(seed, &samples, &base, k)
     });
     let mut lines = Vec::with_capacity(results.len());

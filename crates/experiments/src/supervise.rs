@@ -238,14 +238,35 @@ pub fn run(trials: &Trials) -> Supervise {
 
 /// Runs an arbitrary sweep over misbehaving-app counts.
 ///
-/// Cells are independent — every trial stream is keyed purely by
-/// `(seed, k, trial)` — so they fan out across `trials.threads` workers
-/// and merge in sweep order, byte-identical to the serial run.
+/// The fan-out unit is one *(cell, trial)* run — every trial stream is
+/// keyed purely by `(seed, k, trial)`, so all `cells × trials.n` runs
+/// are independent jobs. Flattening to trial granularity keeps every
+/// worker busy even when the sweep has few cells (the bench scenario
+/// sweeps a single k: two cells, but `2 × n` jobs), and the
+/// index-ordered merge reduces each cell from its trials in trial
+/// order — byte-identical to the serial run at any thread count.
 pub fn run_sweep(trials: &Trials, ks: &[usize]) -> Supervise {
     let specs: Vec<(usize, bool)> = ks.iter().flat_map(|&k| [(k, false), (k, true)]).collect();
-    let cells = simcore::par::map(trials.threads, &specs, |_, &(k, supervised)| {
-        run_cell(trials, k, supervised)
+    let n = trials.n.max(1);
+    let mut jobs: Vec<(usize, bool, usize)> = Vec::with_capacity(specs.len() * n);
+    for &(k, supervised) in &specs {
+        for i in 0..n {
+            jobs.push((k, supervised, i));
+        }
+    }
+    let root = SimRng::new(trials.seed);
+    let runs = simcore::par::map(trials.threads, &jobs, |_, &(k, supervised, i)| {
+        // Workload streams are keyed by k and trial only, so the
+        // unsupervised and supervised cells face the identical
+        // applications — a paired comparison.
+        let mut rng = root.fork_indexed(&format!("supervise/{k}"), i as u64);
+        run_one(k, supervised, &mut rng)
     });
+    let cells = specs
+        .iter()
+        .zip(runs.chunks(n))
+        .map(|(&(k, supervised), cell_runs)| reduce_cell(trials, k, supervised, cell_runs))
+        .collect();
     Supervise {
         cells,
         initial_energy_j: CHAOS_ENERGY_J,
@@ -253,9 +274,9 @@ pub fn run_sweep(trials: &Trials, ks: &[usize]) -> Supervise {
     }
 }
 
-/// Runs one (k, supervised) cell: `trials.n` paired trials.
-fn run_cell(trials: &Trials, k: usize, supervised: bool) -> SuperviseCell {
-    let root = SimRng::new(trials.seed);
+/// Reduces one (k, supervised) cell from its `trials.n` paired trial
+/// runs (in trial order).
+fn reduce_cell(trials: &Trials, k: usize, supervised: bool, runs: &[SuperRun]) -> SuperviseCell {
     let mut met = 0usize;
     let mut hit95 = 0usize;
     let mut shortfall = Vec::new();
@@ -269,12 +290,7 @@ fn run_cell(trials: &Trials, k: usize, supervised: bool) -> SuperviseCell {
     let mut restarts = Vec::new();
     let mut crash_releases = Vec::new();
     let mut redistributed = Vec::new();
-    for i in 0..trials.n {
-        // Workload streams are keyed by k and trial only, so the
-        // unsupervised and supervised cells face the identical
-        // applications — a paired comparison.
-        let mut rng = root.fork_indexed(&format!("supervise/{k}"), i as u64);
-        let run = run_one(k, supervised, &mut rng);
+    for run in runs {
         let dur = run.report.duration_s();
         if run.outcome.goal_met {
             met += 1;

@@ -697,9 +697,10 @@ pub fn analyze_str(ctx: FileCtx<'_>, source: &str) -> FileAnalysis {
 
 /// The workspace-wide passes over per-file analyses: U1 checks each
 /// file against the shared symbol table (fanned across `threads` simpar
-/// workers, index-ordered so the merge is deterministic), then P1 runs
-/// its call-graph fixpoint (serial — the propagation is global). Returns
-/// the unwaived U1/P1 findings, unsorted.
+/// workers — many light files, so the pool's auto grain batches them
+/// into guided chunks and the index-ordered merge stays deterministic),
+/// then P1 runs its call-graph fixpoint (serial — the propagation is
+/// global). Returns the unwaived U1/P1 findings, unsorted.
 pub fn cross_pass(analyses: &[FileAnalysis], threads: usize) -> Vec<Finding> {
     let tabled: Vec<(String, parse::FileAst)> = analyses
         .iter()
@@ -1142,6 +1143,9 @@ pub fn scan_workspace_threads(root: &Path, threads: usize) -> Result<Report, Str
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         inputs.push((rel, source));
     }
+    // Per-file parse+lint is cheap and roughly uniform across hundreds
+    // of files — exactly the shape the pool's auto grain targets, so no
+    // explicit grain override here.
     let analyses: Vec<FileAnalysis> = simpar::map(threads, &inputs, |_, (rel, source)| {
         let ctx = FileCtx {
             path: rel,

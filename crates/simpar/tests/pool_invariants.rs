@@ -1,0 +1,141 @@
+//! PoolStats invariants: the chunk plan and the scheduling stats must
+//! describe a real, exact partition of the work.
+//!
+//! Three properties, each over adversarial `(n, workers, grain)` grids:
+//!
+//! 1. `plan_chunks` partitions `0..n` exactly — contiguous, no overlap,
+//!    no gap, every chunk non-empty.
+//! 2. A forced-parallel run's per-worker item counts sum to `n`, and
+//!    its per-worker chunk counts sum to the plan length (every chunk
+//!    claimed exactly once).
+//! 3. The inline fallback spawns zero workers and says so.
+
+use simpar::{auto_grain, plan_chunks, PoolConfig};
+
+/// Adversarial item counts: empty, single, around powers of two, around
+/// typical worker counts, and a large one.
+const NS: [usize; 17] = [0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100, 1000];
+
+/// Worker counts: serial through oversubscribed.
+const WORKERS: [usize; 6] = [1, 2, 3, 4, 8, 16];
+
+/// Grain values probed for each `n` (plus `n`-relative ones added at
+/// the call site: 1, n, n+1).
+fn grains_for(n: usize) -> Vec<usize> {
+    vec![1, 2, 7, n.max(1), n + 1]
+}
+
+/// Property 1: the plan partitions `0..n` exactly for every grid point.
+#[test]
+fn plan_partitions_index_space_exactly() {
+    for n in NS {
+        for workers in WORKERS {
+            for grain in grains_for(n) {
+                let plan = plan_chunks(n, workers, grain);
+                let mut next = 0usize;
+                for c in &plan {
+                    assert_eq!(
+                        c.start, next,
+                        "gap/overlap at n={n} workers={workers} grain={grain}: \
+                         chunk starts at {} but {} items are covered",
+                        c.start, next
+                    );
+                    assert!(
+                        c.len > 0,
+                        "empty chunk at n={n} workers={workers} grain={grain}"
+                    );
+                    next += c.len;
+                }
+                assert_eq!(
+                    next, n,
+                    "plan covers {next} of {n} items (workers={workers} grain={grain})"
+                );
+                if n == 0 {
+                    assert!(plan.is_empty(), "non-empty plan for zero items");
+                }
+            }
+        }
+    }
+}
+
+/// The auto grain never exceeds the input and never drops to zero, so
+/// the plan above is always well-formed under the default configuration.
+#[test]
+fn auto_grain_is_positive_and_bounded() {
+    for n in NS {
+        for workers in WORKERS {
+            let g = auto_grain(n, workers);
+            assert!(g >= 1, "auto grain 0 at n={n} workers={workers}");
+            assert!(
+                g <= n.max(1),
+                "auto grain {g} exceeds n={n} at workers={workers}"
+            );
+        }
+    }
+}
+
+/// Property 2: on the forced-parallel path, per-worker accounting sums
+/// to the whole job — items to `n`, chunks to the plan length — and the
+/// results are the identity permutation (each job returns its index).
+#[test]
+fn per_worker_accounting_sums_to_whole_job() {
+    for n in NS.into_iter().filter(|&n| n >= 2) {
+        for workers in [2, 3, 4, 8] {
+            for grain in grains_for(n) {
+                // assume_parallelism forces real spawning even on a
+                // single-core CI host, where the pool would otherwise
+                // (correctly) run inline.
+                let cfg = PoolConfig::new(workers)
+                    .grain(grain)
+                    .assume_parallelism(workers);
+                let (out, stats) = simpar::map_indexed_stats(&cfg, n, |i| i);
+                assert_eq!(out, (0..n).collect::<Vec<_>>());
+                assert!(!stats.inline, "n={n} workers={workers} ran inline");
+                assert_eq!(stats.items, n);
+                assert_eq!(stats.workers_spawned, workers.min(n));
+                assert_eq!(stats.per_worker_items.len(), stats.workers_spawned);
+                assert_eq!(stats.per_worker_chunks.len(), stats.workers_spawned);
+                assert_eq!(
+                    stats.per_worker_items.iter().sum::<usize>(),
+                    n,
+                    "worker item counts must sum to n={n} (workers={workers} grain={grain})"
+                );
+                assert_eq!(
+                    stats.per_worker_chunks.iter().sum::<usize>(),
+                    stats.plan.len(),
+                    "every chunk claimed exactly once (n={n} workers={workers} grain={grain})"
+                );
+                assert_eq!(stats.chunks_claimed(), stats.plan.len());
+            }
+        }
+    }
+}
+
+/// Property 3: every inline trigger — one thread, one job, empty input,
+/// or a single-core host — reports zero spawned workers.
+#[test]
+fn inline_fallback_reports_zero_workers() {
+    let cases: [(PoolConfig, usize, &str); 4] = [
+        (PoolConfig::new(1).assume_parallelism(8), 64, "one thread"),
+        (PoolConfig::new(8).assume_parallelism(8), 1, "one job"),
+        (PoolConfig::new(8).assume_parallelism(8), 0, "empty input"),
+        (
+            PoolConfig::new(8).assume_parallelism(1),
+            64,
+            "single-core host",
+        ),
+    ];
+    for (cfg, n, why) in cases {
+        let (out, stats) = simpar::map_indexed_stats(&cfg, n, |i| i * 3);
+        assert_eq!(out, (0..n).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(stats.inline, "{why}: expected the inline path");
+        assert_eq!(stats.workers_spawned, 0, "{why}: inline must spawn nothing");
+        assert!(stats.per_worker_items.is_empty(), "{why}");
+        assert!(stats.per_worker_chunks.is_empty(), "{why}");
+        if n == 0 {
+            assert_eq!(stats.chunks_claimed(), 0, "{why}");
+        } else {
+            assert_eq!(stats.chunks_claimed(), 1, "{why}");
+        }
+    }
+}

@@ -378,12 +378,15 @@ impl<B> std::fmt::Debug for FleetSpec<B> {
 /// Runs each spec's whole session lifecycle on the deterministic work
 /// pool and merges the outcomes in index order: byte-identical results
 /// at any thread count. Sessions are single-threaded and share nothing;
-/// parallelism is across sessions, never within one.
+/// parallelism is across sessions, never within one. A session is the
+/// heaviest unit the pool ever schedules, so the fleet pins grain 1 —
+/// every chunk is one session, claimed as workers free up.
 pub fn run_fleet<B>(threads: usize, specs: &[FleetSpec<B>]) -> Vec<FleetOutcome>
 where
     B: Fn() -> Result<Session, ServeError> + Sync,
 {
-    simcore::par::map(threads, specs, |_, spec| run_spec(spec))
+    let cfg = simcore::par::PoolConfig::new(threads).grain(1);
+    simcore::par::map_stats(&cfg, specs, |_, spec| run_spec(spec)).0
 }
 
 fn run_spec<B>(spec: &FleetSpec<B>) -> FleetOutcome
